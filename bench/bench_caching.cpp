@@ -1,0 +1,100 @@
+// Experiment B — impact of RDD caching on the Monte Carlo method.
+// Reproduces Figures 4 & 5 and Tables IV & V.
+//
+// Paper shape to reproduce:
+//   * cached MC is dramatically faster than uncached at every iteration
+//     count > 0 (uncached recomputes the genotype -> U lineage, including
+//     the DFS read + parse, every replicate);
+//   * small matrix (Fig 4, 10k SNPs): cached @ 10000 iters beats uncached
+//     @ 200 iters;
+//   * large matrix (Fig 5, 1M SNPs): cached @ 1000 iters beats uncached
+//     @ 10 iters.
+//
+// Paper scale (Table IV): n=1000, 10k & 1M SNPs, 1000 sets, 18 nodes.
+// Defaults here shrink SNPs to 500 & 5000; override via `snps_small=
+// snps_large= patients= reps=`.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace ss::bench {
+namespace {
+
+/// One Fig-4/5-style sweep over iteration counts, cached vs uncached.
+/// The uncached sweep stops early (`uncached_max`) exactly as the paper's
+/// N/A cells do — the configuration becomes impractically slow.
+void RunSweep(const char* figure, const Workload& base,
+              const std::vector<std::uint64_t>& iteration_counts,
+              std::uint64_t uncached_max, int reps) {
+  Table table(figure, {"iterations", "MC w/ cache", "MC w/o cache"});
+  double cached_at_max = 0.0;
+  double uncached_at_cutoff = 0.0;
+  for (std::uint64_t iters : iteration_counts) {
+    Workload cached = base;
+    cached.pipeline.cache_contributions = true;
+    const auto cached_runs =
+        TimeAnalysisRuns(cached, reps, [&](core::SkatPipeline& pipeline) {
+          core::RunMonteCarloMethod(pipeline, iters);
+        });
+    cached_at_max = Mean(cached_runs);
+
+    std::string uncached_cell = "N/A";
+    if (iters <= uncached_max) {
+      Workload uncached = base;
+      uncached.pipeline.cache_contributions = false;
+      const auto uncached_runs =
+          TimeAnalysisRuns(uncached, reps, [&](core::SkatPipeline& pipeline) {
+            core::RunMonteCarloMethod(pipeline, iters);
+          });
+      uncached_cell = MeanStdevCell(uncached_runs);
+      uncached_at_cutoff = Mean(uncached_runs);
+    }
+    table.AddRow({std::to_string(iters), MeanStdevCell(cached_runs),
+                  uncached_cell});
+  }
+  table.Print();
+  std::printf("  shape check: cached @ %llu iters (%.3fs) %s uncached @ %llu "
+              "iters (%.3fs)\n\n",
+              static_cast<unsigned long long>(iteration_counts.back()),
+              cached_at_max,
+              cached_at_max < uncached_at_cutoff ? "BEATS" : "does NOT beat",
+              static_cast<unsigned long long>(uncached_max),
+              uncached_at_cutoff);
+}
+
+int Run(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::uint64_t snps_small = args.GetU64("snps_small", 500);
+  const std::uint64_t snps_large = args.GetU64("snps_large", 5000);
+  const int reps = static_cast<int>(args.GetU64("reps", 2));
+
+  char scale[256];
+  std::snprintf(scale, sizeof(scale),
+                "snps_small=%llu snps_large=%llu reps=%d (paper Table IV: "
+                "10k & 1M SNPs, n=1000, 18 nodes, 5 reps)",
+                static_cast<unsigned long long>(snps_small),
+                static_cast<unsigned long long>(snps_large), reps);
+  PrintBanner("bench_caching",
+              "Figures 4 & 5 + Tables IV & V (MC with vs without caching)",
+              scale);
+
+  Args empty(0, nullptr);
+  Workload small = DefaultWorkload(empty, snps_small, snps_small / 10);
+  small.engine.topology = cluster::EmrCluster(18);
+  // Fig 4's x-axis (10, 100, ..., 10000) scaled down by ~10.
+  RunSweep("Figure 4 / Table V — small genotype matrix (seconds)", small,
+           {0, 10, 50, 100, 200, 500, 1000},
+           /*uncached_max=*/100, reps);
+
+  Workload large = DefaultWorkload(empty, snps_large, snps_large / 10);
+  large.engine.topology = cluster::EmrCluster(18);
+  // Fig 5's x-axis (10..1000) scaled down by ~10.
+  RunSweep("Figure 5 — large genotype matrix (seconds)", large,
+           {0, 10, 50, 100}, /*uncached_max=*/10, reps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ss::bench
+
+int main(int argc, char** argv) { return ss::bench::Run(argc, argv); }

@@ -1,0 +1,132 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "support/string_util.hpp"
+
+namespace ss::bench {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+std::uint64_t Args::GetU64(const std::string& key,
+                           std::uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t parsed = 0;
+  if (!ParseI64(it->second, &parsed) || parsed < 0) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double parsed = 0;
+  return ParseDouble(it->second, &parsed) ? parsed : fallback;
+}
+
+void PrintBanner(const std::string& bench_name, const std::string& reproduces,
+                 const std::string& scale_note) {
+  const cluster::InstanceType m3 = cluster::M3_2xlarge();
+  std::printf("==============================================================\n");
+  std::printf("%s\n", bench_name.c_str());
+  std::printf("Reproduces: %s\n", reproduces.c_str());
+  std::printf("Paper: SparkScore (Bahmani et al., IPDPSW 2016)\n");
+  std::printf("Simulated node (Table I): %s — %d vCPU, %.0f GiB, %.0f GB\n",
+              m3.name.c_str(), m3.vcpus, m3.memory_gib, m3.storage_gb);
+  std::printf("Scale: %s\n", scale_note.c_str());
+  std::printf("==============================================================\n");
+}
+
+double TimeOnce(const std::function<void()>& fn) {
+  Stopwatch stopwatch;
+  fn();
+  return stopwatch.ElapsedSeconds();
+}
+
+std::vector<double> TimeRepeated(int reps, const std::function<void()>& fn) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) seconds.push_back(TimeOnce(fn));
+  return seconds;
+}
+
+std::vector<double> TimeAnalysisRuns(
+    const Workload& workload, int reps,
+    const std::function<void(core::SkatPipeline&)>& fn) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Workload::Instance instance = workload.Build();
+    seconds.push_back(TimeOnce([&]() { fn(*instance.pipeline); }));
+  }
+  return seconds;
+}
+
+std::string MeanStdevCell(const std::vector<double>& seconds) {
+  const Summary s = Summarize(seconds);
+  return Table::Num(s.mean, 3) + " ± " + Table::Num(s.stdev, 3);
+}
+
+Workload::Instance Workload::Build() const {
+  Instance instance;
+  if (use_dfs) {
+    // Block size chosen so the genotype file splits into ~num_partitions
+    // input partitions, matching the in-memory configuration.
+    dfs::DfsOptions dfs_options;
+    dfs_options.num_nodes = std::max(2, engine.topology.num_nodes);
+    dfs_options.replication = 2;
+    dfs_options.block_lines = std::max<std::uint32_t>(
+        1, generator.num_snps / std::max(1u, pipeline.num_partitions));
+    instance.dfs = std::make_unique<dfs::MiniDfs>(dfs_options);
+    instance.ctx =
+        std::make_unique<engine::EngineContext>(engine, instance.dfs.get());
+    Result<simdata::StudyPaths> paths =
+        simdata::GenerateToDfs(*instance.dfs, "/bench", generator);
+    instance.pipeline = std::make_unique<core::SkatPipeline>(
+        core::SkatPipeline::Open(*instance.ctx, paths.value(), pipeline)
+            .value());
+    return instance;
+  }
+  instance.ctx = std::make_unique<engine::EngineContext>(engine);
+  const simdata::SyntheticDataset dataset = simdata::Generate(generator);
+  instance.pipeline = std::make_unique<core::SkatPipeline>(
+      core::SkatPipeline::FromMemory(*instance.ctx, dataset, pipeline));
+  return instance;
+}
+
+Workload DefaultWorkload(const Args& args, std::uint64_t snps_default,
+                         std::uint64_t sets_default) {
+  Workload workload;
+  workload.generator.num_patients =
+      static_cast<std::uint32_t>(args.GetU64("patients", 200));
+  workload.generator.num_snps =
+      static_cast<std::uint32_t>(args.GetU64("snps", snps_default));
+  workload.generator.num_sets =
+      static_cast<std::uint32_t>(args.GetU64("sets", sets_default));
+  workload.generator.seed = args.GetU64("seed", 2016);
+
+  workload.pipeline.seed = workload.generator.seed;
+  // Timing benches reproduce the paper's cost regime: per-patient (O(n²)
+  // per SNP) Cox evaluation, re-executed per permutation replicate. Pass
+  // faithful=0 to time this library's O(n) risk-set path instead.
+  workload.pipeline.paper_faithful_scores = args.GetU64("faithful", 1) != 0;
+  workload.pipeline.num_partitions =
+      static_cast<std::uint32_t>(args.GetU64("partitions", 8));
+  workload.pipeline.num_reducers =
+      static_cast<std::uint32_t>(args.GetU64("reducers", 8));
+
+  workload.engine.topology =
+      cluster::EmrCluster(static_cast<int>(args.GetU64("nodes", 6)));
+  workload.engine.physical_threads = args.GetU64("threads", 4);
+  workload.engine.seed = workload.generator.seed;
+  return workload;
+}
+
+}  // namespace ss::bench

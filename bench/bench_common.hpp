@@ -1,0 +1,89 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper. Problem
+// sizes default to scaled-down values that finish in seconds on a laptop;
+// pass key=value arguments (e.g. `bench_caching snps_large=100000 reps=5`)
+// to approach the paper's sizes. Every bench prints the scale it ran at so
+// EXPERIMENTS.md comparisons stay honest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/serial_skat.hpp"
+#include "core/record_traits.hpp"
+#include "core/sparkscore.hpp"
+#include "support/stopwatch.hpp"
+#include "support/summary.hpp"
+#include "support/table.hpp"
+
+namespace ss::bench {
+
+/// key=value command-line arguments with typed getters.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Prints the bench banner: paper reference, simulated hardware (Table I),
+/// and the scale the bench runs at.
+void PrintBanner(const std::string& bench_name, const std::string& reproduces,
+                 const std::string& scale_note);
+
+/// Times `fn` once, returning seconds.
+double TimeOnce(const std::function<void()>& fn);
+
+/// Times `fn` `reps` times, returning all measurements.
+std::vector<double> TimeRepeated(int reps, const std::function<void()>& fn);
+
+struct Workload;
+
+/// Builds a fresh pipeline per repetition (outside the timer — generation
+/// and DFS staging are not part of the measured analysis, matching the
+/// paper's timing of the Spark job only) and times `fn` over it.
+std::vector<double> TimeAnalysisRuns(
+    const Workload& workload, int reps,
+    const std::function<void(core::SkatPipeline&)>& fn);
+
+/// "123.4 ± 5.6" formatting for Table III/V style cells.
+std::string MeanStdevCell(const std::vector<double>& seconds);
+
+/// A generated study plus the engine scaffolding to analyze it.
+struct Workload {
+  simdata::GeneratorConfig generator;
+  core::PipelineConfig pipeline;
+  engine::EngineContext::Options engine;
+
+  /// Stage inputs in the mini-DFS and read them through Algorithm 1's
+  /// text-file path (default). This matters for the caching experiment:
+  /// without the cached U RDD each replicate re-reads and re-parses its
+  /// inputs, exactly like Spark re-scanning HDFS. Set false for a pure
+  /// in-memory pipeline.
+  bool use_dfs = true;
+
+  /// Builds a DFS (when configured) + context + pipeline over freshly
+  /// generated data; all owned by the returned Instance, destroyed
+  /// together (members declared in dependency order).
+  struct Instance {
+    std::unique_ptr<dfs::MiniDfs> dfs;
+    std::unique_ptr<engine::EngineContext> ctx;
+    std::unique_ptr<core::SkatPipeline> pipeline;
+  };
+  Instance Build() const;
+};
+
+/// Default scaled-down workload derived from the paper's Table II shape
+/// (n patients=1000, 100k SNPs, 1000 sets) shrunk by ~50x per dimension.
+Workload DefaultWorkload(const Args& args, std::uint64_t snps_default = 2000,
+                         std::uint64_t sets_default = 100);
+
+}  // namespace ss::bench

@@ -1,0 +1,121 @@
+// google-benchmark micro benchmarks for the minispark engine primitives:
+// the per-record costs of the map/filter path, the shuffle, the partition
+// cache, and the statistics kernels the pipeline spends its time in.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/record_traits.hpp"
+#include "engine/dataset.hpp"
+#include "simdata/generator.hpp"
+#include "stats/cox_score.hpp"
+#include "stats/resampling.hpp"
+
+namespace ss {
+namespace {
+
+engine::EngineContext::Options LocalOptions() {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 2;
+  return options;
+}
+
+void BM_MapCollect(benchmark::State& state) {
+  engine::EngineContext ctx(LocalOptions());
+  std::vector<int> data(static_cast<std::size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = engine::Parallelize(ctx, data, 8).Map([](const int& x) {
+    return x * 3 + 1;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapCollect)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CachedCollect(benchmark::State& state) {
+  engine::EngineContext ctx(LocalOptions());
+  std::vector<int> data(static_cast<std::size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = engine::Parallelize(ctx, data, 8).Map([](const int& x) {
+    return x * 3 + 1;
+  });
+  ds.Cache();
+  ds.Collect();  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CachedCollect)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  engine::EngineContext ctx(LocalOptions());
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < state.range(0); ++i) pairs.push_back({i % 64, i});
+  for (auto _ : state) {
+    auto ds = engine::Parallelize(ctx, pairs, 8);
+    auto reduced =
+        engine::ReduceByKey(ds, [](int a, int b) { return a + b; }, 4);
+    benchmark::DoNotOptimize(reduced.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CoxContributions(benchmark::State& state) {
+  simdata::GeneratorConfig config;
+  config.num_patients = static_cast<std::uint32_t>(state.range(0));
+  config.num_snps = 4;
+  config.num_sets = 1;
+  const simdata::SyntheticDataset dataset = simdata::Generate(config);
+  const stats::RiskSetIndex index(dataset.survival);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::CoxScoreContributions(
+        dataset.survival, index, dataset.genotypes.by_snp[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoxContributions)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RiskSetIndexBuild(benchmark::State& state) {
+  const stats::SurvivalData data = simdata::GenerateSurvival(
+      3, static_cast<std::uint32_t>(state.range(0)), 12.0, 0.85);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::RiskSetIndex(data));
+  }
+}
+BENCHMARK(BM_RiskSetIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_MonteCarloReplicate(benchmark::State& state) {
+  // The Algorithm 3 hot loop: one dot product per SNP per replicate.
+  const std::size_t n = 1000;
+  std::vector<double> contributions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contributions[i] = static_cast<double>(i % 17) - 8.0;
+  }
+  const stats::MonteCarloWeights weights(7, n, 8);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::MonteCarloReplicateScore(
+        contributions, weights.Get(b++ % 8)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MonteCarloReplicate);
+
+void BM_PermutationPlanGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::PermutationPlan(11, static_cast<std::size_t>(state.range(0)), 8));
+  }
+}
+BENCHMARK(BM_PermutationPlanGeneration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace ss
+
+BENCHMARK_MAIN();

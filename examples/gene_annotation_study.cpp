@@ -1,0 +1,106 @@
+// Positional gene-set study — the paper's data model end to end.
+//
+// Section II of the paper represents SNPs as (chr, pos) and genes as
+// (chr, start, end), with SNP-set I_k holding "all SNPs j whose positions
+// lie within gene k". This example generates an annotated genome, derives
+// the SNP-sets by interval containment (instead of Section III's
+// arbitrary composition), runs both the SKAT pipeline and the SKAT-O
+// combination on a simulated cluster, and reports the hit with its
+// genomic coordinates.
+//
+//   ./gene_annotation_study
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/record_traits.hpp"
+#include "core/sparkscore.hpp"
+#include "simdata/annotation.hpp"
+#include "support/distributions.hpp"
+
+int main() {
+  using namespace ss;
+
+  // 1. An annotated genome: 8 chromosomes, 60 genes, 1500 SNPs.
+  simdata::GenomeConfig genome_config;
+  genome_config.num_chromosomes = 8;
+  genome_config.num_genes = 60;
+  genome_config.num_snps = 1500;
+  genome_config.genic_fraction = 0.85;
+  genome_config.seed = 99;
+  const simdata::GenomeAnnotation genome = simdata::GenerateGenome(genome_config);
+  const auto sets = genome.DeriveSnpSets();
+  std::printf("Genome: %zu genes, %u SNPs (%u genic); %zu non-empty "
+              "interval-derived SNP-sets\n",
+              genome.genes().size(), genome.num_snps(), genome.GenicSnpCount(),
+              sets.size());
+
+  // 2. Genotypes + phenotype; one mid-sized gene carries the causal burden.
+  simdata::GeneratorConfig data_config;
+  data_config.num_patients = 500;
+  data_config.num_snps = genome.num_snps();
+  data_config.num_sets = 1;  // sets come from the annotation instead
+  data_config.seed = 100;
+  simdata::SyntheticDataset dataset = simdata::Generate(data_config);
+  dataset.sets = sets;
+
+  // Pick the first set with 3-10 SNPs as the causal gene.
+  std::uint32_t causal_gene = sets.front().id;
+  std::vector<std::uint32_t> causal_snps = sets.front().snps;
+  for (const auto& set : sets) {
+    if (set.snps.size() >= 3 && set.snps.size() <= 10) {
+      causal_gene = set.id;
+      causal_snps = set.snps;
+      break;
+    }
+  }
+  Rng rng(7);
+  for (std::uint32_t i = 0; i < data_config.num_patients; ++i) {
+    double dosage = 0.0;
+    for (std::size_t c = 0; c < std::min<std::size_t>(3, causal_snps.size());
+         ++c) {
+      dosage += dataset.genotypes.by_snp[causal_snps[c]][i];
+    }
+    dataset.survival.time[i] =
+        SampleExponential(rng, (1.0 / 12.0) * std::exp(0.7 * dosage));
+    dataset.survival.event[i] = SampleBernoulli(rng, 0.85) ? 1 : 0;
+  }
+  const simdata::Gene* causal_meta = nullptr;
+  for (const auto& gene : genome.genes()) {
+    if (gene.id == causal_gene) causal_meta = &gene;
+  }
+  std::printf("Causal gene: %s (chr%u:%llu-%llu), %zu SNPs\n",
+              causal_meta->name.c_str(), causal_meta->chromosome,
+              static_cast<unsigned long long>(causal_meta->start),
+              static_cast<unsigned long long>(causal_meta->end),
+              causal_snps.size());
+
+  // 3. Distributed SKAT (Algorithm 3) and SKAT-O over the derived sets.
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(6);
+  engine::EngineContext ctx(options);
+  core::PipelineConfig config;
+  config.seed = 2023;
+  core::SkatPipeline pipeline =
+      core::SkatPipeline::FromMemory(ctx, dataset, config);
+
+  const core::ResamplingResult skat = core::RunMonteCarloMethod(pipeline, 499);
+  std::printf("\n-- SKAT (Monte Carlo, B=499) --\n%s",
+              core::FormatTopHits(skat, 5).c_str());
+
+  const core::SkatOResult skato = core::RunSkatOMethod(pipeline, 199);
+  const auto skato_ranked = skato.RankedPValues();
+  std::printf("\n-- SKAT-O (B=199) top hits --\n");
+  for (std::size_t r = 0; r < 3 && r < skato_ranked.size(); ++r) {
+    const auto& per_set = skato.by_set.at(skato_ranked[r].first);
+    std::printf("  #%zu gene %u: SKAT=%.1f burden=%.1f p=%.4f\n", r + 1,
+                skato_ranked[r].first, per_set.skat, per_set.burden,
+                skato_ranked[r].second);
+  }
+
+  const bool skat_hit = skat.RankedPValues().front().first == causal_gene;
+  const bool skato_hit = skato_ranked.front().first == causal_gene;
+  std::printf("\nCausal gene ranked #1: SKAT %s, SKAT-O %s\n",
+              skat_hit ? "yes" : "NO", skato_hit ? "yes" : "NO");
+  return (skat_hit && skato_hit) ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// GWAS survival analysis — the paper's motivating scenario (Section II's
+// worked example): time to death after treatment start in a clinical
+// trial, censored at last follow-up, tested gene-by-gene with Cox-score
+// SKAT statistics.
+//
+// This example plants a true signal: the SNPs of one gene get a hazard
+// effect, so carriers die sooner. Both resampling methods (Algorithms 2
+// and 3) are run and must agree on the hit; we also compare against the
+// asymptotic chi-square approximation per SNP and show the multiple-
+// testing adjustments.
+//
+//   ./gwas_survival
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/record_traits.hpp"
+#include "core/sparkscore.hpp"
+#include "stats/cox_score.hpp"
+#include "stats/distributions_math.hpp"
+#include "stats/pvalue.hpp"
+#include "support/distributions.hpp"
+
+namespace {
+
+/// Generates genotypes first, then survival with a genotype-dependent
+/// hazard for the causal gene's SNPs.
+ss::simdata::SyntheticDataset PlantSignal(std::uint32_t causal_gene,
+                                          double log_hazard_per_allele) {
+  ss::simdata::GeneratorConfig config;
+  config.num_patients = 600;
+  config.num_snps = 1500;
+  config.num_sets = 75;
+  config.seed = 424242;
+  ss::simdata::SyntheticDataset dataset = ss::simdata::Generate(config);
+
+  // Up to three of the gene's SNPs are causal, each contributing
+  // `log_hazard_per_allele` to the log hazard — a strong, localized
+  // signal, as in a functional variant cluster.
+  const auto& gene_snps = dataset.sets[causal_gene].snps;
+  const std::size_t num_causal = std::min<std::size_t>(3, gene_snps.size());
+  ss::Rng rng(9001);
+  for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+    double dosage = 0.0;
+    for (std::size_t c = 0; c < num_causal; ++c) {
+      dosage += dataset.genotypes.by_snp[gene_snps[c]][i];
+    }
+    const double rate =
+        (1.0 / 12.0) * std::exp(log_hazard_per_allele * dosage);
+    dataset.survival.time[i] = ss::SampleExponential(rng, rate);
+    dataset.survival.event[i] = ss::SampleBernoulli(rng, 0.85) ? 1 : 0;
+  }
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+
+  const std::uint32_t causal_gene = 7;
+  const simdata::SyntheticDataset dataset = PlantSignal(causal_gene, 0.8);
+  std::printf("Clinical-trial study: %zu patients, %u SNPs, %zu genes; "
+              "causal gene = %u (%zu SNPs)\n",
+              dataset.survival.n(), dataset.genotypes.num_snps(),
+              dataset.sets.size(), causal_gene,
+              dataset.sets[causal_gene].snps.size());
+
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(6);
+  engine::EngineContext ctx(options);
+
+  core::PipelineConfig config;
+  config.seed = 31337;
+
+  // Algorithm 3 (Monte Carlo), B = 999.
+  core::SkatPipeline mc_pipeline =
+      core::SkatPipeline::FromMemory(ctx, dataset, config);
+  const core::ResamplingResult mc = core::RunMonteCarloMethod(mc_pipeline, 999);
+  std::printf("\n-- Monte Carlo (Lin), B=999 --\n%s",
+              core::FormatTopHits(mc, 5).c_str());
+
+  // Algorithm 2 (permutation), B = 99 (deliberately fewer — it is the
+  // expensive method; that asymmetry is the paper's point).
+  engine::EngineContext ctx2(options);
+  core::SkatPipeline perm_pipeline =
+      core::SkatPipeline::FromMemory(ctx2, dataset, config);
+  const core::ResamplingResult perm =
+      core::RunPermutationMethod(perm_pipeline, 99);
+  std::printf("\n-- Permutation, B=99 --\n%s",
+              core::FormatTopHits(perm, 5).c_str());
+
+  // With only B=99 permutations several genes can tie at the smallest
+  // attainable p-value (1/(B+1)), so test for membership in the tie.
+  const bool mc_hit =
+      mc.PValue(causal_gene) <= mc.RankedPValues().front().second + 1e-12;
+  const bool perm_hit =
+      perm.PValue(causal_gene) <= perm.RankedPValues().front().second + 1e-12;
+  std::printf("\nCausal gene at the smallest p-value: Monte Carlo %s, "
+              "permutation %s\n", mc_hit ? "yes" : "NO",
+              perm_hit ? "yes" : "NO");
+
+  // Asymptotic per-SNP sanity check: the causal gene's SNPs should carry
+  // small chi-square p-values.
+  const stats::RiskSetIndex index(dataset.survival);
+  double min_p_causal = 1.0;
+  for (std::uint32_t snp : dataset.sets[causal_gene].snps) {
+    const auto u = stats::CoxScoreContributions(dataset.survival, index,
+                                                dataset.genotypes.by_snp[snp]);
+    min_p_causal = std::min(
+        min_p_causal, stats::ScoreTestPValue(stats::CoxScoreStatistic(u),
+                                             stats::CoxScoreVariance(u)));
+  }
+  std::printf("Smallest asymptotic per-SNP p-value inside the causal gene: "
+              "%.2e\n", min_p_causal);
+
+  // Multiple-testing control across all genes.
+  std::vector<double> pvalues;
+  for (const auto& set : dataset.sets) pvalues.push_back(mc.PValue(set.id));
+  const auto bonferroni = stats::BonferroniAdjust(pvalues);
+  const auto bh = stats::BenjaminiHochbergAdjust(pvalues);
+  std::printf("Causal gene after adjustment: Bonferroni p=%.4f, BH q=%.4f\n",
+              bonferroni[causal_gene], bh[causal_gene]);
+  return (mc_hit && perm_hit) ? 0 : 1;
+}

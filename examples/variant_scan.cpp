@@ -1,0 +1,132 @@
+// Variant-by-variant GWAS scan — the paper introduction's first analysis
+// category — with Westfall-Young resampling-based multiplicity control
+// and a covariate-adjusted contrast.
+//
+// Scenario: a case/control study where disease risk depends on one causal
+// SNP and on age; age also correlates with a second, non-causal SNP
+// (population-structure-style confounding). The unadjusted scan flags
+// both SNPs; the covariate-adjusted score keeps the causal one and drops
+// the confounded one.
+//
+//   ./variant_scan
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/record_traits.hpp"
+#include "core/sparkscore.hpp"
+#include "stats/covariates.hpp"
+#include "support/distributions.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ss;
+
+  const std::uint32_t num_snps = 600;
+  const std::uint32_t n = 1200;
+  const std::uint32_t causal_snp = 17;
+  const std::uint32_t confounded_snp = 101;
+
+  simdata::GeneratorConfig config;
+  config.num_patients = n;
+  config.num_snps = num_snps;
+  config.num_sets = 10;
+  config.seed = 4711;
+  simdata::SyntheticDataset dataset = simdata::Generate(config);
+
+  // Phenotype: logit P(case) = -1 + 0.9*G_causal + 0.06*age, where age is
+  // partly driven by the confounded SNP's genotype.
+  Rng rng(2024);
+  stats::BinaryData disease;
+  std::vector<double> age(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double g_causal = dataset.genotypes.by_snp[causal_snp][i];
+    const double g_conf = dataset.genotypes.by_snp[confounded_snp][i];
+    age[i] = 50.0 + 8.0 * g_conf + SampleNormal(rng) * 6.0;
+    const double logit = -1.0 + 0.9 * g_causal + 0.06 * (age[i] - 50.0);
+    disease.value.push_back(
+        SampleBernoulli(rng, 1.0 / (1.0 + std::exp(-logit))) ? 1 : 0);
+  }
+  std::printf("Case/control scan: %u samples, %u SNPs; causal SNP %u, "
+              "age-confounded SNP %u, case rate %.2f\n",
+              n, num_snps, causal_snp, confounded_snp, disease.CaseRate());
+
+  // ---- Unadjusted distributed scan -----------------------------------------
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(6);
+  engine::EngineContext ctx(options);
+  std::vector<simdata::SnpRecord> records;
+  for (std::uint32_t j = 0; j < num_snps; ++j) {
+    records.push_back({j, dataset.genotypes.by_snp[j]});
+  }
+  core::VariantScanConfig scan_config;
+  scan_config.replicates = 199;
+  scan_config.seed = 31;
+  const core::VariantScanResult scan = core::RunVariantScan(
+      ctx, engine::Parallelize(ctx, records, 8),
+      stats::Phenotype::Binomial(disease), scan_config);
+
+  Table top("Unadjusted scan — top SNPs",
+            {"rank", "snp", "score", "asymptotic p", "empirical p",
+             "maxT adj. p"});
+  const auto ranked = scan.RankedByAsymptoticP();
+  for (std::size_t r = 0; r < 5; ++r) {
+    const std::uint32_t snp = ranked[r];
+    const core::VariantStats& s = scan.by_snp.at(snp);
+    top.AddRow({std::to_string(r + 1), std::to_string(snp),
+                Table::Num(s.score, 2),
+                Table::Num(s.asymptotic_p, 6),
+                Table::Num(scan.EmpiricalP(snp), 4),
+                Table::Num(scan.MaxTAdjustedP(snp), 4)});
+  }
+  top.Print();
+
+  const bool causal_found = ranked[0] == causal_snp || ranked[1] == causal_snp;
+  const bool confounded_flagged =
+      std::find(ranked.begin(), ranked.begin() + 5, confounded_snp) !=
+      ranked.begin() + 5;
+  std::printf("\nCausal SNP in top 2: %s; confounded SNP in top 5 "
+              "(spuriously): %s\n",
+              causal_found ? "yes" : "NO",
+              confounded_flagged ? "yes" : "no");
+
+  // ---- Covariate-adjusted contrast ------------------------------------------
+  // Adjusting for age must keep the causal SNP significant and shrink the
+  // confounded SNP's z-score toward noise.
+  auto adjusted = stats::AdjustedScoreEngine::Binomial(disease, {age});
+  if (!adjusted.ok()) {
+    std::fprintf(stderr, "adjustment failed: %s\n",
+                 adjusted.status().ToString().c_str());
+    return 1;
+  }
+  auto z_of = [&](std::uint32_t snp, bool with_adjustment) {
+    std::vector<double> u =
+        with_adjustment
+            ? adjusted.value().Contributions(dataset.genotypes.by_snp[snp])
+            : stats::LogisticScoreContributions(disease, disease.CaseRate(),
+                                                dataset.genotypes.by_snp[snp]);
+    const double score = std::accumulate(u.begin(), u.end(), 0.0);
+    double variance = 0.0;
+    for (double v : u) variance += v * v;
+    return variance > 0 ? score / std::sqrt(variance) : 0.0;
+  };
+  Table contrast("Effect of adjusting for age (z-scores)",
+                 {"snp", "role", "unadjusted z", "adjusted z"});
+  contrast.AddRow({std::to_string(causal_snp), "causal",
+                   Table::Num(z_of(causal_snp, false), 2),
+                   Table::Num(z_of(causal_snp, true), 2)});
+  contrast.AddRow({std::to_string(confounded_snp), "age-confounded",
+                   Table::Num(z_of(confounded_snp, false), 2),
+                   Table::Num(z_of(confounded_snp, true), 2)});
+  contrast.Print();
+
+  const bool causal_survives = std::fabs(z_of(causal_snp, true)) > 3.0;
+  const bool confounder_drops = std::fabs(z_of(confounded_snp, true)) < 3.0 &&
+                                std::fabs(z_of(confounded_snp, false)) > 3.0;
+  std::printf("\nAdjustment keeps causal signal: %s; removes confounded "
+              "signal: %s\n",
+              causal_survives ? "yes" : "NO",
+              confounder_drops ? "yes" : "NO");
+  return (causal_found && causal_survives && confounder_drops) ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+#include "baseline/serial_skat.hpp"
+
+#include <unordered_map>
+
+#include "stats/pvalue.hpp"
+#include "stats/resampling.hpp"
+#include "support/status.hpp"
+
+namespace ss::baseline {
+namespace {
+
+void CheckInputs(const SkatInputs& inputs) {
+  SS_CHECK(inputs.genotypes != nullptr);
+  SS_CHECK(inputs.phenotype != nullptr);
+  SS_CHECK(inputs.weights != nullptr);
+  SS_CHECK(inputs.sets != nullptr);
+  SS_CHECK(inputs.genotypes->num_patients == inputs.phenotype->n());
+  SS_CHECK(inputs.weights->size() == inputs.genotypes->num_snps());
+}
+
+/// SKAT statistics for all sets given per-SNP marginal scores U_j.
+std::vector<double> SkatFromScores(const SkatInputs& inputs,
+                                   const std::vector<double>& scores) {
+  std::unordered_map<std::uint32_t, double> squared;
+  squared.reserve(scores.size());
+  for (std::uint32_t j = 0; j < scores.size(); ++j) {
+    squared[j] = scores[j] * scores[j];
+  }
+  std::unordered_map<std::uint32_t, double> weights;
+  weights.reserve(inputs.weights->size());
+  for (std::uint32_t j = 0; j < inputs.weights->size(); ++j) {
+    weights[j] = (*inputs.weights)[j];
+  }
+  return stats::SkatStatistics(*inputs.sets, squared, weights);
+}
+
+/// Marginal scores U_j for all SNPs under `engine`'s phenotype.
+std::vector<double> MarginalScores(const SkatInputs& inputs,
+                                   const stats::ScoreEngine& engine) {
+  const std::uint32_t m = inputs.genotypes->num_snps();
+  std::vector<double> scores(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    double total = 0.0;
+    for (double u : engine.Contributions(inputs.genotypes->by_snp[j])) {
+      total += u;
+    }
+    scores[j] = total;
+  }
+  return scores;
+}
+
+}  // namespace
+
+double SkatAnalysis::PValue(std::size_t k) const {
+  return stats::EmpiricalPValue(exceed_count[k], replicates);
+}
+
+SkatAnalysis SerialObserved(const SkatInputs& inputs) {
+  CheckInputs(inputs);
+  stats::ScoreEngine engine(*inputs.phenotype);
+  SkatAnalysis analysis;
+  analysis.observed = SkatFromScores(inputs, MarginalScores(inputs, engine));
+  analysis.exceed_count.assign(inputs.sets->size(), 0);
+  return analysis;
+}
+
+SkatAnalysis SerialPermutation(const SkatInputs& inputs, std::uint64_t seed,
+                               std::uint64_t replicates) {
+  SkatAnalysis analysis = SerialObserved(inputs);
+  analysis.replicates = replicates;
+  const stats::PermutationPlan plan(seed, inputs.phenotype->n(), replicates);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    // Full recomputation per replicate: new phenotype ordering, new
+    // SNP-invariant structures, new scores — exactly Algorithm 2.
+    const stats::Phenotype permuted = inputs.phenotype->Permuted(plan.Get(b));
+    stats::ScoreEngine engine(permuted);
+    const std::vector<double> statistics =
+        SkatFromScores(inputs, MarginalScores(inputs, engine));
+    for (std::size_t k = 0; k < statistics.size(); ++k) {
+      if (statistics[k] >= analysis.observed[k]) ++analysis.exceed_count[k];
+    }
+  }
+  return analysis;
+}
+
+SkatAnalysis SerialMonteCarlo(const SkatInputs& inputs, std::uint64_t seed,
+                              std::uint64_t replicates) {
+  CheckInputs(inputs);
+  stats::ScoreEngine engine(*inputs.phenotype);
+
+  // Observed contributions, computed once and reused by all replicates —
+  // the Algorithm 3 trick that caching makes cheap in the distributed
+  // version.
+  const std::uint32_t m = inputs.genotypes->num_snps();
+  std::vector<std::vector<double>> contributions(m);
+  std::vector<double> observed_scores(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    contributions[j] = engine.Contributions(inputs.genotypes->by_snp[j]);
+    double total = 0.0;
+    for (double u : contributions[j]) total += u;
+    observed_scores[j] = total;
+  }
+
+  SkatAnalysis analysis;
+  analysis.observed = SkatFromScores(inputs, observed_scores);
+  analysis.exceed_count.assign(inputs.sets->size(), 0);
+  analysis.replicates = replicates;
+
+  const stats::MonteCarloWeights mc(seed, inputs.phenotype->n(), replicates);
+  std::vector<double> replicate_scores(m);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    const std::vector<double>& z = mc.Get(b);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      replicate_scores[j] =
+          stats::MonteCarloReplicateScore(contributions[j], z);
+    }
+    const std::vector<double> statistics =
+        SkatFromScores(inputs, replicate_scores);
+    for (std::size_t k = 0; k < statistics.size(); ++k) {
+      if (statistics[k] >= analysis.observed[k]) ++analysis.exceed_count[k];
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ss::baseline

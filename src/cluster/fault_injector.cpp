@@ -1,0 +1,77 @@
+#include "cluster/fault_injector.hpp"
+
+#include "support/log.hpp"
+
+namespace ss::cluster {
+
+void FaultInjector::FailNodeAfterTasks(int node,
+                                       std::uint64_t task_completions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  node_failures_.push_back({node, task_completions, false});
+}
+
+void FaultInjector::FailTask(std::uint64_t stage_id, std::uint32_t partition,
+                             int times) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  task_failures_.push_back({stage_id, partition, times});
+}
+
+void FaultInjector::SetOnNodeFailure(std::function<void(int)> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_node_failure_ = std::move(callback);
+}
+
+void FaultInjector::OnTaskCompleted() {
+  std::vector<int> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& failure : node_failures_) {
+      if (failure.fired) continue;
+      if (failure.remaining > 0) --failure.remaining;
+      if (failure.remaining == 0) {
+        failure.fired = true;
+        to_fire.push_back(failure.node);
+      }
+    }
+  }
+  // Fire outside the lock: the callback typically re-enters engine/DFS code.
+  for (int node : to_fire) {
+    SS_LOG(kInfo, "fault") << "injected failure of node " << node;
+    std::function<void(int)> callback;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      callback = on_node_failure_;
+    }
+    if (callback) callback(node);
+  }
+}
+
+bool FaultInjector::ShouldFailTask(std::uint64_t stage_id,
+                                   std::uint32_t partition) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& failure : task_failures_) {
+    if (failure.stage_id == stage_id && failure.partition == partition &&
+        failure.remaining > 0) {
+      --failure.remaining;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::HasFired(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& failure : node_failures_) {
+    if (failure.node == node && failure.fired) return true;
+  }
+  return false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  node_failures_.clear();
+  task_failures_.clear();
+  on_node_failure_ = nullptr;
+}
+
+}  // namespace ss::cluster

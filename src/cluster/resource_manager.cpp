@@ -1,0 +1,143 @@
+#include "cluster/resource_manager.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace ss::cluster {
+
+ResourceManager::ResourceManager(const InstanceType& instance, int num_nodes,
+                                 ResourceCalculator calculator,
+                                 double reserved_memory_gib)
+    : calculator_(calculator),
+      node_memory_gib_(std::max(0.0, instance.memory_gib - reserved_memory_gib)),
+      node_vcores_(instance.vcpus) {
+  SS_CHECK(num_nodes >= 1);
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+  for (auto& node : nodes_) {
+    node.free_memory_gib = node_memory_gib_;
+    node.free_vcores = node_vcores_;
+  }
+}
+
+bool ResourceManager::Fits(const NodeState& node,
+                           const ContainerRequest& request) const {
+  if (!node.alive) return false;
+  if (node.free_memory_gib < request.memory_gib) return false;
+  if (calculator_ == ResourceCalculator::kDominant &&
+      node.free_vcores < request.vcores) {
+    return false;
+  }
+  return true;
+}
+
+Result<Container> ResourceManager::Allocate(const ContainerRequest& request) {
+  if (request.memory_gib <= 0 || request.vcores < 1) {
+    return Status::InvalidArgument("container shape must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Least-loaded placement: pick the eligible node with most free memory,
+  // which spreads executors evenly like YARN's fair placement under
+  // identical nodes.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (!Fits(nodes_[static_cast<std::size_t>(i)], request)) continue;
+    if (best < 0 ||
+        nodes_[static_cast<std::size_t>(i)].free_memory_gib >
+            nodes_[static_cast<std::size_t>(best)].free_memory_gib) {
+      best = i;
+    }
+  }
+  if (best < 0) {
+    return Status::ResourceExhausted("no node can host the container");
+  }
+  NodeState& node = nodes_[static_cast<std::size_t>(best)];
+  node.free_memory_gib -= request.memory_gib;
+  node.free_vcores -= request.vcores;
+  Container container{next_id_++, best, request.memory_gib, request.vcores};
+  live_.push_back(container);
+  return container;
+}
+
+Result<std::vector<Container>> ResourceManager::AllocateMany(
+    const ContainerRequest& request, int count) {
+  std::vector<Container> granted;
+  granted.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Result<Container> container = Allocate(request);
+    if (!container.ok()) {
+      for (const Container& c : granted) Release(c.id);
+      return container.status();
+    }
+    granted.push_back(container.value());
+  }
+  return granted;
+}
+
+void ResourceManager::Release(std::uint64_t container_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [&](const Container& c) { return c.id == container_id; });
+  if (it == live_.end()) return;
+  NodeState& node = nodes_[static_cast<std::size_t>(it->node)];
+  node.free_memory_gib += it->memory_gib;
+  node.free_vcores += it->vcores;
+  live_.erase(it);
+}
+
+void ResourceManager::ReleaseAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Container& c : live_) {
+    NodeState& node = nodes_[static_cast<std::size_t>(c.node)];
+    node.free_memory_gib += c.memory_gib;
+    node.free_vcores += c.vcores;
+  }
+  live_.clear();
+}
+
+int ResourceManager::DecommissionNode(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SS_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()));
+  nodes_[static_cast<std::size_t>(node)].alive = false;
+  int lost = 0;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->node == node) {
+      ++lost;
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Capacity of a dead node is unusable until recommissioned.
+  nodes_[static_cast<std::size_t>(node)].free_memory_gib = 0;
+  nodes_[static_cast<std::size_t>(node)].free_vcores = 0;
+  SS_LOG(kInfo, "yarn") << "decommissioned node " << node << ", lost " << lost
+                        << " containers";
+  return lost;
+}
+
+void ResourceManager::RecommissionNode(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SS_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()));
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  state.alive = true;
+  state.free_memory_gib = node_memory_gib_;
+  state.free_vcores = node_vcores_;
+}
+
+double ResourceManager::FreeMemoryGib(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[static_cast<std::size_t>(node)].free_memory_gib;
+}
+
+int ResourceManager::FreeVcores(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[static_cast<std::size_t>(node)].free_vcores;
+}
+
+int ResourceManager::LiveContainerCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(live_.size());
+}
+
+}  // namespace ss::cluster

@@ -1,0 +1,86 @@
+// YARN-like resource manager: applications request containers with a
+// (memory, vcores) shape; the RM places them on nodes with free capacity.
+//
+// Models the scheduling behaviour relevant to the paper's auto-tuning
+// experiment (Fig 7 / Tables VII–VIII): how many containers of a given
+// shape fit on a cluster, and on which nodes they land.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "support/status.hpp"
+
+namespace ss::cluster {
+
+/// Container request shape.
+struct ContainerRequest {
+  double memory_gib = 1.0;
+  int vcores = 1;
+};
+
+/// A granted container.
+struct Container {
+  std::uint64_t id = 0;
+  int node = 0;
+  double memory_gib = 0.0;
+  int vcores = 0;
+};
+
+/// Which resources gate placement; YARN's default considers memory only.
+enum class ResourceCalculator { kMemoryOnly, kDominant };
+
+class ResourceManager {
+ public:
+  ResourceManager(const InstanceType& instance, int num_nodes,
+                  ResourceCalculator calculator = ResourceCalculator::kMemoryOnly,
+                  double reserved_memory_gib = 6.0);
+
+  /// Allocates one container on the least-loaded eligible node.
+  /// ResourceExhausted if nothing fits.
+  Result<Container> Allocate(const ContainerRequest& request);
+
+  /// Allocates `count` identical containers, or fails without granting any
+  /// (all-or-nothing, matching spark-submit --num-executors semantics).
+  Result<std::vector<Container>> AllocateMany(const ContainerRequest& request,
+                                              int count);
+
+  /// Releases a previously granted container (idempotent).
+  void Release(std::uint64_t container_id);
+
+  /// Releases everything.
+  void ReleaseAll();
+
+  /// Marks a node unusable and releases its containers; returns how many
+  /// containers were lost (the application must re-request them).
+  int DecommissionNode(int node);
+  void RecommissionNode(int node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  double FreeMemoryGib(int node) const;
+  int FreeVcores(int node) const;
+  int LiveContainerCount() const;
+
+ private:
+  struct NodeState {
+    double free_memory_gib = 0.0;
+    int free_vcores = 0;
+    bool alive = true;
+  };
+
+  bool Fits(const NodeState& node, const ContainerRequest& request) const;
+
+  const ResourceCalculator calculator_;
+  const double node_memory_gib_;
+  const int node_vcores_;
+
+  mutable std::mutex mutex_;
+  std::vector<NodeState> nodes_;
+  std::vector<Container> live_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ss::cluster

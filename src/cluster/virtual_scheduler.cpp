@@ -1,0 +1,87 @@
+#include "cluster/virtual_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace ss::cluster {
+
+double VirtualScheduler::SimulateStage(const StageProfile& stage,
+                                       std::uint64_t stage_salt) const {
+  const int slots = std::max(1, topology_.TotalSlots());
+  // Min-heap of slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int i = 0; i < slots; ++i) free_at.push(0.0);
+
+  // Shuffle read cost is paid by the stage's tasks; spread it evenly (hash
+  // partitioning yields near-uniform bucket sizes for our keys).
+  const double per_task_shuffle_read =
+      stage.task_compute_s.empty()
+          ? 0.0
+          : cost_model_.TransferSeconds(stage.shuffle_read_bytes) /
+                static_cast<double>(stage.task_compute_s.size());
+  const double per_task_shuffle_write =
+      stage.task_compute_s.empty()
+          ? 0.0
+          : cost_model_.TransferSeconds(stage.shuffle_write_bytes) /
+                static_cast<double>(stage.task_compute_s.size());
+
+  Rng straggler_rng = Rng(seed_).Split(stage_salt + 1);
+  double makespan = 0.0;
+  for (double compute : stage.task_compute_s) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double nominal = cost_model_.task_launch_overhead_s + compute +
+                           per_task_shuffle_read + per_task_shuffle_write;
+    double duration = nominal;
+    const bool straggles =
+        cost_model_.straggler_probability > 0.0 &&
+        straggler_rng.NextDouble() < cost_model_.straggler_probability;
+    if (straggles) {
+      duration = nominal * cost_model_.straggler_slowdown;
+      if (speculation_) {
+        // Spark flags the attempt once it runs well past the typical task
+        // duration; we model the speculative copy starting when the
+        // original would have finished unslowed, on the then-next free
+        // slot, and the attempt finishing first winning. The backup is
+        // assumed not to straggle (fresh executor).
+        const double flag_time = start + nominal;
+        const double backup_start = std::max(flag_time, free_at.top());
+        const double backup_end = backup_start + nominal;
+        duration = std::min(start + duration, backup_end) - start;
+        // The backup occupied the next-free slot until the race resolved.
+        if (backup_end <= start + nominal * cost_model_.straggler_slowdown) {
+          const double occupied_until = backup_end;
+          const double next_free = free_at.top();
+          free_at.pop();
+          free_at.push(std::max(next_free, occupied_until));
+        }
+      }
+    }
+    const double end = start + duration;
+    free_at.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan + cost_model_.stage_overhead_s;
+}
+
+MakespanReport VirtualScheduler::Simulate(const JobProfile& job) const {
+  MakespanReport report;
+  report.slots = topology_.TotalSlots();
+  report.total_s = cost_model_.job_overhead_s;
+  std::uint64_t stage_salt = 0;
+  for (const StageProfile& stage : job.stages) {
+    const double stage_time = SimulateStage(stage, stage_salt++);
+    report.stage_s.push_back(stage_time);
+    report.total_s += stage_time;
+    for (double compute : stage.task_compute_s) report.compute_s += compute;
+  }
+  // Overhead relative to the ideal (perfectly divisible work, no barriers).
+  report.overhead_s =
+      report.total_s - report.compute_s / std::max(1, report.slots);
+  return report;
+}
+
+}  // namespace ss::cluster

@@ -1,0 +1,75 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ss::core {
+namespace {
+
+std::string NameOf(const cluster::ClusterTopology& topology) {
+  std::ostringstream name;
+  name << topology.num_nodes << "n x " << topology.executors_per_node
+       << "e x " << topology.cores_per_executor << "c";
+  return name.str();
+}
+
+}  // namespace
+
+std::vector<cluster::ClusterTopology> StrongScalingCandidates(
+    const std::vector<int>& node_counts) {
+  std::vector<cluster::ClusterTopology> candidates;
+  candidates.reserve(node_counts.size());
+  for (int nodes : node_counts) {
+    candidates.push_back(cluster::EmrCluster(nodes));
+  }
+  return candidates;
+}
+
+std::vector<cluster::ClusterTopology> ContainerSweepCandidates() {
+  // Table VII: 36 nodes, 1M SNPs. Table VIII rows:
+  return {
+      cluster::ContainerConfig(36, 42, 10.0, 6),
+      cluster::ContainerConfig(36, 84, 5.0, 3),
+      cluster::ContainerConfig(36, 126, 3.0, 2),
+  };
+}
+
+bool IsPlaceable(const cluster::ClusterTopology& topology) {
+  cluster::ResourceManager rm(topology.instance, topology.num_nodes,
+                              cluster::ResourceCalculator::kMemoryOnly);
+  const cluster::ContainerRequest request{topology.memory_per_executor_gib,
+                                          topology.cores_per_executor};
+  return rm.AllocateMany(request, topology.TotalExecutors()).ok();
+}
+
+std::vector<TuningPoint> TuneAcross(
+    const engine::EngineContext& ctx,
+    const std::vector<cluster::ClusterTopology>& candidates) {
+  std::vector<TuningPoint> points;
+  points.reserve(candidates.size());
+  for (const cluster::ClusterTopology& topology : candidates) {
+    if (!IsPlaceable(topology)) continue;
+    TuningPoint point;
+    point.name = NameOf(topology);
+    point.topology = topology;
+    point.report = ctx.ReplayOn(topology);
+    points.push_back(std::move(point));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const TuningPoint& a, const TuningPoint& b) {
+              return a.report.total_s < b.report.total_s;
+            });
+  return points;
+}
+
+Result<TuningPoint> PickBest(
+    const engine::EngineContext& ctx,
+    const std::vector<cluster::ClusterTopology>& candidates) {
+  std::vector<TuningPoint> points = TuneAcross(ctx, candidates);
+  if (points.empty()) {
+    return Status::InvalidArgument("no placeable candidate topology");
+  }
+  return points.front();
+}
+
+}  // namespace ss::core

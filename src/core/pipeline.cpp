@@ -1,0 +1,356 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/record_traits.hpp"
+#include "engine/dataset_ops.hpp"
+#include "stats/resampling.hpp"
+#include "support/log.hpp"
+
+namespace ss::core {
+namespace {
+
+using engine::Dataset;
+using simdata::SnpRecord;
+
+/// Parses one genotype line inside a task; malformed input is a task
+/// failure (fails the job after retries rather than skewing results).
+SnpRecord ParseSnpRecordOrThrow(const std::string& line) {
+  Result<SnpRecord> record = simdata::ParseSnpRecord(line);
+  if (!record.ok()) {
+    throw engine::TaskFailure(record.status().ToString());
+  }
+  return std::move(record).value();
+}
+
+std::pair<std::uint32_t, double> ParseWeightSquaredOrThrow(
+    const std::string& line) {
+  Result<simdata::WeightRecord> record = simdata::ParseWeight(line);
+  if (!record.ok()) {
+    throw engine::TaskFailure(record.status().ToString());
+  }
+  // Step 2 emits (SNP j, ω_j²).
+  return {record.value().snp, record.value().weight * record.value().weight};
+}
+
+std::pair<std::uint32_t, double> ParseWeightOrThrow(const std::string& line) {
+  Result<simdata::WeightRecord> record = simdata::ParseWeight(line);
+  if (!record.ok()) {
+    throw engine::TaskFailure(record.status().ToString());
+  }
+  return {record.value().snp, record.value().weight};
+}
+
+/// snp -> list of containing set ids (step 11's aggregation map).
+std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> BuildSnpToSets(
+    const std::vector<stats::SnpSet>& sets) {
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> map;
+  for (const stats::SnpSet& set : sets) {
+    for (std::uint32_t snp : set.snps) {
+      map[snp].push_back(set.id);
+    }
+  }
+  return map;
+}
+
+/// Membership bitmap over 0..max_snp for the step-4 filter.
+std::vector<std::uint8_t> BuildMembership(
+    const std::vector<stats::SnpSet>& sets) {
+  std::uint32_t max_snp = 0;
+  for (const stats::SnpSet& set : sets) {
+    for (std::uint32_t snp : set.snps) max_snp = std::max(max_snp, snp);
+  }
+  std::vector<std::uint8_t> member(max_snp + 1, 0);
+  for (const stats::SnpSet& set : sets) {
+    for (std::uint32_t snp : set.snps) member[snp] = 1;
+  }
+  return member;
+}
+
+}  // namespace
+
+SkatPipeline::SkatPipeline(engine::EngineContext& ctx,
+                           const PipelineConfig& config,
+                           Dataset<SnpRecord> genotypes,
+                           stats::Phenotype phenotype,
+                           std::vector<double> weights,
+                           std::vector<stats::SnpSet> sets)
+    : ctx_(&ctx), config_(config), phenotype_(std::move(phenotype)),
+      sets_(std::move(sets)) {
+  SS_CHECK(!sets_.empty());
+
+  // Step 4: filter the genotype matrix to the union of all SNP-sets. The
+  // membership bitmap is broadcast (it is tiny relative to genotypes).
+  auto membership = engine::MakeBroadcast(ctx, BuildMembership(sets_));
+  fgm_ = genotypes.Filter([membership](const SnpRecord& record) {
+    return record.snp < membership->size() && (*membership)[record.snp] != 0;
+  });
+
+  // Step 2 result, from driver-side weights (in-memory construction path).
+  std::vector<std::pair<std::uint32_t, double>> weight_sq_pairs;
+  std::vector<std::pair<std::uint32_t, double>> weight_pairs;
+  weight_sq_pairs.reserve(weights.size());
+  weight_pairs.reserve(weights.size());
+  for (std::uint32_t j = 0; j < weights.size(); ++j) {
+    weight_sq_pairs.push_back({j, weights[j] * weights[j]});
+    weight_pairs.push_back({j, weights[j]});
+  }
+  weights_sq_ =
+      engine::Parallelize(ctx, weight_sq_pairs, config_.num_partitions);
+  weights_ = engine::Parallelize(ctx, weight_pairs, config_.num_partitions);
+
+  snp_to_sets_ = engine::MakeBroadcast(ctx, BuildSnpToSets(sets_));
+}
+
+Result<SkatPipeline> SkatPipeline::Open(engine::EngineContext& ctx,
+                                        const simdata::StudyPaths& paths,
+                                        const PipelineConfig& config) {
+  SS_CHECK(ctx.dfs() != nullptr);
+
+  // Phenotype: small, read whole on the driver then broadcast (step 5).
+  // The file's "#model" header selects Cox/Gaussian/Binomial.
+  Result<std::vector<std::string>> phenotype_lines =
+      ctx.dfs()->ReadTextFile(paths.phenotype);
+  if (!phenotype_lines.ok()) return phenotype_lines.status();
+  Result<stats::Phenotype> phenotype =
+      simdata::ParsePhenotypeFile(phenotype_lines.value());
+  if (!phenotype.ok()) return phenotype.status();
+
+  // SNP-sets: also small and driver-resident.
+  Result<std::vector<std::string>> set_lines =
+      ctx.dfs()->ReadTextFile(paths.snp_sets);
+  if (!set_lines.ok()) return set_lines.status();
+  std::vector<stats::SnpSet> sets;
+  sets.reserve(set_lines.value().size());
+  for (const std::string& line : set_lines.value()) {
+    Result<stats::SnpSet> set = simdata::ParseSnpSet(line);
+    if (!set.ok()) return set.status();
+    sets.push_back(std::move(set).value());
+  }
+
+  // Weights: distributed parse (step 2). Note: unlike the in-memory
+  // constructor we keep them as a dataset end-to-end.
+  Dataset<std::string> weight_lines = engine::TextFile(ctx, paths.weights);
+  Dataset<std::pair<std::uint32_t, double>> weights_sq =
+      weight_lines.Map(ParseWeightSquaredOrThrow);
+  Dataset<std::pair<std::uint32_t, double>> weights_unsquared =
+      weight_lines.Map(ParseWeightOrThrow);
+
+  // Genotype matrix: distributed parse (step 3), one partition per block.
+  Dataset<SnpRecord> genotypes =
+      engine::TextFile(ctx, paths.genotypes).Map(ParseSnpRecordOrThrow);
+
+  SkatPipeline pipeline(ctx, config, genotypes, std::move(phenotype).value(),
+                        /*weights=*/{}, sets);
+  pipeline.weights_sq_ = weights_sq;  // replace the (empty) in-memory weights
+  pipeline.weights_ = weights_unsquared;
+  // The staged file's model is authoritative.
+  pipeline.config_.model = pipeline.phenotype_.model;
+  return pipeline;
+}
+
+SkatPipeline SkatPipeline::FromMemory(engine::EngineContext& ctx,
+                                      const simdata::SyntheticDataset& dataset,
+                                      const PipelineConfig& config) {
+  std::vector<SnpRecord> records;
+  records.reserve(dataset.genotypes.num_snps());
+  for (std::uint32_t j = 0; j < dataset.genotypes.num_snps(); ++j) {
+    records.push_back({j, dataset.genotypes.by_snp[j]});
+  }
+  Dataset<SnpRecord> genotypes =
+      engine::Parallelize(ctx, records, config.num_partitions);
+  return SkatPipeline(ctx, config, genotypes,
+                      stats::Phenotype::Cox(dataset.survival),
+                      dataset.weights, dataset.sets);
+}
+
+Dataset<std::pair<std::uint32_t, std::vector<double>>> SkatPipeline::BuildU(
+    const engine::Broadcast<stats::ScoreEngine>& engine) const {
+  // Steps 6-7: per-SNP contributions under the broadcast phenotype.
+  return fgm_.Map([engine](const SnpRecord& record) {
+    return std::pair<std::uint32_t, std::vector<double>>(
+        record.snp, engine->Contributions(record.genotypes));
+  });
+}
+
+SetScores SkatPipeline::SetScoresFromInnerSigma(
+    const Dataset<std::pair<std::uint32_t, double>>& inner_sigma) const {
+  // Step 9: join with squared weights. Step 10: per-SNP score.
+  auto joined = engine::Join(weights_sq_, inner_sigma, config_.num_reducers);
+  auto snp_scores =
+      joined.Map([](const std::pair<std::uint32_t, std::pair<double, double>>&
+                        record) {
+        return std::pair<std::uint32_t, double>(
+            record.first, record.second.first * record.second.second);
+      });
+
+  // Steps 11-12: scatter each SNP's score to its containing sets and sum.
+  auto map = snp_to_sets_;
+  auto set_contributions = snp_scores.FlatMap(
+      [map](const std::pair<std::uint32_t, double>& record) {
+        std::vector<std::pair<std::uint32_t, double>> out;
+        auto it = map->find(record.first);
+        if (it != map->end()) {
+          out.reserve(it->second.size());
+          for (std::uint32_t set_id : it->second) {
+            out.push_back({set_id, record.second});
+          }
+        }
+        return out;
+      });
+  auto set_scores = engine::ReduceByKey(
+      set_contributions, [](double a, double b) { return a + b; },
+      config_.num_reducers);
+  SetScores observed = engine::CollectAsMap(set_scores, "collect-set-scores");
+  // Sets none of whose SNPs survived filtering score 0.
+  for (const stats::SnpSet& set : sets_) {
+    observed.try_emplace(set.id, 0.0);
+  }
+  return observed;
+}
+
+SetScores SkatPipeline::SetScoresFromU(
+    const Dataset<std::pair<std::uint32_t, std::vector<double>>>& u) const {
+  // Step 8: U_j² = (Σ_i U_ij)².
+  auto inner_sigma = u.Map(
+      [](const std::pair<std::uint32_t, std::vector<double>>& record) {
+        double total = 0.0;
+        for (double contribution : record.second) total += contribution;
+        return std::pair<std::uint32_t, double>(record.first, total * total);
+      });
+  return SetScoresFromInnerSigma(inner_sigma);
+}
+
+void SkatPipeline::EnsureUBuilt() {
+  if (u_built_) return;
+  auto engine_bcast = engine::MakeBroadcast(
+      *ctx_, stats::ScoreEngine(phenotype_, config_.paper_faithful_scores));
+  u_observed_ = BuildU(engine_bcast);
+  if (!config_.checkpoint_contributions_path.empty() &&
+      ctx_->dfs() != nullptr) {
+    // Persist U to the DFS and continue from the truncated-lineage
+    // dataset; a node failure now re-reads replicated blocks instead of
+    // recomputing scores from the genotype inputs.
+    auto checkpointed = engine::Checkpoint(
+        u_observed_, config_.checkpoint_contributions_path);
+    if (checkpointed.ok()) {
+      u_observed_ = std::move(checkpointed).value();
+    } else {
+      SS_LOG(kWarn, "sparkscore")
+          << "U checkpoint failed (" << checkpointed.status().ToString()
+          << "); continuing with lineage recovery";
+    }
+  }
+  if (config_.cache_contributions) {
+    u_observed_.Cache();  // Algorithm 3 step 2
+  }
+  u_built_ = true;
+}
+
+SetScores SkatPipeline::ComputeObserved() {
+  EnsureUBuilt();
+  return SetScoresFromU(u_observed_);
+}
+
+std::unordered_map<std::uint32_t, std::pair<double, double>>
+SkatPipeline::SkatBurdenFromScores(
+    const Dataset<std::pair<std::uint32_t, double>>& scores) const {
+  // Join the signed per-SNP scores with the unsquared weights, then
+  // accumulate (ω²U², ωU) per set; burden = (Σ ωU)² on the driver.
+  auto joined = engine::Join(weights_, scores, config_.num_reducers);
+  auto map = snp_to_sets_;
+  using PairStat = std::pair<double, double>;  // (Σ ω²U², Σ ωU)
+  auto set_contributions = joined.FlatMap(
+      [map](const std::pair<std::uint32_t, std::pair<double, double>>& record) {
+        const double w = record.second.first;
+        const double u = record.second.second;
+        std::vector<std::pair<std::uint32_t, PairStat>> out;
+        auto it = map->find(record.first);
+        if (it != map->end()) {
+          out.reserve(it->second.size());
+          for (std::uint32_t set_id : it->second) {
+            out.push_back({set_id, {w * w * u * u, w * u}});
+          }
+        }
+        return out;
+      });
+  auto per_set = engine::ReduceByKey(
+      set_contributions,
+      [](const PairStat& a, const PairStat& b) {
+        return PairStat{a.first + b.first, a.second + b.second};
+      },
+      config_.num_reducers);
+  auto collected = engine::CollectAsMap(per_set, "collect-skat-burden");
+  std::unordered_map<std::uint32_t, std::pair<double, double>> result;
+  for (const auto& [set_id, pair] : collected) {
+    // Second component becomes the burden statistic (square of Σ ωU).
+    result[set_id] = {pair.first, pair.second * pair.second};
+  }
+  for (const stats::SnpSet& set : sets_) {
+    result.try_emplace(set.id, std::pair<double, double>{0.0, 0.0});
+  }
+  return result;
+}
+
+std::unordered_map<std::uint32_t, std::pair<double, double>>
+SkatPipeline::ComputeObservedSkatBurden() {
+  EnsureUBuilt();
+  auto scores = u_observed_.Map(
+      [](const std::pair<std::uint32_t, std::vector<double>>& record) {
+        double total = 0.0;
+        for (double contribution : record.second) total += contribution;
+        return std::pair<std::uint32_t, double>(record.first, total);
+      });
+  return SkatBurdenFromScores(scores);
+}
+
+std::unordered_map<std::uint32_t, std::pair<double, double>>
+SkatPipeline::ComputeMonteCarloSkatBurdenReplicate(
+    const std::vector<double>& multipliers) {
+  SS_CHECK(u_built_);
+  SS_CHECK(multipliers.size() == n());
+  auto z = engine::MakeBroadcast(*ctx_, multipliers);
+  auto scores = u_observed_.Map(
+      [z](const std::pair<std::uint32_t, std::vector<double>>& record) {
+        double total = 0.0;
+        const std::vector<double>& multiplier = *z;
+        for (std::size_t i = 0; i < record.second.size(); ++i) {
+          total += multiplier[i] * record.second[i];
+        }
+        return std::pair<std::uint32_t, double>(record.first, total);
+      });
+  return SkatBurdenFromScores(scores);
+}
+
+SetScores SkatPipeline::ComputeMonteCarloReplicate(
+    const std::vector<double>& multipliers) {
+  SS_CHECK(u_built_);  // ComputeObserved must run first (Algorithm 3 step 1)
+  SS_CHECK(multipliers.size() == n());
+  auto z = engine::MakeBroadcast(*ctx_, multipliers);
+  // Algorithm 3's modification of step 8: Ũ_j = Σ_i Z_i U_ij, squared.
+  auto inner_sigma = u_observed_.Map(
+      [z](const std::pair<std::uint32_t, std::vector<double>>& record) {
+        double total = 0.0;
+        const std::vector<double>& multiplier = *z;
+        for (std::size_t i = 0; i < record.second.size(); ++i) {
+          total += multiplier[i] * record.second[i];
+        }
+        return std::pair<std::uint32_t, double>(record.first, total * total);
+      });
+  return SetScoresFromInnerSigma(inner_sigma);
+}
+
+SetScores SkatPipeline::ComputePermutationReplicate(
+    const std::vector<std::uint32_t>& perm) {
+  // Algorithm 2: rebroadcast a permuted phenotype and rerun steps 6-12.
+  auto engine_bcast = engine::MakeBroadcast(
+      *ctx_, stats::ScoreEngine(phenotype_.Permuted(perm),
+                                config_.paper_faithful_scores));
+  return SetScoresFromU(BuildU(engine_bcast));
+}
+
+void SkatPipeline::UnpersistContributions() {
+  if (u_built_) u_observed_.Unpersist();
+}
+
+}  // namespace ss::core

@@ -1,0 +1,166 @@
+// Algorithm 1: the SKAT dataflow on the minispark engine.
+//
+// Pipeline stages, numbered as in the paper:
+//   1.  read input text files from the (mini-)DFS;
+//   2.  Weights RDD:   line -> (SNP j, ω_j²);
+//   3.  GM RDD:        line -> (SNP j, [G_1j ... G_nj]);
+//   4.  FGM RDD:       filter GM to the union of all SNP-sets;
+//   5.  broadcast the phenotype pairs (wrapped in a ScoreEngine that also
+//       carries the SNP-invariant b_i risk counts) to all nodes;
+//   6-7. U RDD:        (SNP j, [U_1j ... U_nj]);
+//   8.  InnerSigma:    (SNP j, U_j²) with U_j = Σ_i U_ij;
+//   9.  Join:          Weights ⋈ InnerSigma on SNP;
+//   10. SNP score:     (SNP j, ω_j² U_j²);
+//   11-12. per-set aggregation: S_k = Σ_{j∈I_k} score_j, returned as the
+//       HashMap (SNP-set -> S_k).
+//
+// The U RDD is exposed so Algorithm 3 can cache and reuse it; Algorithm 2
+// instead re-executes steps 6-12 per replicate with a permuted phenotype.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/broadcast.hpp"
+#include "engine/dataset.hpp"
+#include "simdata/dfs_writer.hpp"
+#include "simdata/generator.hpp"
+#include "simdata/text_format.hpp"
+#include "stats/score_engine.hpp"
+#include "stats/skat.hpp"
+#include "support/status.hpp"
+
+namespace ss::core {
+
+/// Per-set observed statistics, keyed by set id (the paper's "HashMap").
+using SetScores = std::unordered_map<std::uint32_t, double>;
+
+struct PipelineConfig {
+  stats::ScoreModel model = stats::ScoreModel::kCox;
+
+  /// Reduce partitions for the joins/aggregations (spark.default.parallelism).
+  std::uint32_t num_reducers = 8;
+
+  /// Partitions for in-memory genotype sources (DFS sources use one
+  /// partition per block instead).
+  std::uint32_t num_partitions = 8;
+
+  /// Cache the U RDD (prerequisite of Algorithm 3; Experiment B ablates it).
+  bool cache_contributions = true;
+
+  /// Evaluate Cox contributions with the paper's per-patient formulation
+  /// (O(n²) per SNP) instead of this library's O(n) risk-set path. Same
+  /// values; reproduces the paper's cost regime. The timing benches set
+  /// this; see stats/score_engine.hpp.
+  bool paper_faithful_scores = false;
+
+  /// When non-empty (and the context has a DFS), the observed U RDD is
+  /// checkpointed to this DFS path after its first materialization,
+  /// truncating its lineage: replicates then read the replicated
+  /// checkpoint instead of recomputing from the genotype inputs after a
+  /// failure — the right trade for very long resampling chains.
+  std::string checkpoint_contributions_path;
+
+  /// Seed for the resampling plans layered on top (Algorithms 2/3).
+  std::uint64_t seed = 2016;
+};
+
+class SkatPipeline {
+ public:
+  /// Opens a study staged in the context's MiniDfs (Algorithm 1 steps 1-5).
+  /// The phenotype and SNP-sets are small and driver-resident (as in the
+  /// paper, which broadcasts the former and holds the latter in the
+  /// closure); genotypes and weights stay distributed.
+  static Result<SkatPipeline> Open(engine::EngineContext& ctx,
+                                   const simdata::StudyPaths& paths,
+                                   const PipelineConfig& config);
+
+  /// Builds the same pipeline from an in-memory dataset (tests, examples).
+  static SkatPipeline FromMemory(engine::EngineContext& ctx,
+                                 const simdata::SyntheticDataset& dataset,
+                                 const PipelineConfig& config);
+
+  /// Builds from parts: a genotype dataset plus driver-side phenotype,
+  /// weights and sets (the extension point for custom studies).
+  SkatPipeline(engine::EngineContext& ctx, const PipelineConfig& config,
+               engine::Dataset<simdata::SnpRecord> genotypes,
+               stats::Phenotype phenotype, std::vector<double> weights,
+               std::vector<stats::SnpSet> sets);
+
+  /// Steps 6-12 with the observed phenotype: S_k⁰ per set. The first call
+  /// materializes (and, if configured, caches) the U RDD.
+  SetScores ComputeObserved();
+
+  /// Steps 8-12 reusing the (cached) observed U RDD with Monte Carlo
+  /// multipliers z (Algorithm 3's modified step 8): S̃_k per set.
+  SetScores ComputeMonteCarloReplicate(const std::vector<double>& multipliers);
+
+  /// Per-set (SKAT, burden) statistic pair, for the SKAT-O combination:
+  /// SKAT = Σ ω²U², burden = (Σ ωU)². Observed phenotype; materializes
+  /// the U RDD like ComputeObserved.
+  std::unordered_map<std::uint32_t, std::pair<double, double>>
+  ComputeObservedSkatBurden();
+
+  /// The same pair under Monte Carlo multipliers (cached U reuse).
+  std::unordered_map<std::uint32_t, std::pair<double, double>>
+  ComputeMonteCarloSkatBurdenReplicate(const std::vector<double>& multipliers);
+
+  /// Steps 6-12 from scratch under a permuted phenotype (Algorithm 2).
+  SetScores ComputePermutationReplicate(const std::vector<std::uint32_t>& perm);
+
+  const PipelineConfig& config() const { return config_; }
+  const stats::Phenotype& phenotype() const { return phenotype_; }
+  const std::vector<stats::SnpSet>& sets() const { return sets_; }
+  engine::EngineContext& context() { return *ctx_; }
+
+  /// Number of patients.
+  std::size_t n() const { return phenotype_.n(); }
+
+  /// Drops the cached U RDD (between bench configurations).
+  void UnpersistContributions();
+
+ private:
+  /// (SNP, per-patient contributions) under `engine` — steps 6-7.
+  engine::Dataset<std::pair<std::uint32_t, std::vector<double>>> BuildU(
+      const engine::Broadcast<stats::ScoreEngine>& engine) const;
+
+  /// Steps 8-12 from a U dataset: aggregate to per-set scores.
+  SetScores SetScoresFromU(
+      const engine::Dataset<std::pair<std::uint32_t, std::vector<double>>>& u)
+      const;
+
+  /// Steps 9-12 from per-SNP squared marginal scores.
+  SetScores SetScoresFromInnerSigma(
+      const engine::Dataset<std::pair<std::uint32_t, double>>& inner_sigma)
+      const;
+
+  /// Per-set (Σ ω²U², Σ ωU) accumulation from per-SNP signed scores; the
+  /// SKAT-O building block (burden = square of the second component).
+  std::unordered_map<std::uint32_t, std::pair<double, double>>
+  SkatBurdenFromScores(
+      const engine::Dataset<std::pair<std::uint32_t, double>>& scores) const;
+
+  /// Materializes the U RDD if needed (shared by all observed paths).
+  void EnsureUBuilt();
+
+  engine::EngineContext* ctx_ = nullptr;
+  PipelineConfig config_;
+
+  engine::Dataset<simdata::SnpRecord> fgm_;  ///< Filtered genotype RDD (step 4).
+  engine::Dataset<std::pair<std::uint32_t, double>> weights_sq_;  ///< Step 2.
+  engine::Dataset<std::pair<std::uint32_t, double>> weights_;  ///< Unsquared ω (SKAT-O path).
+  stats::Phenotype phenotype_;
+  std::vector<stats::SnpSet> sets_;
+
+  /// snp -> ids of sets containing it (broadcast for step 11).
+  engine::Broadcast<std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>>
+      snp_to_sets_;
+
+  /// Observed-phenotype U RDD, kept so Algorithm 3 reuses it.
+  engine::Dataset<std::pair<std::uint32_t, std::vector<double>>> u_observed_;
+  bool u_built_ = false;
+};
+
+}  // namespace ss::core

@@ -1,0 +1,61 @@
+// ApproxBytes specializations for the record types SparkScore moves
+// through the engine (cache accounting and shuffle/broadcast metering).
+// Must be included before any Dataset<...> of these types is instantiated;
+// pipeline.hpp does so.
+#pragma once
+
+#include <unordered_map>
+
+#include "engine/approx_bytes.hpp"
+#include "engine/codec.hpp"
+#include "simdata/text_format.hpp"
+#include "stats/score_engine.hpp"
+
+namespace ss::engine::internal {
+
+template <>
+struct ApproxBytesImpl<ss::simdata::SnpRecord> {
+  static std::size_t Of(const ss::simdata::SnpRecord& record) {
+    return sizeof(record.snp) + ApproxBytesOf(record.genotypes);
+  }
+};
+
+template <>
+struct ApproxBytesImpl<ss::stats::Phenotype> {
+  static std::size_t Of(const ss::stats::Phenotype& phenotype) {
+    // Each patient carries one double plus one byte in whichever arm of
+    // the union is active.
+    return phenotype.n() * (sizeof(double) + 1) + sizeof(phenotype);
+  }
+};
+
+template <>
+struct ApproxBytesImpl<ss::stats::ScoreEngine> {
+  static std::size_t Of(const ss::stats::ScoreEngine& engine) {
+    // Phenotype plus the Cox risk-set index (two u32 per patient).
+    return ApproxBytesOf(engine.phenotype()) +
+           engine.n() * 2 * sizeof(std::uint32_t);
+  }
+};
+
+}  // namespace ss::engine::internal
+
+namespace ss::engine {
+
+/// Checkpoint serialization for genotype records.
+template <>
+struct Codec<ss::simdata::SnpRecord> {
+  static void Encode(BinaryWriter& writer,
+                     const ss::simdata::SnpRecord& record) {
+    writer.WriteU32(record.snp);
+    writer.WritePodVector(record.genotypes);
+  }
+  static ss::simdata::SnpRecord Decode(BinaryReader& reader) {
+    ss::simdata::SnpRecord record;
+    record.snp = reader.ReadU32();
+    record.genotypes = reader.ReadPodVector<std::uint8_t>();
+    return record;
+  }
+};
+
+}  // namespace ss::engine

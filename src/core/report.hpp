@@ -1,0 +1,28 @@
+// Human-readable reporting of analysis results (examples and benches).
+#pragma once
+
+#include <string>
+
+#include "core/resampling_methods.hpp"
+#include "dfs/dfs.hpp"
+
+namespace ss::core {
+
+/// Renders the top `top_k` SNP-sets by p-value as an ASCII table.
+std::string FormatTopHits(const ResamplingResult& result, std::size_t top_k);
+
+/// One-line summary: replicates, sets, smallest p-value.
+std::string SummarizeResult(const ResamplingResult& result);
+
+/// Persists a result to the DFS as a text file with one
+/// "set observed exceed replicates pvalue" line per SNP-set, sorted by
+/// ascending p-value — the artifact a downstream pipeline would consume.
+Status WriteResultToDfs(const ResamplingResult& result, dfs::MiniDfs& dfs,
+                        const std::string& path);
+
+/// Reads back a result file written by WriteResultToDfs (p-values are
+/// recomputed from the counters, so the round trip is exact).
+Result<ResamplingResult> ReadResultFromDfs(const dfs::MiniDfs& dfs,
+                                           const std::string& path);
+
+}  // namespace ss::core

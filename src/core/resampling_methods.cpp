@@ -1,0 +1,149 @@
+#include "core/resampling_methods.hpp"
+
+#include <algorithm>
+
+#include "stats/burden.hpp"
+#include "stats/pvalue.hpp"
+#include "stats/resampling.hpp"
+#include "support/log.hpp"
+
+namespace ss::core {
+namespace {
+
+/// counter_k update shared by both algorithms: compare a replicate's
+/// scores against the observed ones.
+void CountExceedances(const SetScores& observed, const SetScores& replicate,
+                      std::unordered_map<std::uint32_t, std::uint64_t>* exceed) {
+  for (const auto& [set_id, observed_score] : observed) {
+    auto it = replicate.find(set_id);
+    const double replicate_score = it == replicate.end() ? 0.0 : it->second;
+    if (replicate_score >= observed_score) ++(*exceed)[set_id];
+  }
+}
+
+void InitCounters(const SetScores& observed,
+                  std::unordered_map<std::uint32_t, std::uint64_t>* exceed) {
+  for (const auto& [set_id, score] : observed) (*exceed)[set_id] = 0;
+}
+
+}  // namespace
+
+double ResamplingResult::PValue(std::uint32_t set_id) const {
+  auto it = exceed.find(set_id);
+  const std::uint64_t count = it == exceed.end() ? replicates : it->second;
+  return stats::EmpiricalPValue(count, replicates);
+}
+
+std::vector<std::pair<std::uint32_t, double>> ResamplingResult::RankedPValues()
+    const {
+  std::vector<std::pair<std::uint32_t, double>> ranked;
+  ranked.reserve(observed.size());
+  for (const auto& [set_id, score] : observed) {
+    ranked.push_back({set_id, PValue(set_id)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.second < b.second ||
+                     (a.second == b.second && a.first < b.first);
+            });
+  return ranked;
+}
+
+ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
+                                      std::uint64_t replicates,
+                                      const ReplicateCallback& on_replicate) {
+  ResamplingResult result;
+  result.observed = pipeline.ComputeObserved();
+  result.replicates = replicates;
+  InitCounters(result.observed, &result.exceed);
+
+  // Algorithm 2 step 2: all B shufflings are derived from the seed up
+  // front, so replicate b is reproducible in isolation.
+  const stats::PermutationPlan plan(pipeline.config().seed, pipeline.n(),
+                                    replicates);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    const SetScores replicate =
+        pipeline.ComputePermutationReplicate(plan.Get(b));
+    CountExceedances(result.observed, replicate, &result.exceed);
+    if (on_replicate) on_replicate(b);
+  }
+  return result;
+}
+
+std::vector<std::pair<std::uint32_t, double>> SkatOResult::RankedPValues()
+    const {
+  std::vector<std::pair<std::uint32_t, double>> ranked;
+  ranked.reserve(by_set.size());
+  for (const auto& [set_id, per_set] : by_set) {
+    ranked.push_back({set_id, per_set.pvalue});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second < b.second || (a.second == b.second && a.first < b.first);
+  });
+  return ranked;
+}
+
+SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
+                           const ReplicateCallback& on_replicate) {
+  const std::vector<double> rho_grid = stats::SkatORhoGrid();
+
+  // Observed (SKAT, burden) pair and grid per set.
+  const auto observed = pipeline.ComputeObservedSkatBurden();
+  std::unordered_map<std::uint32_t, std::vector<double>> observed_grids;
+  SkatOResult result;
+  result.replicates = replicates;
+  for (const auto& [set_id, pair] : observed) {
+    SkatOResult::PerSet per_set;
+    per_set.skat = pair.first;
+    per_set.burden = pair.second;
+    result.by_set[set_id] = per_set;
+    observed_grids[set_id] =
+        stats::SkatOGridStatistics(pair.second, pair.first, rho_grid);
+  }
+
+  // Replicate grids, from the cached U RDD.
+  std::unordered_map<std::uint32_t, std::vector<std::vector<double>>>
+      replicate_grids;
+  const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
+                                         replicates);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    const auto replicate =
+        pipeline.ComputeMonteCarloSkatBurdenReplicate(weights.Get(b));
+    for (const auto& [set_id, pair] : replicate) {
+      replicate_grids[set_id].push_back(
+          stats::SkatOGridStatistics(pair.second, pair.first, rho_grid));
+    }
+    if (on_replicate) on_replicate(b);
+  }
+
+  // Min-p combination per set.
+  for (auto& [set_id, per_set] : result.by_set) {
+    auto grids_it = replicate_grids.find(set_id);
+    if (grids_it == replicate_grids.end()) continue;
+    per_set.pvalue =
+        stats::SkatOPValue(observed_grids.at(set_id), grids_it->second);
+  }
+  return result;
+}
+
+ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
+                                     std::uint64_t replicates,
+                                     const ReplicateCallback& on_replicate) {
+  ResamplingResult result;
+  result.observed = pipeline.ComputeObserved();
+  result.replicates = replicates;
+  InitCounters(result.observed, &result.exceed);
+
+  // Algorithm 3 step 3: B x n multipliers from the seed.
+  const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
+                                         replicates);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    const SetScores replicate =
+        pipeline.ComputeMonteCarloReplicate(weights.Get(b));
+    CountExceedances(result.observed, replicate, &result.exceed);
+    if (on_replicate) on_replicate(b);
+  }
+  return result;
+}
+
+}  // namespace ss::core

@@ -1,0 +1,73 @@
+// Algorithms 2 and 3: resampling inference drivers over the SkatPipeline.
+//
+// Both compute the observed scores S_k⁰ first, then run B replicates and
+// count, per SNP-set, how many replicate statistics S_k^b meet or exceed
+// S_k⁰ (the paper's counter_k). The empirical p-value follows directly.
+//
+//   * PermutationMethod — Algorithm 2: each replicate shuffles the
+//     phenotype pairs and re-executes the full pipeline (steps 6-12).
+//   * MonteCarloMethod — Algorithm 3: replicates reuse the cached observed
+//     U RDD with fresh N(0,1) multipliers; only steps 8-12 re-execute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace ss::core {
+
+/// Result of a resampling run, keyed by SNP-set id.
+struct ResamplingResult {
+  SetScores observed;                                      ///< S_k⁰.
+  std::unordered_map<std::uint32_t, std::uint64_t> exceed; ///< counter_k.
+  std::uint64_t replicates = 0;                            ///< B.
+
+  /// Empirical p-value (c+1)/(B+1) for one set.
+  double PValue(std::uint32_t set_id) const;
+
+  /// (set id, p-value) sorted ascending by p-value.
+  std::vector<std::pair<std::uint32_t, double>> RankedPValues() const;
+};
+
+/// Progress hook invoked after each replicate (benches time sub-ranges).
+using ReplicateCallback = std::function<void(std::uint64_t b)>;
+
+/// Algorithm 2. `replicates` == 0 computes only the observed statistics.
+ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
+                                      std::uint64_t replicates,
+                                      const ReplicateCallback& on_replicate = {});
+
+/// Algorithm 3. Requires pipeline.config().cache_contributions for the
+/// cached-U fast path; without it the U lineage is recomputed per
+/// replicate (the paper's "w/o caching" configuration in Experiment B).
+ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
+                                     std::uint64_t replicates,
+                                     const ReplicateCallback& on_replicate = {});
+
+/// SKAT-O extension (Lee et al., the paper's [17]): per set, the optimal
+/// ρ-combination of the SKAT and burden statistics, with the min-p
+/// combination assessed over the same Monte Carlo replicate pool.
+struct SkatOResult {
+  /// Per set id: observed SKAT, observed burden, combined p-value.
+  struct PerSet {
+    double skat = 0.0;
+    double burden = 0.0;
+    double pvalue = 1.0;
+  };
+  std::unordered_map<std::uint32_t, PerSet> by_set;
+  std::uint64_t replicates = 0;
+
+  /// (set id, p-value) sorted ascending.
+  std::vector<std::pair<std::uint32_t, double>> RankedPValues() const;
+};
+
+/// Runs the SKAT-O analysis with B Monte Carlo replicates. Note the
+/// min-p evaluation is O(B²·|grid|) per set on the driver, so B in the
+/// hundreds is the practical range (as in the SKAT-O literature).
+SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
+                           const ReplicateCallback& on_replicate = {});
+
+}  // namespace ss::core

@@ -1,0 +1,115 @@
+#include "core/variant_scan.hpp"
+
+#include <algorithm>
+
+#include "core/record_traits.hpp"
+#include "engine/broadcast.hpp"
+#include "stats/distributions_math.hpp"
+#include "stats/pvalue.hpp"
+#include "stats/resampling.hpp"
+
+namespace ss::core {
+
+double VariantScanResult::EmpiricalP(std::uint32_t snp) const {
+  auto it = exceed.find(snp);
+  const std::uint64_t count = it == exceed.end() ? replicates : it->second;
+  return stats::EmpiricalPValue(count, replicates);
+}
+
+double VariantScanResult::MaxTAdjustedP(std::uint32_t snp) const {
+  auto it = by_snp.find(snp);
+  if (it == by_snp.end() || replicate_max.empty()) return 1.0;
+  std::size_t count = 0;
+  for (double max_stat : replicate_max) {
+    if (max_stat >= it->second.statistic) ++count;
+  }
+  return static_cast<double>(count + 1) /
+         static_cast<double>(replicate_max.size() + 1);
+}
+
+std::vector<std::uint32_t> VariantScanResult::RankedByAsymptoticP() const {
+  std::vector<std::uint32_t> snps;
+  snps.reserve(by_snp.size());
+  for (const auto& [snp, stats_j] : by_snp) snps.push_back(snp);
+  std::sort(snps.begin(), snps.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double pa = by_snp.at(a).asymptotic_p;
+    const double pb = by_snp.at(b).asymptotic_p;
+    return pa < pb || (pa == pb && a < b);
+  });
+  return snps;
+}
+
+VariantScanResult RunVariantScan(
+    engine::EngineContext& ctx,
+    const engine::Dataset<simdata::SnpRecord>& genotypes,
+    const stats::Phenotype& phenotype, const VariantScanConfig& config) {
+  using Contribution = std::pair<std::uint32_t, std::vector<double>>;
+
+  // Steps 5-7 of Algorithm 1: broadcast the phenotype (as a ScoreEngine)
+  // and build the cached contributions RDD.
+  auto engine_bcast = engine::MakeBroadcast(
+      ctx, stats::ScoreEngine(phenotype, config.paper_faithful_scores));
+  auto u = genotypes.Map([engine_bcast](const simdata::SnpRecord& record) {
+    return Contribution(record.snp, engine_bcast->Contributions(record.genotypes));
+  });
+  u.Cache();
+
+  // Observed per-SNP statistics.
+  VariantScanResult result;
+  result.replicates = config.replicates;
+  auto observed = u.Map([](const Contribution& record) {
+    double score = 0.0;
+    double variance = 0.0;
+    for (double contribution : record.second) {
+      score += contribution;
+      variance += contribution * contribution;
+    }
+    return std::pair<std::uint32_t, std::pair<double, double>>(
+        record.first, {score, variance});
+  });
+  for (const auto& [snp, sv] : observed.Collect("variant-observed")) {
+    VariantStats stats_j;
+    stats_j.score = sv.first;
+    stats_j.variance = sv.second;
+    stats_j.statistic =
+        sv.second > 0.0 ? sv.first * sv.first / sv.second : 0.0;
+    stats_j.asymptotic_p = stats::ScoreTestPValue(sv.first, sv.second);
+    result.by_snp[snp] = stats_j;
+    result.exceed[snp] = 0;
+  }
+
+  // Monte Carlo replicates over the cached U RDD: per replicate, the
+  // standardized statistic T̃_j = (Σ Z_i U_ij)²/V_j per SNP, plus the
+  // per-partition max for the Westfall-Young family-wise adjustment.
+  const stats::MonteCarloWeights weights(config.seed, phenotype.n(),
+                                         config.replicates);
+  result.replicate_max.reserve(config.replicates);
+  for (std::uint64_t b = 0; b < config.replicates; ++b) {
+    auto z = engine::MakeBroadcast(ctx, weights.Get(b));
+    auto replicate_stats = u.Map([z](const Contribution& record) {
+      double resampled = 0.0;
+      double variance = 0.0;
+      const std::vector<double>& multiplier = *z;
+      for (std::size_t i = 0; i < record.second.size(); ++i) {
+        resampled += multiplier[i] * record.second[i];
+        variance += record.second[i] * record.second[i];
+      }
+      const double statistic =
+          variance > 0.0 ? resampled * resampled / variance : 0.0;
+      return std::pair<std::uint32_t, double>(record.first, statistic);
+    });
+    double replicate_max = 0.0;
+    for (const auto& [snp, statistic] :
+         replicate_stats.Collect("variant-replicate")) {
+      auto it = result.by_snp.find(snp);
+      if (it != result.by_snp.end() && statistic >= it->second.statistic) {
+        ++result.exceed[snp];
+      }
+      replicate_max = std::max(replicate_max, statistic);
+    }
+    result.replicate_max.push_back(replicate_max);
+  }
+  return result;
+}
+
+}  // namespace ss::core

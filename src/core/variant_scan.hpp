@@ -1,0 +1,63 @@
+// Variant-by-variant analysis — the first of the two GWAS analysis
+// categories in the paper's introduction ("studying the effect of single
+// variants with respect to a phenotype"), run on the same engine dataflow
+// as the SNP-set pipeline.
+//
+// Per SNP j the scan reports:
+//   * the marginal score U_j and its null variance V_j = Σ_i U_ij²;
+//   * the asymptotic p-value P(χ²(1) >= U_j²/V_j);
+//   * the Monte Carlo empirical p-value over B multiplier replicates
+//     (reusing the cached U RDD exactly as Algorithm 3 does); and
+//   * the Westfall-Young single-step maxT family-wise adjusted p-value,
+//     whose per-replicate max is reduced tree-style on the cluster.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/dataset.hpp"
+#include "simdata/text_format.hpp"
+#include "stats/score_engine.hpp"
+#include "support/status.hpp"
+
+namespace ss::core {
+
+struct VariantScanConfig {
+  std::uint64_t seed = 2016;
+  std::uint64_t replicates = 100;  ///< B Monte Carlo replicates.
+  std::uint32_t num_partitions = 8;
+  bool paper_faithful_scores = false;
+};
+
+/// Per-SNP observed quantities.
+struct VariantStats {
+  double score = 0.0;       ///< U_j.
+  double variance = 0.0;    ///< V_j.
+  double statistic = 0.0;   ///< T_j = U_j²/V_j (0 for monomorphic SNPs).
+  double asymptotic_p = 1.0;
+};
+
+struct VariantScanResult {
+  std::unordered_map<std::uint32_t, VariantStats> by_snp;
+  std::unordered_map<std::uint32_t, std::uint64_t> exceed;  ///< #{T̃_bj >= T_j}.
+  std::vector<double> replicate_max;  ///< max_j T̃_bj per replicate.
+  std::uint64_t replicates = 0;
+
+  /// Monte Carlo empirical p-value, (c+1)/(B+1).
+  double EmpiricalP(std::uint32_t snp) const;
+
+  /// Westfall-Young single-step maxT adjusted p-value.
+  double MaxTAdjustedP(std::uint32_t snp) const;
+
+  /// SNP ids sorted by ascending asymptotic p-value.
+  std::vector<std::uint32_t> RankedByAsymptoticP() const;
+};
+
+/// Runs the scan over a genotype dataset with a driver-resident phenotype.
+VariantScanResult RunVariantScan(engine::EngineContext& ctx,
+                                 const engine::Dataset<simdata::SnpRecord>& genotypes,
+                                 const stats::Phenotype& phenotype,
+                                 const VariantScanConfig& config);
+
+}  // namespace ss::core

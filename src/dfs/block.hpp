@@ -1,0 +1,49 @@
+// Block identity and metadata for the mini distributed file system.
+//
+// The paper's pipeline reads its four inputs (genotype matrix, phenotype
+// pairs, SNP weights, SNP-sets) as text files from HDFS. MiniDfs mirrors the
+// parts of HDFS those reads depend on: files split into fixed-size blocks,
+// each block replicated on several (simulated) nodes, reads that fail over
+// to a surviving replica, and checksums that detect corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ss::dfs {
+
+/// Identifies one block of one file.
+struct BlockId {
+  std::uint64_t file_id = 0;  ///< NameNode-assigned id of the owning file.
+  std::uint32_t index = 0;    ///< Block index within the file (0-based).
+
+  bool operator==(const BlockId&) const = default;
+};
+
+/// Hash for unordered containers keyed by BlockId.
+struct BlockIdHash {
+  std::size_t operator()(const BlockId& id) const {
+    return static_cast<std::size_t>(id.file_id * 0x9e3779b97f4a7c15ULL) ^
+           (static_cast<std::size_t>(id.index) << 1);
+  }
+};
+
+/// Per-block metadata kept by the NameNode.
+struct BlockMeta {
+  BlockId id;
+  std::uint64_t checksum = 0;       ///< FNV-1a over the block payload.
+  std::uint64_t size_bytes = 0;
+  std::vector<int> replica_nodes;   ///< Nodes holding a replica, in
+                                    ///< placement order (first = primary).
+};
+
+/// Per-file metadata kept by the NameNode.
+struct FileMeta {
+  std::uint64_t file_id = 0;
+  std::string path;
+  std::uint64_t total_lines = 0;
+  std::vector<BlockMeta> blocks;
+};
+
+}  // namespace ss::dfs

@@ -1,0 +1,62 @@
+#include "dfs/block_store.hpp"
+
+namespace ss::dfs {
+
+void BlockStore::Put(const BlockId& id, std::vector<std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    bytes_stored_ -= it->second.size();
+    it->second = std::move(bytes);
+    bytes_stored_ += it->second.size();
+  } else {
+    bytes_stored_ += bytes.size();
+    blocks_.emplace(id, std::move(bytes));
+  }
+}
+
+Result<std::vector<std::uint8_t>> BlockStore::Get(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block not on this node");
+  }
+  return it->second;  // copy: callers own their bytes
+}
+
+void BlockStore::Erase(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    bytes_stored_ -= it->second.size();
+    blocks_.erase(it);
+  }
+}
+
+Status BlockStore::Corrupt(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end() || it->second.empty()) {
+    return Status::FailedPrecondition("no replica to corrupt");
+  }
+  it->second[it->second.size() / 2] ^= 0xFF;
+  return Status::Ok();
+}
+
+void BlockStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.clear();
+  bytes_stored_ = 0;
+}
+
+std::size_t BlockStore::block_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+std::uint64_t BlockStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_stored_;
+}
+
+}  // namespace ss::dfs

@@ -1,0 +1,43 @@
+// Per-node block storage for the mini-DFS (the DataNode role).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/block.hpp"
+#include "support/status.hpp"
+
+namespace ss::dfs {
+
+/// Thread-safe in-memory block container. One instance per simulated node.
+/// All methods may be called concurrently from executor threads.
+class BlockStore {
+ public:
+  /// Stores (or overwrites) a block replica.
+  void Put(const BlockId& id, std::vector<std::uint8_t> bytes);
+
+  /// Reads a replica. NotFound if this node holds no copy.
+  Result<std::vector<std::uint8_t>> Get(const BlockId& id) const;
+
+  /// Drops a replica if present; used by re-replication and tests.
+  void Erase(const BlockId& id);
+
+  /// Flips bits in a stored replica (test hook for checksum validation).
+  /// FailedPrecondition if the block is absent or empty.
+  Status Corrupt(const BlockId& id);
+
+  /// Drops every replica (simulates total loss of the node's disks).
+  void Clear();
+
+  std::size_t block_count() const;
+  std::uint64_t bytes_stored() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<BlockId, std::vector<std::uint8_t>, BlockIdHash> blocks_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace ss::dfs

@@ -1,0 +1,110 @@
+#include "dfs/namenode.hpp"
+
+#include "support/log.hpp"
+
+namespace ss::dfs {
+
+NameNode::NameNode(int num_nodes, int replication)
+    : num_nodes_(num_nodes),
+      replication_(std::min(replication, num_nodes)),
+      node_alive_(static_cast<std::size_t>(num_nodes), true) {
+  SS_CHECK(num_nodes >= 1);
+  SS_CHECK(replication >= 1);
+}
+
+Result<std::uint64_t> NameNode::CreateFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (path_to_id_.contains(path)) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  const std::uint64_t id = next_file_id_++;
+  path_to_id_.emplace(path, id);
+  FileMeta meta;
+  meta.file_id = id;
+  meta.path = path;
+  files_.emplace(id, std::move(meta));
+  return id;
+}
+
+std::vector<int> NameNode::PlaceBlock() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> targets;
+  targets.reserve(static_cast<std::size_t>(replication_));
+  // Scan from the cursor, taking the next `replication_` live nodes.
+  for (int scanned = 0;
+       scanned < num_nodes_ && static_cast<int>(targets.size()) < replication_;
+       ++scanned) {
+    const int node = (placement_cursor_ + scanned) % num_nodes_;
+    if (node_alive_[static_cast<std::size_t>(node)]) targets.push_back(node);
+  }
+  placement_cursor_ = (placement_cursor_ + 1) % num_nodes_;
+  return targets;  // may be shorter than replication_ if nodes are down
+}
+
+Status NameNode::CommitBlock(std::uint64_t file_id, const BlockMeta& meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("unknown file id");
+  if (meta.id.index != it->second.blocks.size()) {
+    return Status::InvalidArgument("blocks must be committed in order");
+  }
+  it->second.blocks.push_back(meta);
+  return Status::Ok();
+}
+
+Status NameNode::SealFile(std::uint64_t file_id, std::uint64_t total_lines) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("unknown file id");
+  it->second.total_lines = total_lines;
+  return Status::Ok();
+}
+
+Status NameNode::UpdateReplicas(std::uint64_t file_id,
+                                std::uint32_t block_index,
+                                std::vector<int> replicas) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("unknown file id");
+  if (block_index >= it->second.blocks.size()) {
+    return Status::InvalidArgument("block index out of range");
+  }
+  it->second.blocks[block_index].replica_nodes = std::move(replicas);
+  return Status::Ok();
+}
+
+Result<FileMeta> NameNode::Lookup(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = path_to_id_.find(path);
+  if (it == path_to_id_.end()) return Status::NotFound("no such file: " + path);
+  return files_.at(it->second);
+}
+
+bool NameNode::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return path_to_id_.contains(path);
+}
+
+std::vector<std::string> NameNode::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> paths;
+  paths.reserve(path_to_id_.size());
+  for (const auto& [path, id] : path_to_id_) paths.push_back(path);
+  return paths;
+}
+
+void NameNode::SetNodeAlive(int node, bool alive) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SS_CHECK(node >= 0 && node < num_nodes_);
+  node_alive_[static_cast<std::size_t>(node)] = alive;
+  SS_LOG(kInfo, "dfs") << "node " << node
+                       << (alive ? " marked alive" : " marked dead");
+}
+
+bool NameNode::IsNodeAlive(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SS_CHECK(node >= 0 && node < num_nodes_);
+  return node_alive_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace ss::dfs

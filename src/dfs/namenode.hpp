@@ -1,0 +1,65 @@
+// NameNode: file → block metadata, replica placement, and liveness view.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/block.hpp"
+#include "support/status.hpp"
+
+namespace ss::dfs {
+
+/// Metadata service for MiniDfs. Thread-safe.
+class NameNode {
+ public:
+  /// `num_nodes` DataNodes exist; replicas of each block are placed on
+  /// `replication` distinct nodes.
+  NameNode(int num_nodes, int replication);
+
+  /// Registers a new file and returns its id. AlreadyExists on duplicates.
+  Result<std::uint64_t> CreateFile(const std::string& path);
+
+  /// Chooses `replication` distinct live target nodes for a new block,
+  /// rotating a cursor for even spread (round-robin placement, the
+  /// behaviour HDFS approximates under uniform load).
+  std::vector<int> PlaceBlock();
+
+  /// Records a finalized block's metadata under its file.
+  Status CommitBlock(std::uint64_t file_id, const BlockMeta& meta);
+
+  /// Records the file's total line count once all blocks are committed.
+  Status SealFile(std::uint64_t file_id, std::uint64_t total_lines);
+
+  /// Replaces the recorded replica set of a block (re-replication repair).
+  Status UpdateReplicas(std::uint64_t file_id, std::uint32_t block_index,
+                        std::vector<int> replicas);
+
+  /// Full metadata for `path`; NotFound if absent.
+  Result<FileMeta> Lookup(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  std::vector<std::string> ListFiles() const;
+
+  /// Marks a node dead/alive. Dead nodes are skipped by PlaceBlock and
+  /// reported to readers so they fail over.
+  void SetNodeAlive(int node, bool alive);
+  bool IsNodeAlive(int node) const;
+  int num_nodes() const { return num_nodes_; }
+  int replication() const { return replication_; }
+
+ private:
+  const int num_nodes_;
+  const int replication_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> path_to_id_;
+  std::unordered_map<std::uint64_t, FileMeta> files_;
+  std::vector<bool> node_alive_;
+  std::uint64_t next_file_id_ = 1;
+  int placement_cursor_ = 0;
+};
+
+}  // namespace ss::dfs

@@ -1,0 +1,70 @@
+// Accumulators: write-only shared counters tasks can add to, readable on
+// the driver after a stage completes (Spark semantics). Used by SparkScore
+// to maintain the per-set exceedance counters counter_k of Algorithms 2/3.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ss::engine {
+
+/// Scalar accumulator with a user-supplied commutative/associative merge.
+template <typename T>
+class Accumulator {
+ public:
+  explicit Accumulator(T zero = T{}) : value_(zero) {}
+
+  void Add(const T& delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ += delta;
+  }
+
+  T value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+  void Reset(T zero = T{}) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = zero;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  T value_;
+};
+
+/// Fixed-length vector accumulator (element-wise +=). The per-SNP-set
+/// exceedance counters are one of these with K elements.
+template <typename T>
+class VectorAccumulator {
+ public:
+  explicit VectorAccumulator(std::size_t size, T zero = T{})
+      : values_(size, zero) {}
+
+  void Add(std::size_t index, const T& delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_[index] += delta;
+  }
+
+  void AddAll(const std::vector<T>& deltas) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < deltas.size() && i < values_.size(); ++i) {
+      values_[i] += deltas[i];
+    }
+  }
+
+  std::vector<T> values() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> values_;
+};
+
+}  // namespace ss::engine

@@ -1,0 +1,85 @@
+// Size estimation for cache accounting and shuffle/broadcast byte metrics.
+//
+// The engine never serializes records for in-process movement, but the
+// cache manager needs byte sizes for its memory budget and the virtual
+// scheduler needs shuffle volumes; this trait supplies a consistent
+// estimate for the record types the project uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ss::engine {
+
+template <typename T>
+std::size_t ApproxBytesOf(const T& value);
+
+namespace internal {
+
+template <typename T>
+struct ApproxBytesImpl {
+  static std::size_t Of(const T&) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "provide an ApproxBytesImpl specialization for this type");
+    return sizeof(T);
+  }
+};
+
+template <>
+struct ApproxBytesImpl<std::string> {
+  static std::size_t Of(const std::string& s) {
+    return sizeof(std::string) + s.size();
+  }
+};
+
+template <typename A, typename B>
+struct ApproxBytesImpl<std::pair<A, B>> {
+  static std::size_t Of(const std::pair<A, B>& p) {
+    return ApproxBytesOf(p.first) + ApproxBytesOf(p.second);
+  }
+};
+
+template <typename T>
+struct ApproxBytesImpl<std::vector<T>> {
+  static std::size_t Of(const std::vector<T>& v) {
+    std::size_t total = sizeof(std::vector<T>);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      total += v.size() * sizeof(T);
+    } else {
+      for (const T& item : v) total += ApproxBytesOf(item);
+    }
+    return total;
+  }
+};
+
+template <typename K, typename V>
+struct ApproxBytesImpl<std::unordered_map<K, V>> {
+  static std::size_t Of(const std::unordered_map<K, V>& map) {
+    std::size_t total = sizeof(map);
+    for (const auto& [key, value] : map) {
+      total += ApproxBytesOf(key) + ApproxBytesOf(value) +
+               2 * sizeof(void*);  // bucket/node overhead
+    }
+    return total;
+  }
+};
+
+}  // namespace internal
+
+/// Approximate in-memory footprint of `value`.
+template <typename T>
+std::size_t ApproxBytesOf(const T& value) {
+  return internal::ApproxBytesImpl<T>::Of(value);
+}
+
+/// Approximate footprint of a whole partition.
+template <typename T>
+std::size_t ApproxBytesOfPartition(const std::vector<T>& partition) {
+  return ApproxBytesOf(partition);
+}
+
+}  // namespace ss::engine

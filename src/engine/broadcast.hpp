@@ -1,0 +1,54 @@
+// Broadcast variables: read-only values shipped once to every executor.
+//
+// Algorithm 1 step 5 broadcasts the phenotype pairs <(Y_i, Δ_i)> to all
+// cluster nodes so every genotype partition's tasks can compute U_ij
+// locally. In-process there is nothing to ship, but the byte volume is
+// recorded so the virtual scheduler charges the broadcast fan-out when
+// replaying the job on a simulated topology.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "engine/approx_bytes.hpp"
+#include "engine/context.hpp"
+
+namespace ss::engine {
+
+template <typename T>
+class Broadcast;
+
+template <typename T>
+Broadcast<T> MakeBroadcast(EngineContext& ctx, T value);
+
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+
+  const T& value() const { return *value_; }
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return value_.get(); }
+  explicit operator bool() const { return value_ != nullptr; }
+
+ private:
+  friend Broadcast<T> MakeBroadcast<T>(EngineContext&, T);
+  explicit Broadcast(std::shared_ptr<const T> value)
+      : value_(std::move(value)) {}
+
+  std::shared_ptr<const T> value_;
+};
+
+/// Creates a broadcast of `value`, charging driver->executors traffic.
+template <typename T>
+Broadcast<T> MakeBroadcast(EngineContext& ctx, T value) {
+  const std::uint64_t bytes = ApproxBytesOf(value);
+  const int executors = ctx.topology().TotalExecutors();
+  // Spark's TorrentBroadcast distributes peer-to-peer, so the driver pays
+  // ~one copy and executors share the rest; total volume is still
+  // bytes x executors across the fabric.
+  ctx.metrics().RecordBroadcast(bytes * static_cast<std::uint64_t>(executors));
+  return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+}
+
+}  // namespace ss::engine

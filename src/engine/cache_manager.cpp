@@ -1,0 +1,90 @@
+#include "engine/cache_manager.hpp"
+
+#include <vector>
+
+#include "support/log.hpp"
+
+namespace ss::engine {
+
+std::shared_ptr<void> CacheManager::Lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front
+  return it->second.value;
+}
+
+void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
+                          std::uint64_t bytes, int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EraseLocked(key);  // refresh semantics
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), bytes, node, lru_.begin()};
+  stats_.bytes_cached += bytes;
+  ++stats_.insertions;
+  EvictIfNeededLocked();
+}
+
+void CacheManager::EvictIfNeededLocked() {
+  if (capacity_bytes_ == 0) return;
+  while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
+    const CacheKey victim = lru_.back();
+    EraseLocked(victim);
+    ++stats_.evictions;
+  }
+}
+
+void CacheManager::EraseLocked(const CacheKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  stats_.bytes_cached -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void CacheManager::DropDataset(std::uint64_t node_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CacheKey> victims;
+  for (const auto& [key, entry] : entries_) {
+    if (key.node_id == node_id) victims.push_back(key);
+  }
+  for (const CacheKey& key : victims) EraseLocked(key);
+}
+
+int CacheManager::DropNode(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CacheKey> victims;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.node == node) victims.push_back(key);
+  }
+  for (const CacheKey& key : victims) EraseLocked(key);
+  stats_.dropped_by_failure += victims.size();
+  if (!victims.empty()) {
+    SS_LOG(kInfo, "cache") << "node " << node << " failure dropped "
+                           << victims.size() << " cached partitions";
+  }
+  return static_cast<int>(victims.size());
+}
+
+void CacheManager::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes_cached = 0;
+}
+
+CacheStats CacheManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CacheManager::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace ss::engine

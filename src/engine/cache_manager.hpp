@@ -1,0 +1,90 @@
+// In-memory partition cache with LRU eviction — the engine's equivalent of
+// Spark's BlockManager MEMORY_ONLY storage level.
+//
+// Entries are type-erased (`shared_ptr<void>` owning a `vector<T>`); the
+// typed layer in node.hpp does the casts. Each entry records the simulated
+// node where the computing task ran so that an injected node failure drops
+// exactly that node's cached partitions, forcing lineage recomputation —
+// the fault-tolerance property Spark's RDD paper centres on and that
+// SparkScore's Algorithm 3 relies on for its cached U RDD.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace ss::engine {
+
+/// Identifies a cached partition: (dataset node id, partition index).
+struct CacheKey {
+  std::uint64_t node_id = 0;
+  std::uint32_t partition = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const {
+    return static_cast<std::size_t>(key.node_id * 0x9e3779b97f4a7c15ULL) ^
+           key.partition;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dropped_by_failure = 0;
+  std::uint64_t bytes_cached = 0;  ///< Current occupancy.
+};
+
+class CacheManager {
+ public:
+  /// `capacity_bytes` caps total occupancy; 0 means unlimited.
+  explicit CacheManager(std::uint64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the cached partition or nullptr (counting a hit/miss).
+  std::shared_ptr<void> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting LRU entries if over budget.
+  /// Oversized single entries (larger than the whole budget) are admitted
+  /// and the cache simply holds only them; matching Spark, the computation
+  /// must still succeed even if caching is ineffective.
+  void Insert(const CacheKey& key, std::shared_ptr<void> value,
+              std::uint64_t bytes, int node);
+
+  /// Removes all partitions of a dataset (Dataset::Unpersist).
+  void DropDataset(std::uint64_t node_id);
+
+  /// Removes everything cached on a simulated node (node failure).
+  /// Returns the number of partitions dropped.
+  int DropNode(int node);
+
+  /// Drops everything.
+  void Clear();
+
+  CacheStats stats() const;
+  std::size_t entry_count() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> value;
+    std::uint64_t bytes = 0;
+    int node = 0;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  void EvictIfNeededLocked();
+  void EraseLocked(const CacheKey& key);
+
+  const std::uint64_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+  std::list<CacheKey> lru_;  ///< Front = most recently used.
+  CacheStats stats_;
+};
+
+}  // namespace ss::engine

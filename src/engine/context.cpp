@@ -1,0 +1,110 @@
+#include "engine/context.hpp"
+
+#include <thread>
+
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+
+namespace ss::engine {
+namespace {
+
+/// True while the current thread is executing a task body. Actions from
+/// inside a task (e.g. Collect in a Map closure) would submit to the same
+/// pool the task occupies and can deadlock; the guard turns that mistake
+/// into an immediate diagnostic.
+thread_local bool t_inside_task = false;
+
+struct InsideTaskScope {
+  InsideTaskScope() { t_inside_task = true; }
+  ~InsideTaskScope() { t_inside_task = false; }
+};
+
+}  // namespace
+
+EngineContext::EngineContext(Options options, dfs::MiniDfs* dfs,
+                             cluster::FaultInjector* faults)
+    : options_(std::move(options)),
+      dfs_(dfs),
+      faults_(faults),
+      cache_(options_.cache_capacity_bytes) {
+  std::size_t threads = options_.physical_threads;
+  if (threads == 0) {
+    threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  if (faults_ != nullptr) {
+    faults_->SetOnNodeFailure([this](int node) { FailNode(node); });
+  }
+  SS_LOG(kInfo, "engine") << "context up: " << options_.topology.ToString()
+                          << ", " << threads << " physical threads";
+}
+
+EngineContext::~EngineContext() {
+  if (faults_ != nullptr) faults_->SetOnNodeFailure(nullptr);
+}
+
+std::uint64_t EngineContext::RunTasks(
+    const std::string& label, std::uint32_t num_tasks,
+    const std::function<void(TaskContext&)>& task_fn) {
+  SS_CHECK(!t_inside_task &&
+           "actions must run on the driver, not inside a task closure");
+  const std::uint64_t stage_id = metrics_.BeginStage(label, num_tasks);
+  SS_LOG(kDebug, "engine") << "stage " << stage_id << " (" << label << "): "
+                           << num_tasks << " tasks";
+  pool_->ParallelFor(0, num_tasks, [&](std::size_t index) {
+    RunOneTask(stage_id, static_cast<std::uint32_t>(index), task_fn);
+  });
+  return stage_id;
+}
+
+void EngineContext::RunOneTask(
+    std::uint64_t stage_id, std::uint32_t index,
+    const std::function<void(TaskContext&)>& task_fn) {
+  const int executors = std::max(1, options_.topology.TotalExecutors());
+  const int executor = static_cast<int>(index) % executors;
+  const int node = executor % std::max(1, options_.topology.num_nodes);
+
+  for (int attempt = 0; attempt < options_.max_task_attempts; ++attempt) {
+    TaskContext task(stage_id, index, attempt, executor, node, options_.seed);
+    if (faults_ != nullptr && faults_->ShouldFailTask(stage_id, index)) {
+      metrics_.RecordFailure(stage_id);
+      SS_LOG(kDebug, "engine") << "injected failure: stage " << stage_id
+                               << " partition " << index << " attempt "
+                               << attempt;
+      continue;
+    }
+    Stopwatch stopwatch;
+    try {
+      InsideTaskScope scope;
+      task_fn(task);
+    } catch (const TaskFailure& failure) {
+      metrics_.RecordFailure(stage_id);
+      SS_LOG(kWarn, "engine")
+          << "task failed (stage " << stage_id << ", partition " << index
+          << ", attempt " << attempt << "): " << failure.what();
+      if (attempt + 1 == options_.max_task_attempts) throw;
+      continue;
+    }
+    task.metrics().compute_seconds = stopwatch.ElapsedSeconds();
+    task.metrics().attempt = attempt;
+    metrics_.RecordTask(stage_id, task.metrics());
+    tasks_completed_.fetch_add(1);
+    if (faults_ != nullptr) faults_->OnTaskCompleted();
+    return;
+  }
+  throw TaskFailure("task exhausted all attempts (injected failures)");
+}
+
+cluster::MakespanReport EngineContext::ReplayOn(
+    const cluster::ClusterTopology& topology) const {
+  cluster::VirtualScheduler scheduler(topology, options_.cost_model);
+  return scheduler.Simulate(metrics_.ToJobProfile());
+}
+
+void EngineContext::FailNode(int node) {
+  const int dropped = cache_.DropNode(node);
+  SS_LOG(kInfo, "engine") << "node " << node << " failed; " << dropped
+                          << " cached partitions lost (lineage will rebuild)";
+}
+
+}  // namespace ss::engine

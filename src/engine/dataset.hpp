@@ -1,0 +1,597 @@
+// The public dataflow API of minispark: `Dataset<T>` (an RDD), its
+// transformations and actions, and the shuffle-backed pair operations.
+//
+// Narrow transformations (Map, Filter, FlatMap, MapPartitions, Union,
+// Sample) are pipelined: computing a partition walks the lineage chain in
+// one call stack, so a chain of maps costs one pass. Wide operations
+// (ReduceByKey, GroupByKey, Join) insert a ShuffleNode, whose map stage is
+// materialized by the driver before the downstream stage runs — the stage
+// boundary Spark's DAG scheduler would create.
+//
+// All closures must be free of side effects on shared state (use
+// Accumulator for counters); they may run concurrently and, after a
+// failure, more than once per element.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dfs/dfs.hpp"
+#include "engine/broadcast.hpp"
+#include "engine/context.hpp"
+#include "engine/node.hpp"
+#include "engine/partitioner.hpp"
+#include "support/distributions.hpp"
+#include "support/status.hpp"
+
+namespace ss::engine {
+
+// ---------------------------------------------------------------------------
+// Concrete lineage nodes (internal; users go through Dataset<T>).
+// ---------------------------------------------------------------------------
+namespace nodes {
+
+/// Source node over driver-provided data, pre-split into partitions.
+template <typename T>
+class ParallelizeNode final : public Node<T> {
+ public:
+  ParallelizeNode(EngineContext* ctx, std::vector<std::vector<T>> chunks)
+      : Node<T>(ctx, "parallelize", static_cast<std::uint32_t>(chunks.size()),
+                {}),
+        chunks_(std::move(chunks)) {}
+
+  std::vector<T> ComputePartition(std::uint32_t index, TaskContext&) override {
+    return chunks_[index];
+  }
+
+ private:
+  std::vector<std::vector<T>> chunks_;
+};
+
+/// Source node reading a MiniDfs text file; one partition per DFS block.
+class TextFileNode final : public Node<std::string> {
+ public:
+  TextFileNode(EngineContext* ctx, std::string path, std::uint32_t blocks)
+      : Node<std::string>(ctx, "textFile(" + path + ")", blocks, {}),
+        path_(std::move(path)) {}
+
+  std::vector<std::string> ComputePartition(std::uint32_t index,
+                                            TaskContext&) override {
+    SS_CHECK(ctx_->dfs() != nullptr);
+    Result<std::vector<std::string>> lines =
+        ctx_->dfs()->ReadBlockLines(path_, index);
+    if (!lines.ok()) {
+      // Retryable: a replica may come back (revive/repair) before the
+      // scheduler gives up.
+      throw TaskFailure("dfs read failed: " + lines.status().ToString());
+    }
+    return std::move(lines).value();
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Element-wise map.
+template <typename T, typename U, typename F>
+class MapNode final : public Node<U> {
+ public:
+  MapNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(ctx, "map", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::vector<U> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    auto input = parent_->Get(index, task);
+    std::vector<U> out;
+    out.reserve(input->size());
+    for (const T& item : *input) out.push_back(fn_(item));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+/// Whole-partition map; fn(partition_index, records) -> records.
+template <typename T, typename U, typename F>
+class MapPartitionsNode final : public Node<U> {
+ public:
+  MapPartitionsNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(ctx, "mapPartitions", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::vector<U> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    auto input = parent_->Get(index, task);
+    return fn_(index, *input);
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+/// Predicate filter.
+template <typename T, typename F>
+class FilterNode final : public Node<T> {
+ public:
+  FilterNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent, F fn)
+      : Node<T>(ctx, "filter", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::vector<T> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    auto input = parent_->Get(index, task);
+    std::vector<T> out;
+    for (const T& item : *input) {
+      if (fn_(item)) out.push_back(item);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+/// One-to-many map; fn returns a vector per element.
+template <typename T, typename U, typename F>
+class FlatMapNode final : public Node<U> {
+ public:
+  FlatMapNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent, F fn)
+      : Node<U>(ctx, "flatMap", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  std::vector<U> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    auto input = parent_->Get(index, task);
+    std::vector<U> out;
+    for (const T& item : *input) {
+      std::vector<U> expanded = fn_(item);
+      for (auto& value : expanded) out.push_back(std::move(value));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  F fn_;
+};
+
+/// Concatenation of two datasets; partitions of `left` precede `right`'s.
+template <typename T>
+class UnionNode final : public Node<T> {
+ public:
+  UnionNode(EngineContext* ctx, std::shared_ptr<Node<T>> left,
+            std::shared_ptr<Node<T>> right)
+      : Node<T>(ctx, "union",
+                left->num_partitions() + right->num_partitions(),
+                {left, right}),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  std::vector<T> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    if (index < left_->num_partitions()) return *left_->Get(index, task);
+    return *right_->Get(index - left_->num_partitions(), task);
+  }
+
+ private:
+  std::shared_ptr<Node<T>> left_;
+  std::shared_ptr<Node<T>> right_;
+};
+
+/// Bernoulli sampling with deterministic per-partition randomness.
+template <typename T>
+class SampleNode final : public Node<T> {
+ public:
+  SampleNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent,
+             double fraction, std::uint64_t salt)
+      : Node<T>(ctx, "sample", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fraction_(fraction),
+        salt_(salt) {}
+
+  std::vector<T> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    auto input = parent_->Get(index, task);
+    // Deterministic in (context seed, salt, partition) only — NOT the
+    // node or stage id — so the same Sample(fraction, salt) expression
+    // selects the same subset across datasets, actions, and retries
+    // (Spark's sample-with-seed semantics).
+    Rng rng = Rng(this->ctx_->seed()).Split(salt_ * 2654435761u + 1).Split(index + 1);
+    std::vector<T> out;
+    for (const T& item : *input) {
+      if (SampleBernoulli(rng, fraction_)) out.push_back(item);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+  double fraction_;
+  std::uint64_t salt_;
+};
+
+/// Repartitioning of pairs by key hash — the wide dependency. The map
+/// stage (run by the driver via EnsureReadySelf) computes every parent
+/// partition and scatters records into reduce buckets; reduce-side
+/// ComputePartition just hands back its bucket. Buckets are retained for
+/// the node's lifetime, mirroring Spark's persisted shuffle files: a lost
+/// reduce task re-reads them without rerunning the map stage.
+template <typename K, typename V>
+class ShuffleNode final : public Node<std::pair<K, V>> {
+ public:
+  using Pair = std::pair<K, V>;
+  /// Maps (key, num_partitions) -> reduce partition. Hash by default;
+  /// SortBy installs a range partitioner.
+  using PartitionFn = std::function<std::uint32_t(const K&, std::uint32_t)>;
+
+  ShuffleNode(EngineContext* ctx, std::shared_ptr<Node<Pair>> parent,
+              std::uint32_t num_partitions, PartitionFn partition_fn = {})
+      : Node<Pair>(ctx, "shuffle", num_partitions, {parent}),
+        parent_(std::move(parent)),
+        partition_fn_(partition_fn
+                          ? std::move(partition_fn)
+                          : [](const K& key, std::uint32_t n) {
+                              return PartitionOf(key, n);
+                            }) {}
+
+  std::vector<Pair> ComputePartition(std::uint32_t index,
+                                     TaskContext& task) override {
+    std::lock_guard<std::mutex> lock(buckets_mutex_);
+    task.metrics().shuffle_read_bytes += ApproxBytesOfPartition(buckets_[index]);
+    return buckets_[index];
+  }
+
+ protected:
+  void EnsureReadySelf() override {
+    const std::uint32_t reducers = this->num_partitions();
+    buckets_.assign(reducers, {});
+    this->ctx_->RunTasks(
+        "shuffle-map(" + parent_->label() + ")", parent_->num_partitions(),
+        [&](TaskContext& task) {
+          auto input = parent_->Get(task.partition(), task);
+          std::vector<std::vector<Pair>> local(reducers);
+          for (const Pair& record : *input) {
+            const std::uint32_t bucket = partition_fn_(record.first, reducers);
+            SS_CHECK(bucket < reducers);
+            local[bucket].push_back(record);
+          }
+          std::uint64_t bytes = 0;
+          for (const auto& bucket : local) {
+            bytes += ApproxBytesOfPartition(bucket);
+          }
+          task.metrics().shuffle_write_bytes += bytes;
+          task.metrics().records_out = input->size();
+          std::lock_guard<std::mutex> lock(buckets_mutex_);
+          for (std::uint32_t r = 0; r < reducers; ++r) {
+            auto& bucket = buckets_[r];
+            bucket.insert(bucket.end(),
+                          std::make_move_iterator(local[r].begin()),
+                          std::make_move_iterator(local[r].end()));
+          }
+        });
+  }
+
+ private:
+  std::shared_ptr<Node<Pair>> parent_;
+  PartitionFn partition_fn_;
+  std::mutex buckets_mutex_;
+  std::vector<std::vector<Pair>> buckets_;
+};
+
+/// Hash join of two shuffled inputs with identical partitioning. Both
+/// parents are ShuffleNodes over the same reducer count, so bucket i of
+/// each contains exactly the keys hashing to i (co-partitioning).
+template <typename K, typename A, typename B>
+class JoinNode final : public Node<std::pair<K, std::pair<A, B>>> {
+ public:
+  using Out = std::pair<K, std::pair<A, B>>;
+
+  JoinNode(EngineContext* ctx, std::shared_ptr<Node<std::pair<K, A>>> left,
+           std::shared_ptr<Node<std::pair<K, B>>> right)
+      : Node<Out>(ctx, "join", left->num_partitions(), {left, right}),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    SS_CHECK(left_->num_partitions() == right_->num_partitions());
+  }
+
+  std::vector<Out> ComputePartition(std::uint32_t index,
+                                    TaskContext& task) override {
+    auto left = left_->Get(index, task);
+    auto right = right_->Get(index, task);
+    std::unordered_multimap<K, A> build;
+    build.reserve(left->size());
+    for (const auto& [key, value] : *left) build.emplace(key, value);
+    std::vector<Out> out;
+    out.reserve(right->size());
+    for (const auto& [key, value] : *right) {
+      auto [begin, end] = build.equal_range(key);
+      for (auto it = begin; it != end; ++it) {
+        out.push_back({key, {it->second, value}});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<std::pair<K, A>>> left_;
+  std::shared_ptr<Node<std::pair<K, B>>> right_;
+};
+
+}  // namespace nodes
+
+// ---------------------------------------------------------------------------
+// Dataset<T>: the user-facing handle.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(EngineContext* ctx, std::shared_ptr<Node<T>> node)
+      : ctx_(ctx), node_(std::move(node)) {}
+
+  bool valid() const { return node_ != nullptr; }
+  std::uint32_t NumPartitions() const { return node_->num_partitions(); }
+  EngineContext* context() const { return ctx_; }
+  std::shared_ptr<Node<T>> node() const { return node_; }
+
+  // -- Narrow transformations (lazy) --------------------------------------
+
+  /// Element-wise transform.
+  template <typename F, typename U = std::invoke_result_t<F, const T&>>
+  Dataset<U> Map(F fn) const {
+    return Dataset<U>(ctx_, std::make_shared<nodes::MapNode<T, U, F>>(
+                                ctx_, node_, std::move(fn)));
+  }
+
+  /// Whole-partition transform: fn(partition_index, records) -> records.
+  template <typename F,
+            typename U = typename std::invoke_result_t<
+                F, std::uint32_t, const std::vector<T>&>::value_type>
+  Dataset<U> MapPartitions(F fn) const {
+    return Dataset<U>(ctx_, std::make_shared<nodes::MapPartitionsNode<T, U, F>>(
+                                ctx_, node_, std::move(fn)));
+  }
+
+  /// Keeps elements where fn(x) is true.
+  template <typename F>
+  Dataset<T> Filter(F fn) const {
+    return Dataset<T>(ctx_, std::make_shared<nodes::FilterNode<T, F>>(
+                                ctx_, node_, std::move(fn)));
+  }
+
+  /// One-to-many transform; fn returns a vector per element.
+  template <typename F,
+            typename U = typename std::invoke_result_t<F, const T&>::value_type>
+  Dataset<U> FlatMap(F fn) const {
+    return Dataset<U>(ctx_, std::make_shared<nodes::FlatMapNode<T, U, F>>(
+                                ctx_, node_, std::move(fn)));
+  }
+
+  /// Pairs each element with fn(x) as key.
+  template <typename F, typename K = std::invoke_result_t<F, const T&>>
+  Dataset<std::pair<K, T>> KeyBy(F fn) const {
+    return Map([fn = std::move(fn)](const T& item) {
+      return std::pair<K, T>(fn(item), item);
+    });
+  }
+
+  /// Concatenates this dataset with `other`.
+  Dataset<T> Union(const Dataset<T>& other) const {
+    return Dataset<T>(ctx_, std::make_shared<nodes::UnionNode<T>>(
+                                ctx_, node_, other.node_));
+  }
+
+  /// Bernoulli sample keeping each element with probability `fraction`.
+  Dataset<T> Sample(double fraction, std::uint64_t salt = 0) const {
+    return Dataset<T>(ctx_, std::make_shared<nodes::SampleNode<T>>(
+                                ctx_, node_, fraction, salt));
+  }
+
+  // -- Persistence ---------------------------------------------------------
+
+  /// Marks this dataset persistent: computed partitions are kept in the
+  /// cache and reused by later stages (Spark's .cache()).
+  Dataset<T>& Cache() {
+    node_->EnableCache();
+    return *this;
+  }
+  const Dataset<T>& Cache() const {
+    node_->EnableCache();
+    return *this;
+  }
+
+  /// Drops cached partitions (the dataset remains usable via lineage).
+  void Unpersist() const { node_->Unpersist(); }
+
+  // -- Actions (eager) -----------------------------------------------------
+
+  /// All elements, in partition order.
+  std::vector<T> Collect(const std::string& label = "collect") const {
+    std::vector<std::vector<T>> partitions = RunStage(*node_, label);
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (const auto& partition : partitions) total += partition.size();
+    out.reserve(total);
+    for (auto& partition : partitions) {
+      for (auto& item : partition) out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  /// Number of elements.
+  std::size_t Count(const std::string& label = "count") const {
+    std::vector<std::vector<std::size_t>> partitions =
+        RunStage(*Map([](const T&) { return std::size_t{1}; }).node(), label);
+    std::size_t total = 0;
+    for (const auto& partition : partitions) {
+      for (std::size_t ones : partition) total += ones;
+    }
+    return total;
+  }
+
+  /// Fold with a commutative, associative op; `identity` its neutral value.
+  template <typename F>
+  T Reduce(F fn, T identity, const std::string& label = "reduce") const {
+    auto reduced = MapPartitions(
+        [fn, identity](std::uint32_t, const std::vector<T>& records) {
+          T acc = identity;
+          for (const T& record : records) acc = fn(acc, record);
+          return std::vector<T>{acc};
+        });
+    T total = identity;
+    for (const T& partial : reduced.Collect(label)) total = fn(total, partial);
+    return total;
+  }
+
+  /// Lineage description (RDD.toDebugString).
+  std::string DebugString() const { return node_->DebugString(); }
+
+ private:
+  EngineContext* ctx_ = nullptr;
+  std::shared_ptr<Node<T>> node_;
+};
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+/// Splits `data` into `num_partitions` nearly equal chunks on the driver.
+template <typename T>
+Dataset<T> Parallelize(EngineContext& ctx, const std::vector<T>& data,
+                       std::uint32_t num_partitions) {
+  SS_CHECK(num_partitions >= 1);
+  std::vector<std::vector<T>> chunks(num_partitions);
+  const std::size_t base = data.size() / num_partitions;
+  const std::size_t extra = data.size() % num_partitions;
+  std::size_t offset = 0;
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    const std::size_t size = base + (p < extra ? 1 : 0);
+    chunks[p].assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     data.begin() + static_cast<std::ptrdiff_t>(offset + size));
+    offset += size;
+  }
+  return Dataset<T>(&ctx, std::make_shared<nodes::ParallelizeNode<T>>(
+                              &ctx, std::move(chunks)));
+}
+
+/// Opens a MiniDfs text file as a dataset of lines, one partition per block.
+/// Throws StatusError if the file does not exist.
+inline Dataset<std::string> TextFile(EngineContext& ctx,
+                                     const std::string& path) {
+  SS_CHECK(ctx.dfs() != nullptr);
+  Result<std::uint32_t> blocks = ctx.dfs()->BlockCount(path);
+  if (!blocks.ok()) throw StatusError(blocks.status());
+  return Dataset<std::string>(
+      &ctx, std::make_shared<nodes::TextFileNode>(&ctx, path, blocks.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Pair (wide) operations.
+// ---------------------------------------------------------------------------
+
+/// Repartitions pairs by key hash (or a custom partitioner) into
+/// `num_partitions` buckets.
+template <typename K, typename V>
+Dataset<std::pair<K, V>> PartitionByKey(
+    const Dataset<std::pair<K, V>>& ds, std::uint32_t num_partitions,
+    typename nodes::ShuffleNode<K, V>::PartitionFn partition_fn = {}) {
+  SS_CHECK(num_partitions >= 1);
+  return Dataset<std::pair<K, V>>(
+      ds.context(),
+      std::make_shared<nodes::ShuffleNode<K, V>>(
+          ds.context(), ds.node(), num_partitions, std::move(partition_fn)));
+}
+
+/// Merges all values of each key with `fn` (commutative + associative).
+/// Map-side pre-aggregation (a combiner) runs before the shuffle, as in
+/// Spark, so shuffle volume is one record per key per map partition.
+template <typename K, typename V, typename F>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds, F fn,
+                                     std::uint32_t num_partitions) {
+  auto combined = ds.MapPartitions(
+      [fn](std::uint32_t, const std::vector<std::pair<K, V>>& records) {
+        std::unordered_map<K, V> acc;
+        acc.reserve(records.size());
+        for (const auto& [key, value] : records) {
+          auto [it, inserted] = acc.try_emplace(key, value);
+          if (!inserted) it->second = fn(it->second, value);
+        }
+        return std::vector<std::pair<K, V>>(acc.begin(), acc.end());
+      });
+  auto shuffled = PartitionByKey(combined, num_partitions);
+  return shuffled.MapPartitions(
+      [fn](std::uint32_t, const std::vector<std::pair<K, V>>& records) {
+        std::unordered_map<K, V> acc;
+        acc.reserve(records.size());
+        for (const auto& [key, value] : records) {
+          auto [it, inserted] = acc.try_emplace(key, value);
+          if (!inserted) it->second = fn(it->second, value);
+        }
+        return std::vector<std::pair<K, V>>(acc.begin(), acc.end());
+      });
+}
+
+/// Groups all values per key into a vector.
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds, std::uint32_t num_partitions) {
+  auto shuffled = PartitionByKey(ds, num_partitions);
+  return shuffled.MapPartitions(
+      [](std::uint32_t, const std::vector<std::pair<K, V>>& records) {
+        std::unordered_map<K, std::vector<V>> groups;
+        for (const auto& [key, value] : records) {
+          groups[key].push_back(value);
+        }
+        std::vector<std::pair<K, std::vector<V>>> out;
+        out.reserve(groups.size());
+        for (auto& [key, values] : groups) {
+          out.push_back({key, std::move(values)});
+        }
+        return out;
+      });
+}
+
+/// Inner join on key; both sides are shuffled to `num_partitions` and
+/// joined bucket-by-bucket (Algorithm 1 step 9: Weights ⋈ InnerSigma).
+template <typename K, typename A, typename B>
+Dataset<std::pair<K, std::pair<A, B>>> Join(const Dataset<std::pair<K, A>>& left,
+                                            const Dataset<std::pair<K, B>>& right,
+                                            std::uint32_t num_partitions) {
+  auto left_shuffled = PartitionByKey(left, num_partitions);
+  auto right_shuffled = PartitionByKey(right, num_partitions);
+  return Dataset<std::pair<K, std::pair<A, B>>>(
+      left.context(),
+      std::make_shared<nodes::JoinNode<K, A, B>>(
+          left.context(), left_shuffled.node(), right_shuffled.node()));
+}
+
+/// Collects a pair dataset into a map on the driver (the "HashMap" outputs
+/// of Algorithms 1-3). Duplicate keys keep the last value seen.
+template <typename K, typename V>
+std::unordered_map<K, V> CollectAsMap(const Dataset<std::pair<K, V>>& ds,
+                                      const std::string& label = "collectAsMap") {
+  std::unordered_map<K, V> out;
+  for (auto& [key, value] : ds.Collect(label)) {
+    out[key] = value;
+  }
+  return out;
+}
+
+}  // namespace ss::engine

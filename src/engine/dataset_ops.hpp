@@ -1,0 +1,526 @@
+// Extended dataset operations, layered over dataset.hpp's primitives:
+// pair-value transforms, distinct, outer joins, cogroup, global sort
+// (sampled range partitioning), repartitioning, partial actions
+// (Take/Top), aggregation, text output, and DFS checkpointing with
+// lineage truncation.
+//
+// Everything here composes the existing nodes; only CoalesceNode and
+// CheckpointNode introduce new lineage node types.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+#include "engine/codec.hpp"
+#include "engine/dataset.hpp"
+
+namespace ss::engine {
+
+namespace nodes {
+
+/// Merges the parent's partitions into fewer, contiguous ones (narrow
+/// dependency — no shuffle, preserves order; Spark's coalesce(n)).
+template <typename T>
+class CoalesceNode final : public Node<T> {
+ public:
+  CoalesceNode(EngineContext* ctx, std::shared_ptr<Node<T>> parent,
+               std::uint32_t num_partitions)
+      : Node<T>(ctx, "coalesce", num_partitions, {parent}),
+        parent_(std::move(parent)) {
+    SS_CHECK(num_partitions >= 1);
+  }
+
+  std::vector<T> ComputePartition(std::uint32_t index,
+                                  TaskContext& task) override {
+    // Partition i owns the contiguous parent range [begin, end).
+    const std::uint32_t parents = parent_->num_partitions();
+    const std::uint32_t mine = this->num_partitions();
+    const std::uint32_t begin =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(index) * parents / mine);
+    const std::uint32_t end = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(index + 1) * parents / mine);
+    std::vector<T> out;
+    for (std::uint32_t p = begin; p < end; ++p) {
+      auto part = parent_->Get(p, task);
+      out.insert(out.end(), part->begin(), part->end());
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<T>> parent_;
+};
+
+/// Reads a checkpoint written by Checkpoint(): a source node with no
+/// parents (lineage truncated), one partition per DFS block.
+template <typename T>
+class CheckpointNode final : public Node<T> {
+ public:
+  CheckpointNode(EngineContext* ctx, std::string path,
+                 std::uint32_t num_partitions)
+      : Node<T>(ctx, "checkpoint(" + path + ")", num_partitions, {}),
+        path_(std::move(path)) {}
+
+  std::vector<T> ComputePartition(std::uint32_t index,
+                                  TaskContext&) override {
+    SS_CHECK(this->ctx_->dfs() != nullptr);
+    Result<std::vector<std::uint8_t>> bytes =
+        this->ctx_->dfs()->ReadBinaryBlock(path_, index);
+    if (!bytes.ok()) {
+      throw TaskFailure("checkpoint read failed: " + bytes.status().ToString());
+    }
+    return DecodePartition<T>(bytes.value());
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Pairwise zip of two datasets with identical partitioning (Spark's
+/// zip: same partition count AND same per-partition element counts,
+/// checked at run time).
+template <typename A, typename B>
+class ZipNode final : public Node<std::pair<A, B>> {
+ public:
+  ZipNode(EngineContext* ctx, std::shared_ptr<Node<A>> left,
+          std::shared_ptr<Node<B>> right)
+      : Node<std::pair<A, B>>(ctx, "zip", left->num_partitions(),
+                              {left, right}),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    SS_CHECK(left_->num_partitions() == right_->num_partitions());
+  }
+
+  std::vector<std::pair<A, B>> ComputePartition(std::uint32_t index,
+                                                TaskContext& task) override {
+    auto left = left_->Get(index, task);
+    auto right = right_->Get(index, task);
+    if (left->size() != right->size()) {
+      throw TaskFailure("zip: partitions have different sizes");
+    }
+    std::vector<std::pair<A, B>> out;
+    out.reserve(left->size());
+    for (std::size_t i = 0; i < left->size(); ++i) {
+      out.push_back({(*left)[i], (*right)[i]});
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Node<A>> left_;
+  std::shared_ptr<Node<B>> right_;
+};
+
+}  // namespace nodes
+
+// -- Pair-value conveniences --------------------------------------------------
+
+/// Transforms values, keeping keys (Spark's mapValues).
+template <typename K, typename V, typename F,
+          typename U = std::invoke_result_t<F, const V&>>
+Dataset<std::pair<K, U>> MapValues(const Dataset<std::pair<K, V>>& ds, F fn) {
+  return ds.Map([fn = std::move(fn)](const std::pair<K, V>& record) {
+    return std::pair<K, U>(record.first, fn(record.second));
+  });
+}
+
+template <typename K, typename V>
+Dataset<K> Keys(const Dataset<std::pair<K, V>>& ds) {
+  return ds.Map([](const std::pair<K, V>& record) { return record.first; });
+}
+
+template <typename K, typename V>
+Dataset<V> Values(const Dataset<std::pair<K, V>>& ds) {
+  return ds.Map([](const std::pair<K, V>& record) { return record.second; });
+}
+
+/// Count per key, on the driver.
+template <typename K, typename V>
+std::unordered_map<K, std::uint64_t> CountByKey(
+    const Dataset<std::pair<K, V>>& ds, std::uint32_t num_partitions) {
+  auto ones = MapValues(ds, [](const V&) { return std::uint64_t{1}; });
+  return CollectAsMap(
+      ReduceByKey(ones, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                  num_partitions),
+      "countByKey");
+}
+
+// -- Set-like operations --------------------------------------------------------
+
+/// Removes duplicates (requires std::hash<T> and operator==).
+template <typename T>
+Dataset<T> Distinct(const Dataset<T>& ds, std::uint32_t num_partitions) {
+  auto keyed = ds.Map([](const T& value) {
+    return std::pair<T, std::uint8_t>(value, 0);
+  });
+  auto unique = ReduceByKey(
+      keyed, [](std::uint8_t a, std::uint8_t) { return a; }, num_partitions);
+  return Keys(unique);
+}
+
+/// Elements of `left` also present in `right`, deduplicated (Spark's
+/// intersection).
+template <typename T>
+Dataset<T> Intersection(const Dataset<T>& left, const Dataset<T>& right,
+                        std::uint32_t num_partitions) {
+  auto tag = [](std::uint8_t bit) {
+    return [bit](const T& value) {
+      return std::pair<T, std::uint8_t>(value, bit);
+    };
+  };
+  auto merged = ReduceByKey(
+      left.Map(tag(1)).Union(right.Map(tag(2))),
+      [](std::uint8_t a, std::uint8_t b) {
+        return static_cast<std::uint8_t>(a | b);
+      },
+      num_partitions);
+  return Keys(merged.Filter([](const std::pair<T, std::uint8_t>& record) {
+    return record.second == 3;  // seen on both sides
+  }));
+}
+
+/// Elements of `left` not present in `right`, deduplicated (Spark's
+/// subtract, up to duplicate handling).
+template <typename T>
+Dataset<T> Subtract(const Dataset<T>& left, const Dataset<T>& right,
+                    std::uint32_t num_partitions) {
+  auto tag = [](std::uint8_t bit) {
+    return [bit](const T& value) {
+      return std::pair<T, std::uint8_t>(value, bit);
+    };
+  };
+  auto merged = ReduceByKey(
+      left.Map(tag(1)).Union(right.Map(tag(2))),
+      [](std::uint8_t a, std::uint8_t b) {
+        return static_cast<std::uint8_t>(a | b);
+      },
+      num_partitions);
+  return Keys(merged.Filter([](const std::pair<T, std::uint8_t>& record) {
+    return record.second == 1;  // left only
+  }));
+}
+
+// -- Relational operations -------------------------------------------------------
+
+/// Left outer join: every left record appears; unmatched rights are
+/// nullopt.
+template <typename K, typename A, typename B>
+Dataset<std::pair<K, std::pair<A, std::optional<B>>>> LeftOuterJoin(
+    const Dataset<std::pair<K, A>>& left, const Dataset<std::pair<K, B>>& right,
+    std::uint32_t num_partitions) {
+  auto grouped_left = GroupByKey(left, num_partitions);
+  auto grouped_right = GroupByKey(right, num_partitions);
+  auto cogrouped = Join(grouped_left, grouped_right, num_partitions);
+  using Out = std::pair<K, std::pair<A, std::optional<B>>>;
+  // Keys present on the left but absent on the right never reach the
+  // inner join above, so emit them separately from the left groups.
+  auto matched = cogrouped.FlatMap(
+      [](const std::pair<K, std::pair<std::vector<A>, std::vector<B>>>& row) {
+        std::vector<Out> out;
+        for (const A& a : row.second.first) {
+          for (const B& b : row.second.second) {
+            out.push_back({row.first, {a, b}});
+          }
+        }
+        return out;
+      });
+  auto right_keys = CollectAsMap(
+      MapValues(grouped_right, [](const std::vector<B>&) { return std::uint8_t{1}; }),
+      "leftOuterJoin-rightKeys");
+  auto right_key_set = MakeBroadcast(*left.context(), std::move(right_keys));
+  auto unmatched = grouped_left.FlatMap(
+      [right_key_set](const std::pair<K, std::vector<A>>& row) {
+        std::vector<Out> out;
+        if (!right_key_set->contains(row.first)) {
+          for (const A& a : row.second) {
+            out.push_back({row.first, {a, std::nullopt}});
+          }
+        }
+        return out;
+      });
+  return matched.Union(unmatched);
+}
+
+/// Full cogroup: (K, (all A values, all B values)), including keys present
+/// on only one side.
+template <typename K, typename A, typename B>
+Dataset<std::pair<K, std::pair<std::vector<A>, std::vector<B>>>> CoGroup(
+    const Dataset<std::pair<K, A>>& left, const Dataset<std::pair<K, B>>& right,
+    std::uint32_t num_partitions) {
+  // Tag each side, shuffle together, then split per key.
+  using Tagged = std::pair<K, std::pair<std::uint8_t, std::pair<A, B>>>;
+  auto tag_left = left.Map([](const std::pair<K, A>& r) {
+    return Tagged{r.first, {0, {r.second, B{}}}};
+  });
+  auto tag_right = right.Map([](const std::pair<K, B>& r) {
+    return Tagged{r.first, {1, {A{}, r.second}}};
+  });
+  auto grouped = GroupByKey(tag_left.Union(tag_right), num_partitions);
+  using Out = std::pair<K, std::pair<std::vector<A>, std::vector<B>>>;
+  return grouped.Map(
+      [](const std::pair<K, std::vector<std::pair<std::uint8_t, std::pair<A, B>>>>& row) {
+        Out out{row.first, {}};
+        for (const auto& [tag, values] : row.second) {
+          if (tag == 0) {
+            out.second.first.push_back(values.first);
+          } else {
+            out.second.second.push_back(values.second);
+          }
+        }
+        return out;
+      });
+}
+
+// -- Sorting ------------------------------------------------------------------------
+
+/// Globally sorts by `key_fn` using sampled range partitioning (Spark's
+/// sortBy): boundaries come from a driver-side sample, records shuffle to
+/// their range bucket, each bucket sorts locally; concatenating the
+/// output partitions yields the total order.
+template <typename T, typename F, typename K = std::invoke_result_t<F, const T&>>
+Dataset<T> SortBy(const Dataset<T>& ds, F key_fn, std::uint32_t num_partitions) {
+  SS_CHECK(num_partitions >= 1);
+  // A ~20% sample picks the range boundaries. An unlucky (even empty)
+  // sample only skews the balance, never correctness: upper_bound over
+  // fewer boundaries still maps every key to a valid bucket.
+  std::vector<K> sample;
+  for (const T& value : ds.Sample(0.2, /*salt=*/0xB0D5).Collect("sortBy-sample")) {
+    sample.push_back(key_fn(value));
+  }
+  std::sort(sample.begin(), sample.end());
+  std::vector<K> boundaries;
+  for (std::uint32_t b = 1; b < num_partitions && !sample.empty(); ++b) {
+    boundaries.push_back(sample[sample.size() * b / num_partitions]);
+  }
+  auto bounds = MakeBroadcast(*ds.context(), std::move(boundaries));
+
+  auto keyed = ds.Map([key_fn](const T& value) {
+    return std::pair<K, T>(key_fn(value), value);
+  });
+  auto ranged = PartitionByKey(
+      keyed, num_partitions, [bounds](const K& key, std::uint32_t) {
+        return static_cast<std::uint32_t>(
+            std::upper_bound(bounds->begin(), bounds->end(), key) -
+            bounds->begin());
+      });
+  auto sorted = ranged.MapPartitions(
+      [](std::uint32_t, const std::vector<std::pair<K, T>>& records) {
+        std::vector<std::pair<K, T>> copy = records;
+        std::stable_sort(copy.begin(), copy.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        std::vector<T> out;
+        out.reserve(copy.size());
+        for (auto& [key, value] : copy) out.push_back(std::move(value));
+        return out;
+      });
+  return sorted;
+}
+
+// -- Structural operations -------------------------------------------------------------
+
+/// Narrow merge into fewer partitions (preserves order, no shuffle).
+template <typename T>
+Dataset<T> Coalesce(const Dataset<T>& ds, std::uint32_t num_partitions) {
+  return Dataset<T>(ds.context(), std::make_shared<nodes::CoalesceNode<T>>(
+                                      ds.context(), ds.node(), num_partitions));
+}
+
+/// Rebalances into `num_partitions` via a round-robin shuffle.
+template <typename T>
+Dataset<T> Repartition(const Dataset<T>& ds, std::uint32_t num_partitions) {
+  auto keyed = ds.MapPartitions(
+      [](std::uint32_t index, const std::vector<T>& records) {
+        std::vector<std::pair<std::uint64_t, T>> out;
+        out.reserve(records.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          // Offset by the partition index so elements spread evenly.
+          out.push_back({index * 0x9e3779b9ULL + i, records[i]});
+        }
+        return out;
+      });
+  return Values(PartitionByKey(keyed, num_partitions));
+}
+
+/// Pairwise zip with `other` (same partition count and sizes).
+template <typename A, typename B>
+Dataset<std::pair<A, B>> Zip(const Dataset<A>& left, const Dataset<B>& right) {
+  return Dataset<std::pair<A, B>>(
+      left.context(), std::make_shared<nodes::ZipNode<A, B>>(
+                          left.context(), left.node(), right.node()));
+}
+
+// -- Partial & aggregating actions --------------------------------------------------------
+
+/// First `n` elements in partition order, computing only as many
+/// partitions as needed (Spark's take()).
+template <typename T>
+std::vector<T> Take(const Dataset<T>& ds, std::size_t n) {
+  std::vector<T> out;
+  auto node = ds.node();
+  node->EnsureReady();
+  for (std::uint32_t p = 0; p < node->num_partitions() && out.size() < n; ++p) {
+    ds.context()->RunTasks("take", 1, [&](TaskContext& task) {
+      auto part = node->Get(p, task);
+      for (const T& value : *part) {
+        if (out.size() >= n) break;
+        out.push_back(value);
+      }
+    });
+  }
+  return out;
+}
+
+/// First element; FailedPrecondition via StatusError if empty.
+template <typename T>
+T First(const Dataset<T>& ds) {
+  std::vector<T> one = Take(ds, 1);
+  if (one.empty()) {
+    throw StatusError(Status::FailedPrecondition("First() on empty dataset"));
+  }
+  return std::move(one.front());
+}
+
+/// Smallest `n` elements under `cmp` (Spark's takeOrdered): per-partition
+/// partial sort, then a driver-side merge.
+template <typename T, typename Cmp = std::less<T>>
+std::vector<T> TakeOrdered(const Dataset<T>& ds, std::size_t n, Cmp cmp = {}) {
+  auto partial = ds.MapPartitions(
+      [n, cmp](std::uint32_t, const std::vector<T>& records) {
+        std::vector<T> copy = records;
+        const std::size_t keep = std::min(n, copy.size());
+        std::partial_sort(copy.begin(),
+                          copy.begin() + static_cast<std::ptrdiff_t>(keep),
+                          copy.end(), cmp);
+        copy.resize(keep);
+        return copy;
+      });
+  std::vector<T> merged = partial.Collect("takeOrdered");
+  std::sort(merged.begin(), merged.end(), cmp);
+  if (merged.size() > n) merged.resize(n);
+  return merged;
+}
+
+/// Largest `n` elements (Spark's top()).
+template <typename T>
+std::vector<T> Top(const Dataset<T>& ds, std::size_t n) {
+  return TakeOrdered(ds, n, std::greater<T>());
+}
+
+/// Runs `fn` over every element for its side effects (Spark's foreach).
+/// `fn` executes on task threads — it must be thread-safe and, because
+/// failed tasks are retried, idempotent-friendly (use Accumulator for
+/// counters rather than raw shared state).
+template <typename T, typename F>
+void Foreach(const Dataset<T>& ds, F fn,
+             const std::string& label = "foreach") {
+  auto node = ds.node();
+  node->EnsureReady();
+  ds.context()->RunTasks(label, node->num_partitions(),
+                         [&](TaskContext& task) {
+                           auto part = node->Get(task.partition(), task);
+                           task.metrics().records_out = part->size();
+                           for (const T& value : *part) fn(value);
+                         });
+}
+
+/// Occurrence count per distinct value, on the driver (Spark's
+/// countByValue).
+template <typename T>
+std::unordered_map<T, std::uint64_t> CountByValue(
+    const Dataset<T>& ds, std::uint32_t num_partitions) {
+  auto keyed = ds.Map([](const T& value) {
+    return std::pair<T, std::uint64_t>(value, 1);
+  });
+  return CollectAsMap(
+      ReduceByKey(keyed,
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                  num_partitions),
+      "countByValue");
+}
+
+/// Two-level aggregation (Spark's aggregate): `seq_op` folds records into
+/// a per-partition accumulator starting from `zero`; `comb_op` merges the
+/// partition accumulators on the driver.
+template <typename T, typename Acc, typename SeqOp, typename CombOp>
+Acc Aggregate(const Dataset<T>& ds, Acc zero, SeqOp seq_op, CombOp comb_op) {
+  auto partials = ds.MapPartitions(
+      [zero, seq_op](std::uint32_t, const std::vector<T>& records) {
+        Acc acc = zero;
+        for (const T& record : records) acc = seq_op(acc, record);
+        return std::vector<Acc>{acc};
+      });
+  Acc total = zero;
+  for (const Acc& partial : partials.Collect("aggregate")) {
+    total = comb_op(total, partial);
+  }
+  return total;
+}
+
+// -- Output & checkpointing ---------------------------------------------------------------------
+
+/// Writes one DFS text file per partition under `directory`
+/// ("<directory>/part-00000", ...), like saveAsTextFile. Tasks write
+/// concurrently; the DFS handles placement and replication.
+inline Status SaveAsTextFile(const Dataset<std::string>& ds,
+                             const std::string& directory) {
+  if (ds.context()->dfs() == nullptr) {
+    return Status::FailedPrecondition("no DFS attached to the context");
+  }
+  auto node = ds.node();
+  node->EnsureReady();
+  std::mutex status_mutex;
+  Status first_error;
+  ds.context()->RunTasks(
+      "saveAsTextFile(" + directory + ")", node->num_partitions(),
+      [&](TaskContext& task) {
+        auto part = node->Get(task.partition(), task);
+        char name[32];
+        std::snprintf(name, sizeof(name), "/part-%05u", task.partition());
+        const Status status = ds.context()->dfs()->WriteTextFile(
+            directory + name, *part);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(status_mutex);
+          if (first_error.ok()) first_error = status;
+        }
+      });
+  return first_error;
+}
+
+/// Persists the dataset's partitions to the DFS and returns a new dataset
+/// reading from them with TRUNCATED lineage (no parents). Long resampling
+/// chains checkpoint their expensive intermediates so recovery does not
+/// recompute from the original inputs. Requires Codec<T>.
+template <typename T>
+Result<Dataset<T>> Checkpoint(const Dataset<T>& ds, const std::string& path) {
+  if (ds.context()->dfs() == nullptr) {
+    return Status::FailedPrecondition("no DFS attached to the context");
+  }
+  std::vector<std::vector<T>> partitions = RunStage(*ds.node(), "checkpoint");
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(partitions.size());
+  for (const auto& partition : partitions) {
+    blocks.push_back(EncodePartition(partition));
+  }
+  SS_RETURN_IF_ERROR(ds.context()->dfs()->WriteBinaryFile(path, blocks));
+  return Dataset<T>(ds.context(),
+                    std::make_shared<nodes::CheckpointNode<T>>(
+                        ds.context(), path,
+                        static_cast<std::uint32_t>(blocks.size())));
+}
+
+/// Reopens an existing checkpoint (e.g. in a later session).
+template <typename T>
+Result<Dataset<T>> OpenCheckpoint(EngineContext& ctx, const std::string& path) {
+  if (ctx.dfs() == nullptr) {
+    return Status::FailedPrecondition("no DFS attached to the context");
+  }
+  Result<std::uint32_t> blocks = ctx.dfs()->BlockCount(path);
+  if (!blocks.ok()) return blocks.status();
+  return Dataset<T>(&ctx, std::make_shared<nodes::CheckpointNode<T>>(
+                              &ctx, path, blocks.value()));
+}
+
+}  // namespace ss::engine

@@ -1,0 +1,106 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+#include "support/table.hpp"
+
+namespace ss::engine {
+
+std::uint64_t MetricsRecorder::BeginStage(const std::string& label,
+                                          std::uint32_t num_tasks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageMetrics stage;
+  stage.stage_id = next_stage_id_++;
+  stage.label = label;
+  stage.task_seconds.reserve(num_tasks);
+  stages_.push_back(std::move(stage));
+  return stages_.back().stage_id;
+}
+
+namespace {
+
+StageMetrics* FindStage(std::vector<StageMetrics>& stages, std::uint64_t id) {
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    if (it->stage_id == id) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void MetricsRecorder::RecordTask(std::uint64_t stage_id,
+                                 const TaskMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageMetrics* stage = FindStage(stages_, stage_id);
+  SS_CHECK(stage != nullptr);
+  stage->task_seconds.push_back(metrics.compute_seconds);
+  stage->shuffle_read_bytes += metrics.shuffle_read_bytes;
+  stage->shuffle_write_bytes += metrics.shuffle_write_bytes;
+  stage->records_out += metrics.records_out;
+}
+
+void MetricsRecorder::RecordFailure(std::uint64_t stage_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageMetrics* stage = FindStage(stages_, stage_id);
+  SS_CHECK(stage != nullptr);
+  ++stage->failed_attempts;
+}
+
+void MetricsRecorder::RecordBroadcast(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  broadcast_bytes_ += bytes;
+}
+
+std::vector<StageMetrics> MetricsRecorder::stages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stages_;
+}
+
+std::uint64_t MetricsRecorder::broadcast_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return broadcast_bytes_;
+}
+
+cluster::JobProfile MetricsRecorder::ToJobProfile() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cluster::JobProfile job;
+  job.stages.reserve(stages_.size());
+  for (const StageMetrics& stage : stages_) {
+    cluster::StageProfile profile;
+    profile.task_compute_s = stage.task_seconds;
+    profile.shuffle_read_bytes = stage.shuffle_read_bytes;
+    profile.shuffle_write_bytes = stage.shuffle_write_bytes;
+    job.stages.push_back(std::move(profile));
+  }
+  return job;
+}
+
+void MetricsRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+  broadcast_bytes_ = 0;
+}
+
+std::string FormatStageReport(const std::vector<StageMetrics>& stages) {
+  Table table("Stages", {"id", "label", "tasks", "total task s", "max task s",
+                         "records out", "shuffle R/W bytes", "failed"});
+  for (const StageMetrics& stage : stages) {
+    double total = 0.0;
+    double longest = 0.0;
+    for (double seconds : stage.task_seconds) {
+      total += seconds;
+      longest = std::max(longest, seconds);
+    }
+    table.AddRow({std::to_string(stage.stage_id), stage.label,
+                  std::to_string(stage.task_seconds.size()),
+                  Table::Num(total, 4), Table::Num(longest, 4),
+                  std::to_string(stage.records_out),
+                  std::to_string(stage.shuffle_read_bytes) + "/" +
+                      std::to_string(stage.shuffle_write_bytes),
+                  std::to_string(stage.failed_attempts)});
+  }
+  return table.ToString();
+}
+
+}  // namespace ss::engine

@@ -1,0 +1,68 @@
+// Stage/job metrics collection.
+//
+// Every job run through the EngineContext appends one StageMetrics per
+// stage (the reduce stage of a shuffle and its map stage are distinct
+// stages, as in Spark's DAG). The recorder converts the collected metrics
+// into a cluster::JobProfile so the VirtualScheduler can replay the same
+// work onto an arbitrary simulated topology — this is how the scaling
+// benches (Figs 6-7) are produced on a single physical machine.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/virtual_scheduler.hpp"
+#include "engine/task.hpp"
+
+namespace ss::engine {
+
+/// Aggregated metrics of one stage.
+struct StageMetrics {
+  std::uint64_t stage_id = 0;
+  std::string label;
+  std::vector<double> task_seconds;  ///< Final (successful) attempt each.
+  std::uint64_t shuffle_read_bytes = 0;
+  std::uint64_t shuffle_write_bytes = 0;
+  std::uint64_t records_out = 0;
+  int failed_attempts = 0;
+};
+
+class MetricsRecorder {
+ public:
+  /// Opens a new stage; returns its id. Thread-safe.
+  std::uint64_t BeginStage(const std::string& label, std::uint32_t num_tasks);
+
+  /// Records one successful task attempt's metrics.
+  void RecordTask(std::uint64_t stage_id, const TaskMetrics& metrics);
+
+  /// Counts a failed attempt (for retry accounting).
+  void RecordFailure(std::uint64_t stage_id);
+
+  /// Adds broadcast traffic (driver -> every executor once).
+  void RecordBroadcast(std::uint64_t bytes);
+
+  /// Stages recorded since construction or the last Reset.
+  std::vector<StageMetrics> stages() const;
+  std::uint64_t broadcast_bytes() const;
+
+  /// Converts recorded stages into a replayable job profile.
+  cluster::JobProfile ToJobProfile() const;
+
+  /// Clears all recorded stages (benches call this between configurations).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StageMetrics> stages_;
+  std::uint64_t next_stage_id_ = 1;
+  std::uint64_t broadcast_bytes_ = 0;
+};
+
+/// Renders recorded stages as an ASCII table (the engine's equivalent of
+/// the Spark UI's stage list): id, label, tasks, total/max task seconds,
+/// shuffle volumes, failed attempts.
+std::string FormatStageReport(const std::vector<StageMetrics>& stages);
+
+}  // namespace ss::engine

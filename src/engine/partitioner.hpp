@@ -1,0 +1,30 @@
+// Hash partitioning of keys to reduce partitions.
+//
+// std::hash for integral types is the identity on most standard libraries;
+// the extra SplitMix64-style mix prevents pathological bucket skew when
+// keys are sequential SNP indices (the common case in SparkScore).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ss::engine {
+
+/// 64-bit finalizer mix (SplitMix64's output function).
+inline std::uint64_t MixHash(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Maps a key to one of `num_partitions` buckets.
+template <typename K>
+std::uint32_t PartitionOf(const K& key, std::uint32_t num_partitions) {
+  const std::uint64_t h = MixHash(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  return static_cast<std::uint32_t>(h % num_partitions);
+}
+
+}  // namespace ss::engine

@@ -1,0 +1,71 @@
+// Per-task execution context and metrics.
+//
+// A task is the unit the scheduler retries and accounts: the computation of
+// one partition of one dataset within one stage. Narrow dependencies are
+// pipelined inside a task (computing a MapNode partition pulls its parent's
+// partition in the same call stack), exactly like Spark.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace ss::engine {
+
+/// What one task attempt did; aggregated into StageMetrics.
+struct TaskMetrics {
+  double compute_seconds = 0.0;       ///< Wall time of the attempt.
+  std::uint64_t records_out = 0;      ///< Records in the produced partition.
+  std::uint64_t shuffle_write_bytes = 0;
+  std::uint64_t shuffle_read_bytes = 0;
+  int attempt = 0;                    ///< 0 for first attempt.
+};
+
+/// Handed to every task; identifies it and provides per-task randomness.
+class TaskContext {
+ public:
+  TaskContext(std::uint64_t stage_id, std::uint32_t partition, int attempt,
+              int executor, int node, std::uint64_t job_seed)
+      : stage_id_(stage_id),
+        partition_(partition),
+        attempt_(attempt),
+        executor_(executor),
+        node_(node),
+        job_seed_(job_seed) {}
+
+  std::uint64_t stage_id() const { return stage_id_; }
+  std::uint32_t partition() const { return partition_; }
+  int attempt() const { return attempt_; }
+  int executor() const { return executor_; }
+  int node() const { return node_; }
+
+  /// Deterministic per-(stage, partition, salt) generator — independent of
+  /// the attempt number so a retried task reproduces the same randomness,
+  /// and independent of scheduling order across partitions.
+  Rng MakeRng(std::uint64_t salt = 0) const {
+    Rng base(job_seed_);
+    return base.Split(stage_id_ * 0x1000003ULL + partition_)
+        .Split(salt + 1);
+  }
+
+  TaskMetrics& metrics() { return metrics_; }
+  const TaskMetrics& metrics() const { return metrics_; }
+
+ private:
+  std::uint64_t stage_id_;
+  std::uint32_t partition_;
+  int attempt_;
+  int executor_;
+  int node_;
+  std::uint64_t job_seed_;
+  TaskMetrics metrics_;
+};
+
+/// Exception type used for injected/task-internal failures the scheduler
+/// should retry.
+class TaskFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace ss::engine

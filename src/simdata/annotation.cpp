@@ -1,0 +1,173 @@
+#include "simdata/annotation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/distributions.hpp"
+#include "support/string_util.hpp"
+
+namespace ss::simdata {
+
+GenomeAnnotation::GenomeAnnotation(std::vector<Gene> genes,
+                                   std::vector<SnpLocus> loci)
+    : genes_(std::move(genes)), loci_(std::move(loci)) {
+  std::sort(genes_.begin(), genes_.end(), [](const Gene& a, const Gene& b) {
+    return a.chromosome < b.chromosome ||
+           (a.chromosome == b.chromosome && a.start < b.start);
+  });
+  for (const Gene& gene : genes_) {
+    SS_CHECK(gene.start <= gene.end);
+  }
+}
+
+std::vector<std::uint32_t> GenomeAnnotation::GenesContaining(
+    std::uint32_t snp) const {
+  SS_CHECK(snp < loci_.size());
+  const SnpLocus& locus = loci_[snp];
+  // Binary search to this chromosome's gene range, then scan genes with
+  // start <= pos. Overlapping genes make interval-tree pruning unsafe
+  // without max-end augmentation; at annotation scale (10^2-10^4 genes
+  // per chromosome) the straight scan is both correct and fast.
+  auto begin = std::lower_bound(
+      genes_.begin(), genes_.end(), locus.chromosome,
+      [](const Gene& gene, std::uint32_t chr) { return gene.chromosome < chr; });
+  std::vector<std::uint32_t> containing;
+  for (auto it = begin;
+       it != genes_.end() && it->chromosome == locus.chromosome &&
+       it->start <= locus.position;
+       ++it) {
+    if (it->Contains(locus)) containing.push_back(it->id);
+  }
+  return containing;
+}
+
+std::vector<stats::SnpSet> GenomeAnnotation::DeriveSnpSets() const {
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_gene;
+  for (std::uint32_t snp = 0; snp < loci_.size(); ++snp) {
+    for (std::uint32_t gene : GenesContaining(snp)) {
+      by_gene[gene].push_back(snp);
+    }
+  }
+  std::vector<stats::SnpSet> sets;
+  sets.reserve(by_gene.size());
+  for (const Gene& gene : genes_) {
+    auto it = by_gene.find(gene.id);
+    if (it == by_gene.end() || it->second.empty()) continue;
+    sets.push_back({gene.id, it->second});
+  }
+  return sets;
+}
+
+std::uint32_t GenomeAnnotation::GenicSnpCount() const {
+  std::uint32_t genic = 0;
+  for (std::uint32_t snp = 0; snp < loci_.size(); ++snp) {
+    if (!GenesContaining(snp).empty()) ++genic;
+  }
+  return genic;
+}
+
+GenomeAnnotation GenerateGenome(const GenomeConfig& config) {
+  SS_CHECK(config.num_chromosomes >= 1);
+  SS_CHECK(config.chromosome_length > config.mean_gene_length);
+  Rng rng(config.seed);
+
+  std::vector<Gene> genes;
+  genes.reserve(config.num_genes);
+  for (std::uint32_t g = 0; g < config.num_genes; ++g) {
+    Gene gene;
+    gene.id = g;
+    gene.chromosome =
+        1 + static_cast<std::uint32_t>(rng.NextBounded(config.num_chromosomes));
+    const auto length = static_cast<std::uint64_t>(std::max(
+        1.0, SampleExponential(rng, 1.0 / static_cast<double>(
+                                         config.mean_gene_length))));
+    const std::uint64_t clamped =
+        std::min(length, config.chromosome_length - 1);
+    gene.start = rng.NextBounded(config.chromosome_length - clamped);
+    gene.end = gene.start + clamped;
+    gene.name = "GENE" + std::to_string(g);
+    genes.push_back(std::move(gene));
+  }
+
+  std::vector<SnpLocus> loci;
+  loci.reserve(config.num_snps);
+  for (std::uint32_t s = 0; s < config.num_snps; ++s) {
+    SnpLocus locus;
+    if (!genes.empty() && SampleBernoulli(rng, config.genic_fraction)) {
+      // Place inside a random gene.
+      const Gene& gene = genes[rng.NextBounded(genes.size())];
+      locus.chromosome = gene.chromosome;
+      locus.position =
+          gene.start + rng.NextBounded(gene.end - gene.start + 1);
+    } else {
+      locus.chromosome = 1 + static_cast<std::uint32_t>(
+                                 rng.NextBounded(config.num_chromosomes));
+      locus.position = rng.NextBounded(config.chromosome_length);
+    }
+    loci.push_back(locus);
+  }
+  return GenomeAnnotation(std::move(genes), std::move(loci));
+}
+
+std::string FormatGene(const Gene& gene) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%u %u %llu %llu %s", gene.id,
+                gene.chromosome, static_cast<unsigned long long>(gene.start),
+                static_cast<unsigned long long>(gene.end), gene.name.c_str());
+  return buf;
+}
+
+std::string FormatLocus(const SnpLocus& locus) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u %llu", locus.chromosome,
+                static_cast<unsigned long long>(locus.position));
+  return buf;
+}
+
+namespace {
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (std::string& part : Split(line, ' ')) {
+    if (!part.empty()) tokens.push_back(std::move(part));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<Gene> ParseGene(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() != 5) {
+    return Status::InvalidArgument("gene record needs 5 fields: " + line);
+  }
+  Gene gene;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  if (!ParseU32(tokens[0], &gene.id) || !ParseU32(tokens[1], &gene.chromosome) ||
+      !ParseI64(tokens[2], &start) || !ParseI64(tokens[3], &end) ||
+      start < 0 || end < start) {
+    return Status::InvalidArgument("bad gene record: " + line);
+  }
+  gene.start = static_cast<std::uint64_t>(start);
+  gene.end = static_cast<std::uint64_t>(end);
+  gene.name = tokens[4];
+  return gene;
+}
+
+Result<SnpLocus> ParseLocus(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument("locus record needs 'chr pos': " + line);
+  }
+  SnpLocus locus;
+  std::int64_t position = 0;
+  if (!ParseU32(tokens[0], &locus.chromosome) ||
+      !ParseI64(tokens[1], &position) || position < 0) {
+    return Status::InvalidArgument("bad locus record: " + line);
+  }
+  locus.position = static_cast<std::uint64_t>(position);
+  return locus;
+}
+
+}  // namespace ss::simdata

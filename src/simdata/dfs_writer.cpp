@@ -1,0 +1,84 @@
+#include "simdata/dfs_writer.hpp"
+
+#include "simdata/text_format.hpp"
+
+namespace ss::simdata {
+
+StudyPaths StudyPaths::Under(const std::string& prefix) {
+  return StudyPaths{
+      .genotypes = prefix + "/genotypes.txt",
+      .phenotype = prefix + "/phenotype.txt",
+      .weights = prefix + "/weights.txt",
+      .snp_sets = prefix + "/snpsets.txt",
+  };
+}
+
+namespace {
+
+/// Shared staging of the three genotype-side files.
+Status WriteGenotypeSide(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                         const SyntheticDataset& dataset);
+
+}  // namespace
+
+Status WriteStudy(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                  const SyntheticDataset& dataset) {
+  SS_RETURN_IF_ERROR(dfs.WriteTextFile(
+      paths.phenotype,
+      FormatPhenotypeFile(stats::Phenotype::Cox(dataset.survival))));
+  return WriteGenotypeSide(dfs, paths, dataset);
+}
+
+Status WriteStudyWithPhenotype(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                               const SyntheticDataset& dataset,
+                               const stats::Phenotype& phenotype) {
+  SS_CHECK(phenotype.n() == dataset.genotypes.num_patients);
+  SS_RETURN_IF_ERROR(
+      dfs.WriteTextFile(paths.phenotype, FormatPhenotypeFile(phenotype)));
+  return WriteGenotypeSide(dfs, paths, dataset);
+}
+
+namespace {
+
+Status WriteGenotypeSide(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                         const SyntheticDataset& dataset) {
+  {
+    std::vector<std::string> lines;
+    lines.reserve(dataset.genotypes.num_snps());
+    for (std::uint32_t j = 0; j < dataset.genotypes.num_snps(); ++j) {
+      lines.push_back(
+          FormatSnpRecord({j, dataset.genotypes.by_snp[j]}));
+    }
+    SS_RETURN_IF_ERROR(dfs.WriteTextFile(paths.genotypes, lines));
+  }
+  {
+    std::vector<std::string> lines;
+    lines.reserve(dataset.weights.size());
+    for (std::uint32_t j = 0; j < dataset.weights.size(); ++j) {
+      lines.push_back(FormatWeight({j, dataset.weights[j]}));
+    }
+    SS_RETURN_IF_ERROR(dfs.WriteTextFile(paths.weights, lines));
+  }
+  {
+    std::vector<std::string> lines;
+    lines.reserve(dataset.sets.size());
+    for (const stats::SnpSet& set : dataset.sets) {
+      lines.push_back(FormatSnpSet(set));
+    }
+    SS_RETURN_IF_ERROR(dfs.WriteTextFile(paths.snp_sets, lines));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<StudyPaths> GenerateToDfs(dfs::MiniDfs& dfs, const std::string& prefix,
+                                 const GeneratorConfig& config) {
+  const StudyPaths paths = StudyPaths::Under(prefix);
+  const SyntheticDataset dataset = Generate(config);
+  Status status = WriteStudy(dfs, paths, dataset);
+  if (!status.ok()) return status;
+  return paths;
+}
+
+}  // namespace ss::simdata

@@ -1,0 +1,39 @@
+// Stages a synthetic dataset into the mini-DFS under a directory prefix,
+// producing the four text inputs of Algorithm 1.
+#pragma once
+
+#include <string>
+
+#include "dfs/dfs.hpp"
+#include "simdata/generator.hpp"
+#include "stats/score_engine.hpp"
+#include "support/status.hpp"
+
+namespace ss::simdata {
+
+/// File paths of one staged study.
+struct StudyPaths {
+  std::string genotypes;
+  std::string phenotype;
+  std::string weights;
+  std::string snp_sets;
+
+  /// "<prefix>/genotypes.txt" etc.
+  static StudyPaths Under(const std::string& prefix);
+};
+
+/// Writes all four files. Fails if any already exists.
+Status WriteStudy(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                  const SyntheticDataset& dataset);
+
+/// Like WriteStudy, but stages `phenotype` (any model) instead of the
+/// dataset's survival table — e.g. an eQTL study's expression values.
+Status WriteStudyWithPhenotype(dfs::MiniDfs& dfs, const StudyPaths& paths,
+                               const SyntheticDataset& dataset,
+                               const stats::Phenotype& phenotype);
+
+/// Convenience: generate + stage in one call, returning the paths.
+Result<StudyPaths> GenerateToDfs(dfs::MiniDfs& dfs, const std::string& prefix,
+                                 const GeneratorConfig& config);
+
+}  // namespace ss::simdata

@@ -1,0 +1,158 @@
+#include "simdata/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace ss::simdata {
+namespace {
+
+// Independent sub-streams of the master seed, so changing e.g. the number
+// of SNPs does not perturb the phenotype draws.
+constexpr std::uint64_t kStreamSurvival = 1;
+constexpr std::uint64_t kStreamGenotypes = 2;
+constexpr std::uint64_t kStreamSets = 3;
+constexpr std::uint64_t kStreamWeights = 4;
+
+double WeightFor(WeightScheme scheme, double rho, Rng& rng) {
+  switch (scheme) {
+    case WeightScheme::kUnit:
+      return 1.0;
+    case WeightScheme::kMadsenBrowning:
+      return 1.0 / std::sqrt(2.0 * rho * (1.0 - rho));
+    case WeightScheme::kRandom:
+      return 0.5 + rng.NextDouble();
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+stats::SurvivalData GenerateSurvival(std::uint64_t seed, std::uint32_t n,
+                                     double mean_survival, double event_rate) {
+  SS_CHECK(mean_survival > 0.0);
+  Rng rng = Rng(seed).Split(kStreamSurvival);
+  stats::SurvivalData data;
+  data.time.reserve(n);
+  data.event.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    data.time.push_back(SampleExponential(rng, 1.0 / mean_survival));
+    data.event.push_back(SampleBernoulli(rng, event_rate) ? 1 : 0);
+  }
+  return data;
+}
+
+std::vector<stats::SnpSet> GenerateSnpSets(std::uint64_t seed,
+                                           std::uint32_t num_snps,
+                                           std::uint32_t num_sets) {
+  SS_CHECK(num_sets >= 1);
+  SS_CHECK(num_snps >= num_sets);
+  Rng rng = Rng(seed).Split(kStreamSets);
+
+  // SNPs are assigned to sets by walking a shuffled ordering, so set
+  // membership is "arbitrary" as in the paper while remaining a partition.
+  std::vector<std::uint32_t> shuffled(num_snps);
+  std::iota(shuffled.begin(), shuffled.end(), 0u);
+  ShuffleInPlace(rng, shuffled);
+
+  const double mean_size =
+      static_cast<double>(num_snps) / static_cast<double>(num_sets);
+  std::vector<stats::SnpSet> sets(num_sets);
+  std::size_t cursor = 0;
+  for (std::uint32_t k = 0; k < num_sets; ++k) {
+    sets[k].id = k;
+    if (k + 1 == num_sets) break;  // last set takes the remainder below
+    double draw = SampleExponential(rng, 1.0 / mean_size);
+    // "rounded down to the nearest integer, or up to 1 if between 0 and 1"
+    std::size_t size = draw < 1.0 ? 1 : static_cast<std::size_t>(draw);
+    // Leave at least one SNP per remaining set so no set is empty.
+    const std::size_t sets_after = num_sets - k - 1;
+    const std::size_t available = num_snps - cursor;
+    size = std::min(size, available > sets_after ? available - sets_after : 1);
+    for (std::size_t s = 0; s < size; ++s) {
+      sets[k].snps.push_back(shuffled[cursor++]);
+    }
+  }
+  // "SNP-set K is augmented by the SNPs not picked by SNP-sets 1..K-1."
+  while (cursor < num_snps) {
+    sets[num_sets - 1].snps.push_back(shuffled[cursor++]);
+  }
+  return sets;
+}
+
+SyntheticDataset Generate(const GeneratorConfig& config) {
+  SS_CHECK(config.num_patients >= 2);
+  SS_CHECK(config.num_snps >= config.num_sets);
+  SS_CHECK(config.maf_min > 0.0 && config.maf_max < 1.0 &&
+           config.maf_min <= config.maf_max);
+
+  SyntheticDataset dataset;
+  dataset.survival =
+      GenerateSurvival(config.seed, config.num_patients,
+                       config.mean_survival_months, config.event_rate);
+
+  Rng genotype_root = Rng(config.seed).Split(kStreamGenotypes);
+  Rng weight_rng = Rng(config.seed).Split(kStreamWeights);
+  dataset.genotypes.num_patients = config.num_patients;
+  dataset.genotypes.by_snp.resize(config.num_snps);
+  dataset.genotypes.allele_freq.resize(config.num_snps);
+  dataset.weights.resize(config.num_snps);
+
+  const std::uint32_t block = std::max(1u, config.ld_block_size);
+  // Per-(block, patient) shared haplotype uniforms; resampled per block.
+  std::vector<double> h1;
+  std::vector<double> h2;
+
+  for (std::uint32_t j = 0; j < config.num_snps; ++j) {
+    // Per-SNP child stream: SNP j's genotypes do not depend on how many
+    // SNPs precede it (for block size 1; larger blocks couple SNPs by
+    // design).
+    Rng rng = genotype_root.Split(j + 1);
+    const double rho =
+        config.maf_min + (config.maf_max - config.maf_min) * rng.NextDouble();
+    dataset.genotypes.allele_freq[j] = rho;
+    auto& row = dataset.genotypes.by_snp[j];
+    row.reserve(config.num_patients);
+
+    if (block == 1) {
+      // Independent regime (the paper's Section III).
+      for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+        row.push_back(static_cast<std::uint8_t>(SampleBinomial(rng, 2, rho)));
+      }
+    } else {
+      if (j % block == 0) {
+        // New LD block: fresh shared haplotype uniforms per patient.
+        Rng block_rng = genotype_root.Split(0x10000000ULL + j / block);
+        h1.resize(config.num_patients);
+        h2.resize(config.num_patients);
+        for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+          h1[i] = block_rng.NextDouble();
+          h2[i] = block_rng.NextDouble();
+        }
+      }
+      for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+        // With probability ld_correlation reuse the block haplotype
+        // uniform (copula coupling), else draw fresh; either way the
+        // marginal allele probability is exactly rho.
+        const double u1 = SampleBernoulli(rng, config.ld_correlation)
+                              ? h1[i]
+                              : rng.NextDouble();
+        const double u2 = SampleBernoulli(rng, config.ld_correlation)
+                              ? h2[i]
+                              : rng.NextDouble();
+        row.push_back(static_cast<std::uint8_t>((u1 < rho ? 1 : 0) +
+                                                (u2 < rho ? 1 : 0)));
+      }
+    }
+    dataset.weights[j] = WeightFor(config.weights, rho, weight_rng);
+  }
+
+  dataset.sets = GenerateSnpSets(config.seed, config.num_snps, config.num_sets);
+  return dataset;
+}
+
+}  // namespace ss::simdata

@@ -1,0 +1,222 @@
+#include "simdata/text_format.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "support/string_util.hpp"
+
+namespace ss::simdata {
+namespace {
+
+/// Splits a line on single spaces into trimmed, non-empty tokens.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (std::string& part : Split(line, ' ')) {
+    if (!part.empty()) tokens.push_back(std::move(part));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string FormatSnpRecord(const SnpRecord& record) {
+  std::string line = std::to_string(record.snp);
+  line.reserve(line.size() + record.genotypes.size() * 2);
+  for (std::uint8_t g : record.genotypes) {
+    line += ' ';
+    line += static_cast<char>('0' + g);
+  }
+  return line;
+}
+
+std::string FormatPhenotype(const stats::PhenotypePair& pair) {
+  // %.17g round-trips doubles exactly, so DFS-staged studies reproduce
+  // in-memory results bit-for-bit.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g %d", pair.time,
+                static_cast<int>(pair.event));
+  return buf;
+}
+
+std::string FormatWeight(const WeightRecord& record) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u %.17g", record.snp, record.weight);
+  return buf;
+}
+
+std::string FormatSnpSet(const stats::SnpSet& set) {
+  std::string line = std::to_string(set.id);
+  for (std::uint32_t snp : set.snps) {
+    line += ' ';
+    line += std::to_string(snp);
+  }
+  return line;
+}
+
+Result<SnpRecord> ParseSnpRecord(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("genotype record needs snp + >=1 dosage: " +
+                                   line);
+  }
+  SnpRecord record;
+  if (!ParseU32(tokens[0], &record.snp)) {
+    return Status::InvalidArgument("bad SNP id: " + tokens[0]);
+  }
+  record.genotypes.reserve(tokens.size() - 1);
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    std::uint32_t dosage = 0;
+    if (!ParseU32(tokens[t], &dosage) || dosage > 2) {
+      return Status::InvalidArgument("bad dosage '" + tokens[t] + "' for SNP " +
+                                     tokens[0]);
+    }
+    record.genotypes.push_back(static_cast<std::uint8_t>(dosage));
+  }
+  return record;
+}
+
+Result<stats::PhenotypePair> ParsePhenotype(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument("phenotype record needs 'time event': " +
+                                   line);
+  }
+  stats::PhenotypePair pair;
+  std::uint32_t event = 0;
+  if (!ParseDouble(tokens[0], &pair.time) || pair.time < 0.0) {
+    return Status::InvalidArgument("bad time: " + tokens[0]);
+  }
+  if (!ParseU32(tokens[1], &event) || event > 1) {
+    return Status::InvalidArgument("bad event indicator: " + tokens[1]);
+  }
+  pair.event = static_cast<std::uint8_t>(event);
+  return pair;
+}
+
+Result<WeightRecord> ParseWeight(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument("weight record needs 'snp weight': " + line);
+  }
+  WeightRecord record;
+  if (!ParseU32(tokens[0], &record.snp)) {
+    return Status::InvalidArgument("bad SNP id: " + tokens[0]);
+  }
+  if (!ParseDouble(tokens[1], &record.weight) || record.weight < 0.0) {
+    return Status::InvalidArgument("bad weight: " + tokens[1]);
+  }
+  return record;
+}
+
+std::vector<std::string> FormatPhenotypeFile(
+    const stats::Phenotype& phenotype) {
+  std::vector<std::string> lines;
+  lines.reserve(phenotype.n() + 1);
+  char buf[64];
+  switch (phenotype.model) {
+    case stats::ScoreModel::kCox:
+      lines.push_back("#model cox");
+      for (const stats::PhenotypePair& pair : phenotype.survival.ToPairs()) {
+        lines.push_back(FormatPhenotype(pair));
+      }
+      break;
+    case stats::ScoreModel::kGaussian:
+      lines.push_back("#model gaussian");
+      for (double value : phenotype.quantitative.value) {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        lines.emplace_back(buf);
+      }
+      break;
+    case stats::ScoreModel::kBinomial:
+      lines.push_back("#model binomial");
+      for (std::uint8_t value : phenotype.binary.value) {
+        lines.push_back(value ? "1" : "0");
+      }
+      break;
+  }
+  return lines;
+}
+
+Result<stats::Phenotype> ParsePhenotypeFile(
+    const std::vector<std::string>& lines) {
+  stats::ScoreModel model = stats::ScoreModel::kCox;
+  std::size_t first = 0;
+  if (!lines.empty() && !lines[0].empty() && lines[0][0] == '#') {
+    const std::vector<std::string> header = Tokens(lines[0]);
+    if (header.size() != 2 || header[0] != "#model") {
+      return Status::InvalidArgument("bad phenotype header: " + lines[0]);
+    }
+    if (header[1] == "cox") {
+      model = stats::ScoreModel::kCox;
+    } else if (header[1] == "gaussian") {
+      model = stats::ScoreModel::kGaussian;
+    } else if (header[1] == "binomial") {
+      model = stats::ScoreModel::kBinomial;
+    } else {
+      return Status::InvalidArgument("unknown phenotype model: " + header[1]);
+    }
+    first = 1;
+  }
+
+  switch (model) {
+    case stats::ScoreModel::kCox: {
+      std::vector<stats::PhenotypePair> pairs;
+      pairs.reserve(lines.size() - first);
+      for (std::size_t i = first; i < lines.size(); ++i) {
+        Result<stats::PhenotypePair> pair = ParsePhenotype(lines[i]);
+        if (!pair.ok()) return pair.status();
+        pairs.push_back(pair.value());
+      }
+      return stats::Phenotype::Cox(stats::SurvivalData::FromPairs(pairs));
+    }
+    case stats::ScoreModel::kGaussian: {
+      stats::QuantitativeData data;
+      data.value.reserve(lines.size() - first);
+      for (std::size_t i = first; i < lines.size(); ++i) {
+        double value = 0.0;
+        if (!ParseDouble(lines[i], &value)) {
+          return Status::InvalidArgument("bad quantitative value: " + lines[i]);
+        }
+        data.value.push_back(value);
+      }
+      return stats::Phenotype::Gaussian(std::move(data));
+    }
+    case stats::ScoreModel::kBinomial: {
+      stats::BinaryData data;
+      data.value.reserve(lines.size() - first);
+      for (std::size_t i = first; i < lines.size(); ++i) {
+        std::uint32_t value = 0;
+        if (!ParseU32(lines[i], &value) || value > 1) {
+          return Status::InvalidArgument("bad binary value: " + lines[i]);
+        }
+        data.value.push_back(static_cast<std::uint8_t>(value));
+      }
+      return stats::Phenotype::Binomial(std::move(data));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<stats::SnpSet> ParseSnpSet(const std::string& line) {
+  const std::vector<std::string> tokens = Tokens(line);
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("SNP-set record needs set + >=1 SNP: " +
+                                   line);
+  }
+  stats::SnpSet set;
+  if (!ParseU32(tokens[0], &set.id)) {
+    return Status::InvalidArgument("bad set id: " + tokens[0]);
+  }
+  set.snps.reserve(tokens.size() - 1);
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    std::uint32_t snp = 0;
+    if (!ParseU32(tokens[t], &snp)) {
+      return Status::InvalidArgument("bad SNP id '" + tokens[t] + "' in set " +
+                                     tokens[0]);
+    }
+    set.snps.push_back(snp);
+  }
+  return set;
+}
+
+}  // namespace ss::simdata

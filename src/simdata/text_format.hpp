@@ -1,0 +1,67 @@
+// Line formats of the four input files of Algorithm 1, as stored in the
+// mini-DFS. All files are plain text, one record per line, tab-free:
+//
+//   genotypes.txt : "<snp> <g_1> <g_2> ... <g_n>"     (dosages 0/1/2)
+//   phenotype.txt : "<time> <event>"                  (patient order)
+//   weights.txt   : "<snp> <weight>"
+//   snpsets.txt   : "<set> <snp> <snp> ..."
+//
+// Parsers are strict: malformed lines produce InvalidArgument, surfaced as
+// task failures so a corrupt shard fails loudly instead of skewing the
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/score_engine.hpp"
+#include "stats/skat.hpp"
+#include "stats/survival.hpp"
+#include "support/status.hpp"
+
+namespace ss::simdata {
+
+/// One genotype record: SNP id and all patients' dosages.
+struct SnpRecord {
+  std::uint32_t snp = 0;
+  std::vector<std::uint8_t> genotypes;
+
+  bool operator==(const SnpRecord&) const = default;
+};
+
+/// One weight record.
+struct WeightRecord {
+  std::uint32_t snp = 0;
+  double weight = 1.0;
+};
+
+// -- Formatting (writer side) ----------------------------------------------
+
+std::string FormatSnpRecord(const SnpRecord& record);
+std::string FormatPhenotype(const stats::PhenotypePair& pair);
+std::string FormatWeight(const WeightRecord& record);
+std::string FormatSnpSet(const stats::SnpSet& set);
+
+// -- Parsing (pipeline side) -------------------------------------------------
+
+Result<SnpRecord> ParseSnpRecord(const std::string& line);
+Result<stats::PhenotypePair> ParsePhenotype(const std::string& line);
+Result<WeightRecord> ParseWeight(const std::string& line);
+Result<stats::SnpSet> ParseSnpSet(const std::string& line);
+
+// -- Model-tagged phenotype files --------------------------------------------
+//
+// The phenotype file's first line declares the model ("#model cox",
+// "#model gaussian", "#model binomial"); subsequent lines are one patient
+// each: "time event" for Cox, a real value for Gaussian, 0/1 for
+// Binomial. (Files without a header are parsed as Cox for backward
+// compatibility with the paper's survival-only format.)
+
+/// Serializes any phenotype (header + per-patient lines).
+std::vector<std::string> FormatPhenotypeFile(const stats::Phenotype& phenotype);
+
+/// Parses a model-tagged (or legacy header-less Cox) phenotype file.
+Result<stats::Phenotype> ParsePhenotypeFile(const std::vector<std::string>& lines);
+
+}  // namespace ss::simdata

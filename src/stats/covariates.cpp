@@ -1,0 +1,74 @@
+#include "stats/covariates.hpp"
+
+namespace ss::stats {
+
+AdjustedScoreEngine::AdjustedScoreEngine(Matrix design, Cholesky gram_factor,
+                                         std::vector<double> residuals,
+                                         std::vector<double> irls_weights)
+    : design_(std::move(design)),
+      gram_factor_(std::move(gram_factor)),
+      residuals_(std::move(residuals)),
+      irls_weights_(std::move(irls_weights)) {}
+
+Result<AdjustedScoreEngine> AdjustedScoreEngine::Gaussian(
+    const QuantitativeData& phenotype,
+    const std::vector<std::vector<double>>& covariates) {
+  const std::size_t n = phenotype.n();
+  Matrix design = DesignMatrix(n, covariates);
+  Result<std::vector<double>> beta = OlsFit(design, phenotype.value);
+  if (!beta.ok()) return beta.status();
+  std::vector<double> residuals =
+      Residuals(design, phenotype.value, beta.value());
+  Result<Cholesky> factor = Cholesky::Factor(design.Gram());
+  if (!factor.ok()) return factor.status();
+  return AdjustedScoreEngine(std::move(design), std::move(factor).value(),
+                             std::move(residuals), {});
+}
+
+Result<AdjustedScoreEngine> AdjustedScoreEngine::Binomial(
+    const BinaryData& phenotype,
+    const std::vector<std::vector<double>>& covariates) {
+  const std::size_t n = phenotype.n();
+  Matrix design = DesignMatrix(n, covariates);
+  Result<LogisticFit> fit = LogisticRegression(design, phenotype.value);
+  if (!fit.ok()) return fit.status();
+  if (!fit.value().converged) {
+    return Status::FailedPrecondition("null logistic model did not converge");
+  }
+  std::vector<double> residuals(n);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mu = fit.value().fitted[i];
+    residuals[i] = static_cast<double>(phenotype.value[i]) - mu;
+    weights[i] = std::max(mu * (1.0 - mu), 1e-10);
+  }
+  Result<Cholesky> factor = Cholesky::Factor(design.Gram(&weights));
+  if (!factor.ok()) return factor.status();
+  return AdjustedScoreEngine(std::move(design), std::move(factor).value(),
+                             std::move(residuals), std::move(weights));
+}
+
+std::vector<double> AdjustedScoreEngine::ResidualizeGenotype(
+    const std::vector<std::uint8_t>& genotypes) const {
+  std::vector<double> g(genotypes.begin(), genotypes.end());
+  const std::vector<double>* weights =
+      irls_weights_.empty() ? nullptr : &irls_weights_;
+  // coeffs = (X'WX)^{-1} X'W g; residual = g - X coeffs.
+  const std::vector<double> coeffs =
+      gram_factor_.Solve(design_.TransposeTimes(g, weights));
+  const std::vector<double> projected = design_.Times(coeffs);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] -= projected[i];
+  return g;
+}
+
+std::vector<double> AdjustedScoreEngine::Contributions(
+    const std::vector<std::uint8_t>& genotypes) const {
+  SS_CHECK(genotypes.size() == n());
+  std::vector<double> adjusted = ResidualizeGenotype(genotypes);
+  for (std::size_t i = 0; i < adjusted.size(); ++i) {
+    adjusted[i] *= residuals_[i];
+  }
+  return adjusted;
+}
+
+}  // namespace ss::stats

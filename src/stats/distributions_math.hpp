@@ -1,0 +1,28 @@
+// Distribution functions needed for asymptotic inference: standard normal
+// CDF and the chi-square survival function (via the regularized incomplete
+// gamma function, implemented from Numerical-Recipes-style series and
+// continued-fraction expansions — no external dependencies).
+#pragma once
+
+namespace ss::stats {
+
+/// Φ(x): standard normal CDF.
+double NormalCdf(double x);
+
+/// P(|Z| >= |x|) for Z ~ N(0,1): two-sided normal tail.
+double NormalTwoSidedP(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Chi-square survival function: P(X >= x) for X ~ χ²(df).
+double ChiSquareSf(double x, double df);
+
+/// Asymptotic two-sided p-value for a score statistic: z = U/sqrt(V),
+/// p = P(χ²(1) >= z²). Returns 1 when V <= 0 (degenerate SNP).
+double ScoreTestPValue(double score, double variance);
+
+}  // namespace ss::stats

@@ -1,0 +1,26 @@
+#include "stats/linear_score.hpp"
+
+#include "support/status.hpp"
+
+namespace ss::stats {
+
+double QuantitativeData::Mean() const {
+  if (value.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : value) sum += v;
+  return sum / static_cast<double>(value.size());
+}
+
+std::vector<double> LinearScoreContributions(
+    const QuantitativeData& data, double mean,
+    const std::vector<std::uint8_t>& genotypes) {
+  SS_CHECK(genotypes.size() == data.n());
+  std::vector<double> contributions(data.n());
+  for (std::size_t i = 0; i < data.n(); ++i) {
+    contributions[i] =
+        static_cast<double>(genotypes[i]) * (data.value[i] - mean);
+  }
+  return contributions;
+}
+
+}  // namespace ss::stats

@@ -1,0 +1,49 @@
+#include "stats/pvalue.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/status.hpp"
+
+namespace ss::stats {
+
+double EmpiricalPValue(std::uint64_t exceed_count, std::uint64_t replicates,
+                       bool add_one) {
+  if (replicates == 0) return 1.0;
+  SS_CHECK(exceed_count <= replicates);
+  if (add_one) {
+    return static_cast<double>(exceed_count + 1) /
+           static_cast<double>(replicates + 1);
+  }
+  return static_cast<double>(exceed_count) / static_cast<double>(replicates);
+}
+
+std::vector<double> BonferroniAdjust(const std::vector<double>& pvalues) {
+  const double m = static_cast<double>(pvalues.size());
+  std::vector<double> adjusted;
+  adjusted.reserve(pvalues.size());
+  for (double p : pvalues) adjusted.push_back(std::min(1.0, m * p));
+  return adjusted;
+}
+
+std::vector<double> BenjaminiHochbergAdjust(
+    const std::vector<double>& pvalues) {
+  const std::size_t m = pvalues.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pvalues[a] < pvalues[b];
+  });
+  std::vector<double> adjusted(m, 1.0);
+  double running_min = 1.0;
+  for (std::size_t rank = m; rank >= 1; --rank) {
+    const std::size_t idx = order[rank - 1];
+    const double candidate =
+        pvalues[idx] * static_cast<double>(m) / static_cast<double>(rank);
+    running_min = std::min(running_min, candidate);
+    adjusted[idx] = std::min(1.0, running_min);
+  }
+  return adjusted;
+}
+
+}  // namespace ss::stats

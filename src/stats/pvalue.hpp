@@ -1,0 +1,26 @@
+// Empirical p-values from resampling, plus standard multiple-testing
+// adjustments (the paper's inference aggregates per-set p-values across
+// K sets; Westfall & Young 1993 is its reference for resampling-based
+// multiplicity control).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ss::stats {
+
+/// Empirical p-value from `exceed_count` of `replicates` resampled
+/// statistics >= the observed one. With `add_one` (default), uses the
+/// bias-protected estimator (c+1)/(B+1), which can never return 0 — the
+/// recommended form (Westfall & Young); without it, the paper's raw
+/// proportion c/B.
+double EmpiricalPValue(std::uint64_t exceed_count, std::uint64_t replicates,
+                       bool add_one = true);
+
+/// Bonferroni: min(1, m * p) per element.
+std::vector<double> BonferroniAdjust(const std::vector<double>& pvalues);
+
+/// Benjamini-Hochberg step-up FDR adjustment.
+std::vector<double> BenjaminiHochbergAdjust(const std::vector<double>& pvalues);
+
+}  // namespace ss::stats

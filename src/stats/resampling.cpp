@@ -1,0 +1,40 @@
+#include "stats/resampling.hpp"
+
+#include "support/distributions.hpp"
+#include "support/status.hpp"
+
+namespace ss::stats {
+
+PermutationPlan::PermutationPlan(std::uint64_t seed, std::size_t n,
+                                 std::size_t replicates)
+    : n_(n) {
+  permutations_.reserve(replicates);
+  Rng root(seed);
+  for (std::size_t b = 0; b < replicates; ++b) {
+    Rng rng = root.Split(b + 1);
+    permutations_.push_back(SamplePermutation(rng, n));
+  }
+}
+
+MonteCarloWeights::MonteCarloWeights(std::uint64_t seed, std::size_t n,
+                                     std::size_t replicates)
+    : n_(n) {
+  weights_.reserve(replicates);
+  Rng root(seed);
+  for (std::size_t b = 0; b < replicates; ++b) {
+    Rng rng = root.Split(b + 1);
+    weights_.push_back(SampleNormalVector(rng, n));
+  }
+}
+
+double MonteCarloReplicateScore(const std::vector<double>& contributions,
+                                const std::vector<double>& multipliers) {
+  SS_CHECK(contributions.size() == multipliers.size());
+  double score = 0.0;
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    score += multipliers[i] * contributions[i];
+  }
+  return score;
+}
+
+}  // namespace ss::stats

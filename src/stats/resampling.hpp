@@ -1,0 +1,57 @@
+// Resampling plans: the randomness of Algorithms 2 and 3, generated up
+// front so replicate b is a pure function of (seed, b) — independent of
+// how replicates are scheduled across the cluster.
+//
+//   * PermutationPlan: B random shufflings of the phenotype pairs
+//     (Algorithm 2 step 2).
+//   * MonteCarloWeights: B x n standard-normal multipliers Z_i (Lin 2005;
+//     Algorithm 3 step 3), applied as Ũ_j = Σ_i Z_i U_ij.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ss::stats {
+
+/// B permutations of 0..n-1.
+class PermutationPlan {
+ public:
+  PermutationPlan(std::uint64_t seed, std::size_t n, std::size_t replicates);
+
+  std::size_t replicates() const { return permutations_.size(); }
+  std::size_t n() const { return n_; }
+
+  /// Permutation for replicate b (deterministic in (seed, b)).
+  const std::vector<std::uint32_t>& Get(std::size_t b) const {
+    return permutations_[b];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<std::uint32_t>> permutations_;
+};
+
+/// B vectors of n standard-normal Monte Carlo multipliers.
+class MonteCarloWeights {
+ public:
+  MonteCarloWeights(std::uint64_t seed, std::size_t n, std::size_t replicates);
+
+  std::size_t replicates() const { return weights_.size(); }
+  std::size_t n() const { return n_; }
+
+  const std::vector<double>& Get(std::size_t b) const { return weights_[b]; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Ũ_j for one replicate: dot product of the multipliers with the observed
+/// per-patient contributions — the O(n) inner loop that makes Algorithm 3
+/// cheap compared to recomputing scores from scratch.
+double MonteCarloReplicateScore(const std::vector<double>& contributions,
+                                const std::vector<double>& multipliers);
+
+}  // namespace ss::stats

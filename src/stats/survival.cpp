@@ -1,0 +1,66 @@
+#include "stats/survival.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ss::stats {
+
+SurvivalData SurvivalData::FromPairs(const std::vector<PhenotypePair>& pairs) {
+  SurvivalData data;
+  data.time.reserve(pairs.size());
+  data.event.reserve(pairs.size());
+  for (const PhenotypePair& pair : pairs) {
+    data.time.push_back(pair.time);
+    data.event.push_back(pair.event);
+  }
+  return data;
+}
+
+std::vector<PhenotypePair> SurvivalData::ToPairs() const {
+  std::vector<PhenotypePair> pairs;
+  pairs.reserve(n());
+  for (std::size_t i = 0; i < n(); ++i) {
+    pairs.push_back({time[i], event[i]});
+  }
+  return pairs;
+}
+
+SurvivalData SurvivalData::Permuted(
+    const std::vector<std::uint32_t>& perm) const {
+  SS_CHECK(perm.size() == n());
+  SurvivalData out;
+  out.time.resize(n());
+  out.event.resize(n());
+  for (std::size_t i = 0; i < n(); ++i) {
+    out.time[i] = time[perm[i]];
+    out.event[i] = event[perm[i]];
+  }
+  return out;
+}
+
+RiskSetIndex::RiskSetIndex(const SurvivalData& data) {
+  const std::size_t n = data.n();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return data.time[a] > data.time[b];
+                   });
+  // prefix_end[i]: patients sorted descending, so the risk set of i is the
+  // sorted prefix ending at the last entry with time >= Y_i. Compute by
+  // scanning the sorted order once and recording, for each distinct time,
+  // the prefix length including all its ties.
+  prefix_end_.resize(n);
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t end = pos;
+    const double t = data.time[order_[pos]];
+    while (end < n && data.time[order_[end]] == t) ++end;
+    for (std::size_t k = pos; k < end; ++k) {
+      prefix_end_[order_[k]] = static_cast<std::uint32_t>(end);
+    }
+    pos = end;
+  }
+}
+
+}  // namespace ss::stats

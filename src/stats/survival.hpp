@@ -1,0 +1,66 @@
+// Phenotype containers and the risk-set index shared by all score
+// statistics over right-censored survival data.
+//
+// A patient's phenotype is the pair (Y_i, Δ_i): observed time and event
+// indicator (1 = death observed at Y_i, 0 = censored at Y_i). The risk set
+// of patient i is R_i = { l : Y_l >= Y_i } — everyone still under
+// observation at i's event time. b_i = |R_i| is SNP-invariant, so it is
+// computed once per analysis (the paper highlights this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ss::stats {
+
+/// One patient's survival phenotype.
+struct PhenotypePair {
+  double time = 0.0;     ///< Y_i: death or last-follow-up time.
+  std::uint8_t event = 0;///< Δ_i: 1 = event observed, 0 = censored.
+
+  bool operator==(const PhenotypePair&) const = default;
+};
+
+/// Column-oriented phenotype table for n patients.
+struct SurvivalData {
+  std::vector<double> time;
+  std::vector<std::uint8_t> event;
+
+  std::size_t n() const { return time.size(); }
+
+  static SurvivalData FromPairs(const std::vector<PhenotypePair>& pairs);
+  std::vector<PhenotypePair> ToPairs() const;
+
+  /// Returns a copy with phenotype pairs permuted: patient i receives the
+  /// pair previously held by patient perm[i]. Genotypes stay in place —
+  /// this is exactly the permutation replicate of Algorithm 2.
+  SurvivalData Permuted(const std::vector<std::uint32_t>& perm) const;
+};
+
+/// Precomputed ordering shared by every per-SNP score computation.
+///
+/// `order` lists patient indices sorted by time descending (ties in input
+/// order); `risk_count[i]` = b_i; `prefix_end[i]` = number of sorted
+/// entries with time >= Y_i, so a suffix-sum array over `order` evaluates
+/// any risk-set sum in O(1) per patient after an O(n) scan per SNP.
+class RiskSetIndex {
+ public:
+  explicit RiskSetIndex(const SurvivalData& data);
+
+  std::size_t n() const { return prefix_end_.size(); }
+  const std::vector<std::uint32_t>& order() const { return order_; }
+
+  /// b_i = |{l : Y_l >= Y_i}|.
+  std::uint32_t risk_count(std::size_t i) const { return prefix_end_[i]; }
+
+  /// Number of sorted entries in patient i's risk set (== risk_count).
+  std::uint32_t prefix_end(std::size_t i) const { return prefix_end_[i]; }
+
+ private:
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> prefix_end_;
+};
+
+}  // namespace ss::stats

@@ -1,0 +1,74 @@
+#include "stats/westfall_young.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/status.hpp"
+
+namespace ss::stats {
+
+std::vector<double> MaxTAdjustedPValues(
+    const std::vector<double>& observed,
+    const std::vector<std::vector<double>>& replicates) {
+  const std::size_t m = observed.size();
+  if (m == 0) return {};
+  const std::size_t B = replicates.size();
+  std::vector<double> max_per_replicate(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    SS_CHECK(replicates[b].size() == m);
+    max_per_replicate[b] =
+        *std::max_element(replicates[b].begin(), replicates[b].end());
+  }
+  std::vector<double> adjusted(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::size_t exceed = 0;
+    for (double max_stat : max_per_replicate) {
+      if (max_stat >= observed[j]) ++exceed;
+    }
+    adjusted[j] =
+        static_cast<double>(exceed + 1) / static_cast<double>(B + 1);
+  }
+  return adjusted;
+}
+
+std::vector<double> StepDownMaxTAdjustedPValues(
+    const std::vector<double>& observed,
+    const std::vector<std::vector<double>>& replicates) {
+  const std::size_t m = observed.size();
+  const std::size_t B = replicates.size();
+  if (m == 0) return {};
+
+  // Rank hypotheses by decreasing observed statistic.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return observed[a] > observed[b];
+  });
+
+  // For rank r, the relevant max is over the hypotheses ranked r..m-1
+  // (those not yet "rejected"). Compute per replicate via a suffix max.
+  std::vector<double> adjusted(m);
+  std::vector<std::size_t> exceed(m, 0);
+  std::vector<double> suffix_max(m);
+  for (std::size_t b = 0; b < B; ++b) {
+    SS_CHECK(replicates[b].size() == m);
+    double running = -1e300;
+    for (std::size_t rr = m; rr > 0; --rr) {
+      running = std::max(running, replicates[b][order[rr - 1]]);
+      suffix_max[rr - 1] = running;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (suffix_max[r] >= observed[order[r]]) ++exceed[r];
+    }
+  }
+  double running_max = 0.0;  // enforce monotonicity down the ranking
+  for (std::size_t r = 0; r < m; ++r) {
+    const double p =
+        static_cast<double>(exceed[r] + 1) / static_cast<double>(B + 1);
+    running_max = std::max(running_max, p);
+    adjusted[order[r]] = running_max;
+  }
+  return adjusted;
+}
+
+}  // namespace ss::stats

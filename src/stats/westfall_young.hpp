@@ -1,0 +1,31 @@
+// Westfall & Young (1993) resampling-based family-wise error control —
+// the paper's reference [40] for resampling multiple-testing adjustment.
+//
+// Given observed statistics T_1..T_m and a B x m matrix of resampled
+// statistics (each row one replicate of the complete family under the
+// global null), the single-step maxT adjusted p-value is
+//
+//     p̃_j = ( 1 + #{ b : max_k T̃_bk >= T_j } ) / ( B + 1 ),
+//
+// and the step-down variant sharpens it by taking the max only over the
+// hypotheses at or below rank(j), with monotonicity enforcement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ss::stats {
+
+/// Single-step maxT adjusted p-values. `replicates[b][j]` = T̃_bj.
+std::vector<double> MaxTAdjustedPValues(
+    const std::vector<double>& observed,
+    const std::vector<std::vector<double>>& replicates);
+
+/// Step-down maxT (Westfall-Young Algorithm 2.8; uniformly no larger than
+/// the single-step values, still strongly FWER-controlling under subset
+/// pivotality).
+std::vector<double> StepDownMaxTAdjustedPValues(
+    const std::vector<double>& observed,
+    const std::vector<std::vector<double>>& replicates);
+
+}  // namespace ss::stats

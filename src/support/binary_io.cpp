@@ -1,0 +1,14 @@
+#include "support/binary_io.hpp"
+
+namespace ss {
+
+std::uint64_t Checksum(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace ss

@@ -1,0 +1,96 @@
+// Byte-oriented serialization used by the mini-DFS block format and the
+// engine's shuffle spill format. Little-endian, no alignment requirements.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ss {
+
+/// Appends primitive values to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void WriteU8(std::uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(std::uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(std::uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(std::int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  void WriteRaw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequentially reads values written by BinaryWriter. Out-of-bounds reads
+/// trigger SS_CHECK (corrupt blocks indicate a bug or injected data loss
+/// that the DFS layer should have caught via checksums).
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t ReadU8() { std::uint8_t v; ReadRaw(&v, sizeof(v)); return v; }
+  std::uint32_t ReadU32() { std::uint32_t v; ReadRaw(&v, sizeof(v)); return v; }
+  std::uint64_t ReadU64() { std::uint64_t v; ReadRaw(&v, sizeof(v)); return v; }
+  std::int64_t ReadI64() { std::int64_t v; ReadRaw(&v, sizeof(v)); return v; }
+  double ReadDouble() { double v; ReadRaw(&v, sizeof(v)); return v; }
+
+  std::string ReadString() {
+    const std::uint64_t size = ReadU64();
+    SS_CHECK(pos_ + size <= bytes_.size());
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = ReadU64();
+    std::vector<T> v(count);
+    ReadRaw(v.data(), count * sizeof(T));
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void ReadRaw(void* out, std::size_t size) {
+    SS_CHECK(pos_ + size <= bytes_.size());
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a checksum over a byte span; the DFS stores one per block so that
+/// corruption (or a truncated replica) is detected at read time.
+std::uint64_t Checksum(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ss

@@ -1,0 +1,52 @@
+#include "support/distributions.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace ss {
+
+double SampleExponential(Rng& rng, double rate) {
+  SS_CHECK(rate > 0.0);
+  // Inversion: -log(1 - U) / rate; 1 - U avoids log(0) since U ∈ [0,1).
+  return -std::log1p(-rng.NextDouble()) / rate;
+}
+
+bool SampleBernoulli(Rng& rng, double p) { return rng.NextDouble() < p; }
+
+int SampleBinomial(Rng& rng, int n, double p) {
+  SS_CHECK(n >= 0);
+  int successes = 0;
+  for (int i = 0; i < n; ++i) successes += SampleBernoulli(rng, p) ? 1 : 0;
+  return successes;
+}
+
+double SampleNormal(Rng& rng) {
+  // Marsaglia polar method; the spare variate is intentionally discarded to
+  // keep the sampler stateless w.r.t. the Rng (simpler reproducibility
+  // reasoning when streams are split per replicate).
+  for (;;) {
+    const double u = 2.0 * rng.NextDouble() - 1.0;
+    const double v = 2.0 * rng.NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::vector<double> SampleNormalVector(Rng& rng, std::size_t k) {
+  std::vector<double> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(SampleNormal(rng));
+  return out;
+}
+
+std::vector<std::uint32_t> SamplePermutation(Rng& rng, std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  ShuffleInPlace(rng, perm);
+  return perm;
+}
+
+}  // namespace ss

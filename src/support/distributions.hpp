@@ -1,0 +1,51 @@
+// Sampling routines for the distributions used by the paper's synthetic
+// data generator (Section III) and by the resampling algorithms:
+//
+//   * Exponential(rate)      — patient survival times (mean 12 months) and
+//                              SNP-set sizes (mean m/K).
+//   * Bernoulli(p)           — event/censoring indicators (p = 0.85).
+//   * Binomial(n, p)         — genotypes G_ij ~ Binomial(2, rho_j).
+//   * Normal(0, 1)           — Lin's Monte Carlo multipliers Z_i.
+//
+// All samplers are free functions taking an `Rng&` so callers control
+// stream placement (one child stream per partition / replicate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ss {
+
+/// Exponential with the given rate (mean = 1/rate). Inversion method.
+double SampleExponential(Rng& rng, double rate);
+
+/// Bernoulli(p): true with probability p.
+bool SampleBernoulli(Rng& rng, double p);
+
+/// Binomial(n, p) by direct summation of Bernoulli draws. The generator's
+/// only binomial use is n = 2 (diploid genotypes), where this is optimal.
+int SampleBinomial(Rng& rng, int n, double p);
+
+/// Standard normal via the Marsaglia polar method (exact, no table setup).
+double SampleNormal(Rng& rng);
+
+/// Convenience: vector of k standard-normal draws (Monte Carlo weights).
+std::vector<double> SampleNormalVector(Rng& rng, std::size_t k);
+
+/// Fisher–Yates shuffle of indices 0..n-1; returns the permutation.
+/// Used to build permutation-resampling plans for phenotype pairs.
+std::vector<std::uint32_t> SamplePermutation(Rng& rng, std::size_t n);
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void ShuffleInPlace(Rng& rng, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace ss

@@ -1,0 +1,51 @@
+// Minimal thread-safe leveled logger.
+//
+// The engine and cluster simulator emit scheduling/recovery events at
+// kDebug; benches run with kWarn so timing loops are not polluted by I/O.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ss {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits a single formatted line ("[LEVEL component] message") to stderr
+/// under a global mutex so concurrent executor threads do not interleave.
+void LogLine(LogLevel level, const std::string& component,
+             const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { LogLine(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SS_LOG(level, component)                                      \
+  if (static_cast<int>(::ss::LogLevel::level) <                       \
+      static_cast<int>(::ss::GetLogLevel())) {                        \
+  } else                                                              \
+    ::ss::internal::LogMessage(::ss::LogLevel::level, component)
+
+}  // namespace ss

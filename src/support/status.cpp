@@ -1,0 +1,40 @@
+#include "support/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ss {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "SS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ss

@@ -1,0 +1,153 @@
+// Lightweight error-handling vocabulary for the SparkScore libraries.
+//
+// We follow the "error codes for expected failures, exceptions only for
+// programmer errors" convention common in HPC codebases: hot paths return
+// `Status` / `Result<T>` instead of throwing, so a task failure inside the
+// engine can be retried by the scheduler without unwinding across thread
+// boundaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ss {
+
+/// Coarse failure categories used across the project.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed parameter.
+  kNotFound,          ///< A named file/block/dataset does not exist.
+  kAlreadyExists,     ///< Creation of something that already exists.
+  kFailedPrecondition,///< Object not in the required state.
+  kResourceExhausted, ///< Out of memory / containers / capacity.
+  kUnavailable,       ///< Node or service is down (possibly transient).
+  kDataLoss,          ///< Unrecoverable data loss (all replicas gone).
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Human-readable name of a StatusCode (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic status: either OK, or a code plus a diagnostic message.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status DataLoss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception thrown by `Result<T>::value()` on error and by `SS_CHECK`.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A value or an error. Minimal `expected`-style type (C++23's std::expected
+/// is not yet available with this toolchain's library mode).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; throws StatusError if this holds an error.
+  T& value() & {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  const T& value() const& {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw StatusError(status_);
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+/// Invariant check that stays on in release builds (cheap enough for our
+/// control paths; never used per-record in hot loops).
+#define SS_CHECK(expr)                                       \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::ss::internal::CheckFailed(#expr, __FILE__, __LINE__);\
+    }                                                        \
+  } while (0)
+
+/// Propagate a non-OK Status from the current function.
+#define SS_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::ss::Status _ss_status = (expr);     \
+    if (!_ss_status.ok()) return _ss_status; \
+  } while (0)
+
+}  // namespace ss

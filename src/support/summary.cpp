@@ -1,0 +1,47 @@
+#include "support/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss_dev = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss_dev += d * d;
+    }
+    s.stdev = std::sqrt(ss_dev / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  return Summarize(values).mean;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double h = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace ss

@@ -1,0 +1,30 @@
+// Small descriptive-statistics helpers used to report bench results in the
+// same form as the paper's Tables III and V (mean and standard deviation
+// over repeated runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ss {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/sample-stdev/min/max. Empty input yields all zeros;
+/// a single observation yields stdev 0.
+Summary Summarize(const std::vector<double>& values);
+
+/// Mean of `values`; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Empirical quantile by linear interpolation (type-7, R default).
+/// `q` is clamped to [0, 1]; input need not be sorted.
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace ss

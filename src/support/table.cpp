@@ -1,0 +1,52 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/status.hpp"
+
+namespace ss {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto row_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  out << rule() << row_line(headers_) << rule();
+  for (const auto& row : rows_) out << row_line(row);
+  out << rule();
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace ss

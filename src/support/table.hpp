@@ -1,0 +1,34 @@
+// ASCII table rendering for bench output. Every benchmark prints its rows
+// in the same layout as the corresponding table/figure in the paper so
+// EXPERIMENTS.md can compare side-by-side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ss {
+
+class Table {
+ public:
+  /// Creates a table titled `title` with the given column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` fractional digits.
+  static std::string Num(double value, int precision = 1);
+
+  /// Renders with column-aligned cells, +-- borders, and the title on top.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ss

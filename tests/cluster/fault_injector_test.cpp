@@ -1,0 +1,87 @@
+#include "cluster/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::cluster {
+namespace {
+
+TEST(FaultInjectorTest, NodeFailureFiresAfterCountdown) {
+  FaultInjector faults;
+  int failed_node = -1;
+  faults.SetOnNodeFailure([&](int node) { failed_node = node; });
+  faults.FailNodeAfterTasks(2, 3);
+
+  faults.OnTaskCompleted();
+  faults.OnTaskCompleted();
+  EXPECT_EQ(failed_node, -1);
+  EXPECT_FALSE(faults.HasFired(2));
+  faults.OnTaskCompleted();
+  EXPECT_EQ(failed_node, 2);
+  EXPECT_TRUE(faults.HasFired(2));
+}
+
+TEST(FaultInjectorTest, FiresOnlyOnce) {
+  FaultInjector faults;
+  int fire_count = 0;
+  faults.SetOnNodeFailure([&](int) { ++fire_count; });
+  faults.FailNodeAfterTasks(0, 1);
+  for (int i = 0; i < 5; ++i) faults.OnTaskCompleted();
+  EXPECT_EQ(fire_count, 1);
+}
+
+TEST(FaultInjectorTest, MultipleArmedFailures) {
+  FaultInjector faults;
+  std::vector<int> fired;
+  faults.SetOnNodeFailure([&](int node) { fired.push_back(node); });
+  faults.FailNodeAfterTasks(1, 1);
+  faults.FailNodeAfterTasks(2, 2);
+  faults.OnTaskCompleted();
+  faults.OnTaskCompleted();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(FaultInjectorTest, TaskFailureConsumesArmedCount) {
+  FaultInjector faults;
+  faults.FailTask(7, 3, 2);
+  EXPECT_TRUE(faults.ShouldFailTask(7, 3));
+  EXPECT_TRUE(faults.ShouldFailTask(7, 3));
+  EXPECT_FALSE(faults.ShouldFailTask(7, 3));  // exhausted
+}
+
+TEST(FaultInjectorTest, TaskFailureMatchesExactTask) {
+  FaultInjector faults;
+  faults.FailTask(7, 3, 1);
+  EXPECT_FALSE(faults.ShouldFailTask(7, 4));
+  EXPECT_FALSE(faults.ShouldFailTask(8, 3));
+  EXPECT_TRUE(faults.ShouldFailTask(7, 3));
+}
+
+TEST(FaultInjectorTest, CallbackRunsOutsideLock) {
+  // Re-entrancy: the callback may arm new failures without deadlocking.
+  FaultInjector faults;
+  bool rearmed = false;
+  faults.SetOnNodeFailure([&](int node) {
+    if (!rearmed) {
+      rearmed = true;
+      faults.FailNodeAfterTasks(node + 1, 1);
+    }
+  });
+  faults.FailNodeAfterTasks(0, 1);
+  faults.OnTaskCompleted();  // fires node 0, arms node 1
+  EXPECT_TRUE(rearmed);
+  faults.OnTaskCompleted();  // fires node 1
+  EXPECT_TRUE(faults.HasFired(1));
+}
+
+TEST(FaultInjectorTest, ResetClearsEverything) {
+  FaultInjector faults;
+  faults.FailNodeAfterTasks(0, 1);
+  faults.FailTask(1, 1, 1);
+  faults.Reset();
+  faults.OnTaskCompleted();
+  EXPECT_FALSE(faults.HasFired(0));
+  EXPECT_FALSE(faults.ShouldFailTask(1, 1));
+}
+
+}  // namespace
+}  // namespace ss::cluster

@@ -1,0 +1,120 @@
+#include "cluster/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::cluster {
+namespace {
+
+ResourceManager MakeRm(int nodes,
+                       ResourceCalculator calc = ResourceCalculator::kMemoryOnly) {
+  return ResourceManager(M3_2xlarge(), nodes, calc, /*reserved=*/6.0);
+}
+
+TEST(ResourceManagerTest, AllocatesWithinCapacity) {
+  ResourceManager rm = MakeRm(2);  // 24 GiB usable per node
+  auto c = rm.Allocate({.memory_gib = 10.0, .vcores = 4});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(rm.LiveContainerCount(), 1);
+  EXPECT_DOUBLE_EQ(rm.FreeMemoryGib(c.value().node), 14.0);
+}
+
+TEST(ResourceManagerTest, RejectsInvalidShape) {
+  ResourceManager rm = MakeRm(1);
+  EXPECT_FALSE(rm.Allocate({.memory_gib = 0.0, .vcores = 1}).ok());
+  EXPECT_FALSE(rm.Allocate({.memory_gib = 1.0, .vcores = 0}).ok());
+}
+
+TEST(ResourceManagerTest, ExhaustsMemory) {
+  ResourceManager rm = MakeRm(1);
+  ASSERT_TRUE(rm.Allocate({.memory_gib = 20.0, .vcores = 1}).ok());
+  EXPECT_EQ(rm.Allocate({.memory_gib = 10.0, .vcores = 1}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceManagerTest, MemoryOnlyCalculatorIgnoresVcores) {
+  ResourceManager rm = MakeRm(1, ResourceCalculator::kMemoryOnly);
+  // 3 x 6 vcores = 18 > 8 vCPUs but only 18 GiB < 24 GiB: all granted.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(rm.Allocate({.memory_gib = 6.0, .vcores = 6}).ok());
+  }
+}
+
+TEST(ResourceManagerTest, DominantCalculatorEnforcesVcores) {
+  ResourceManager rm = MakeRm(1, ResourceCalculator::kDominant);
+  ASSERT_TRUE(rm.Allocate({.memory_gib = 6.0, .vcores = 6}).ok());
+  EXPECT_EQ(rm.Allocate({.memory_gib = 6.0, .vcores = 6}).status().code(),
+            StatusCode::kResourceExhausted);  // only 2 vcores left
+}
+
+TEST(ResourceManagerTest, SpreadsAcrossNodes) {
+  ResourceManager rm = MakeRm(3);
+  std::vector<int> per_node(3, 0);
+  for (int i = 0; i < 6; ++i) {
+    ++per_node[rm.Allocate({.memory_gib = 10.0, .vcores = 2}).value().node];
+  }
+  EXPECT_EQ(per_node, (std::vector<int>{2, 2, 2}));
+}
+
+TEST(ResourceManagerTest, AllocateManyIsAllOrNothing) {
+  ResourceManager rm = MakeRm(2);  // 48 GiB total usable
+  // 5 x 10 GiB exceeds capacity (only 2 fit per node): must grant none.
+  EXPECT_FALSE(rm.AllocateMany({.memory_gib = 10.0, .vcores = 1}, 5).ok());
+  EXPECT_EQ(rm.LiveContainerCount(), 0);
+  // 4 fit exactly.
+  EXPECT_TRUE(rm.AllocateMany({.memory_gib = 10.0, .vcores = 1}, 4).ok());
+  EXPECT_EQ(rm.LiveContainerCount(), 4);
+}
+
+TEST(ResourceManagerTest, ReleaseReturnsCapacity) {
+  ResourceManager rm = MakeRm(1);
+  auto c = rm.Allocate({.memory_gib = 20.0, .vcores = 2}).value();
+  rm.Release(c.id);
+  EXPECT_EQ(rm.LiveContainerCount(), 0);
+  EXPECT_DOUBLE_EQ(rm.FreeMemoryGib(0), 24.0);
+  rm.Release(c.id);  // idempotent
+}
+
+TEST(ResourceManagerTest, ReleaseAll) {
+  ResourceManager rm = MakeRm(2);
+  ASSERT_TRUE(rm.AllocateMany({.memory_gib = 5.0, .vcores = 1}, 6).ok());
+  rm.ReleaseAll();
+  EXPECT_EQ(rm.LiveContainerCount(), 0);
+  EXPECT_DOUBLE_EQ(rm.FreeMemoryGib(0), 24.0);
+  EXPECT_DOUBLE_EQ(rm.FreeMemoryGib(1), 24.0);
+}
+
+TEST(ResourceManagerTest, DecommissionKillsContainersAndCapacity) {
+  ResourceManager rm = MakeRm(2);
+  auto granted = rm.AllocateMany({.memory_gib = 10.0, .vcores = 1}, 4).value();
+  const int victim = granted[0].node;
+  const int lost = rm.DecommissionNode(victim);
+  EXPECT_EQ(lost, 2);
+  EXPECT_EQ(rm.LiveContainerCount(), 2);
+  EXPECT_FALSE(rm.Allocate({.memory_gib = 10.0, .vcores = 1}).ok());
+}
+
+TEST(ResourceManagerTest, RecommissionRestoresCapacity) {
+  ResourceManager rm = MakeRm(1);
+  rm.DecommissionNode(0);
+  EXPECT_FALSE(rm.Allocate({.memory_gib = 1.0, .vcores = 1}).ok());
+  rm.RecommissionNode(0);
+  EXPECT_TRUE(rm.Allocate({.memory_gib = 1.0, .vcores = 1}).ok());
+}
+
+TEST(ResourceManagerTest, PaperTableVIIIConfigsPlaceable) {
+  // All three Table VIII configurations must be grantable on 36 nodes
+  // under the memory-only calculator.
+  struct Config { int containers; double mem; int cores; };
+  for (const Config& config : std::initializer_list<Config>{
+           {42, 10.0, 6}, {84, 5.0, 3}, {126, 3.0, 2}}) {
+    ResourceManager rm = MakeRm(36);
+    EXPECT_TRUE(rm.AllocateMany({.memory_gib = config.mem,
+                                 .vcores = config.cores},
+                                config.containers)
+                    .ok())
+        << config.containers << " containers";
+  }
+}
+
+}  // namespace
+}  // namespace ss::cluster

@@ -1,0 +1,105 @@
+// Straggler model + speculative execution in the virtual scheduler.
+#include <gtest/gtest.h>
+
+#include "cluster/virtual_scheduler.hpp"
+
+namespace ss::cluster {
+namespace {
+
+CostModel PureCompute(double straggler_p = 0.0, double slowdown = 8.0) {
+  CostModel model;
+  model.task_launch_overhead_s = 0.0;
+  model.stage_overhead_s = 0.0;
+  model.job_overhead_s = 0.0;
+  model.serialization_s_per_byte = 0.0;
+  model.network_bandwidth_bytes_per_s = 1e18;
+  model.straggler_probability = straggler_p;
+  model.straggler_slowdown = slowdown;
+  return model;
+}
+
+ClusterTopology Slots(int n) {
+  ClusterTopology t;
+  t.num_nodes = 1;
+  t.executors_per_node = 1;
+  t.cores_per_executor = n;
+  t.memory_per_executor_gib = 1.0;
+  return t;
+}
+
+StageProfile UniformStage(int tasks, double seconds) {
+  StageProfile stage;
+  stage.task_compute_s.assign(static_cast<std::size_t>(tasks), seconds);
+  return stage;
+}
+
+TEST(SpeculationTest, NoStragglersMeansSpeculationIsFree) {
+  const StageProfile stage = UniformStage(64, 1.0);
+  const VirtualScheduler plain(Slots(16), PureCompute());
+  const VirtualScheduler speculative(Slots(16), PureCompute(), true);
+  EXPECT_DOUBLE_EQ(plain.SimulateStage(stage),
+                   speculative.SimulateStage(stage));
+}
+
+TEST(SpeculationTest, StragglersInflateMakespan) {
+  const StageProfile stage = UniformStage(64, 1.0);
+  const double clean =
+      VirtualScheduler(Slots(16), PureCompute()).SimulateStage(stage);
+  const double straggly =
+      VirtualScheduler(Slots(16), PureCompute(0.05, 10.0)).SimulateStage(stage);
+  EXPECT_GT(straggly, clean * 2.0);  // a 10x straggler in the last wave
+}
+
+TEST(SpeculationTest, SpeculationRecoversMostOfTheLoss) {
+  const StageProfile stage = UniformStage(64, 1.0);
+  const double clean =
+      VirtualScheduler(Slots(16), PureCompute()).SimulateStage(stage);
+  const double straggly =
+      VirtualScheduler(Slots(16), PureCompute(0.05, 10.0)).SimulateStage(stage);
+  const double speculated =
+      VirtualScheduler(Slots(16), PureCompute(0.05, 10.0), true)
+          .SimulateStage(stage);
+  EXPECT_LT(speculated, straggly);
+  // With a backup launched one nominal-duration late, the worst case is
+  // ~2x nominal for the affected wave plus queueing: well under half the
+  // unspeculated 10x tail.
+  EXPECT_LT(speculated, clean + 2.5);
+  EXPECT_GE(speculated, clean);  // speculation is not time travel
+}
+
+TEST(SpeculationTest, DeterministicInSeed) {
+  const StageProfile stage = UniformStage(40, 0.5);
+  const VirtualScheduler a(Slots(8), PureCompute(0.1, 6.0), true, 42);
+  const VirtualScheduler b(Slots(8), PureCompute(0.1, 6.0), true, 42);
+  EXPECT_DOUBLE_EQ(a.SimulateStage(stage, 3), b.SimulateStage(stage, 3));
+}
+
+TEST(SpeculationTest, StageSaltDecorrelates) {
+  const StageProfile stage = UniformStage(40, 0.5);
+  const VirtualScheduler sched(Slots(8), PureCompute(0.1, 6.0), false, 42);
+  // Different salts draw different straggler patterns (almost surely
+  // different makespans for this configuration).
+  EXPECT_NE(sched.SimulateStage(stage, 0), sched.SimulateStage(stage, 12));
+}
+
+TEST(SpeculationTest, WholeJobAccountsStagesIndependently) {
+  JobProfile job;
+  job.stages.push_back(UniformStage(32, 1.0));
+  job.stages.push_back(UniformStage(32, 1.0));
+  const MakespanReport plain =
+      VirtualScheduler(Slots(16), PureCompute(0.08, 12.0)).Simulate(job);
+  const MakespanReport speculated =
+      VirtualScheduler(Slots(16), PureCompute(0.08, 12.0), true).Simulate(job);
+  EXPECT_LT(speculated.total_s, plain.total_s);
+  EXPECT_EQ(plain.stage_s.size(), 2u);
+}
+
+TEST(SpeculationTest, ProbabilityOneSlowsEveryTask) {
+  const StageProfile stage = UniformStage(4, 1.0);
+  const double all_straggle =
+      VirtualScheduler(Slots(4), PureCompute(1.0, 5.0)).SimulateStage(stage);
+  EXPECT_DOUBLE_EQ(all_straggle, 5.0);
+}
+
+}  // namespace
+}  // namespace ss::cluster

@@ -1,0 +1,80 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::cluster {
+namespace {
+
+TEST(InstanceTypeTest, M3MatchesPaperTableI) {
+  const InstanceType m3 = M3_2xlarge();
+  EXPECT_EQ(m3.name, "m3.2xlarge");
+  EXPECT_EQ(m3.vcpus, 8);
+  EXPECT_DOUBLE_EQ(m3.memory_gib, 30.0);
+  EXPECT_DOUBLE_EQ(m3.storage_gb, 160.0);  // 2 x 80 GB
+}
+
+TEST(TopologyTest, SlotArithmetic) {
+  ClusterTopology t;
+  t.num_nodes = 6;
+  t.executors_per_node = 2;
+  t.cores_per_executor = 3;
+  t.memory_per_executor_gib = 10.0;
+  EXPECT_EQ(t.TotalExecutors(), 12);
+  EXPECT_EQ(t.TotalSlots(), 36);
+  EXPECT_DOUBLE_EQ(t.TotalExecutorMemoryGib(), 120.0);
+}
+
+TEST(TopologyTest, EmrClusterPreset) {
+  const ClusterTopology t = EmrCluster(18);
+  EXPECT_EQ(t.num_nodes, 18);
+  EXPECT_EQ(t.TotalExecutors(), 18);
+  EXPECT_EQ(t.TotalSlots(), 18 * 8);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TopologyTest, ValidateRejectsNonPositiveCounts) {
+  ClusterTopology t = EmrCluster(1);
+  t.num_nodes = 0;
+  EXPECT_EQ(t.Validate().code(), StatusCode::kInvalidArgument);
+  t = EmrCluster(1);
+  t.cores_per_executor = 0;
+  EXPECT_EQ(t.Validate().code(), StatusCode::kInvalidArgument);
+  t = EmrCluster(1);
+  t.memory_per_executor_gib = 0.0;
+  EXPECT_EQ(t.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, ValidateRejectsMemoryOversubscription) {
+  ClusterTopology t = EmrCluster(2);
+  t.executors_per_node = 2;
+  t.memory_per_executor_gib = 20.0;  // 40 > 30 GiB
+  EXPECT_EQ(t.Validate().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TopologyTest, VcoreEnforcementIsOptional) {
+  // Table VIII's 2 x 6-core containers per 8-vCPU node: legal under YARN's
+  // DefaultResourceCalculator, illegal under DominantResourceCalculator.
+  ClusterTopology t = EmrCluster(36);
+  t.executors_per_node = 2;
+  t.cores_per_executor = 6;
+  t.memory_per_executor_gib = 10.0;
+  EXPECT_TRUE(t.Validate().ok());
+  t.enforce_vcores = true;
+  EXPECT_EQ(t.Validate().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TopologyTest, ContainerConfigRoundsUpExecutorsPerNode) {
+  // 42 containers over 36 nodes -> 2 per node (ceil).
+  const ClusterTopology t = ContainerConfig(36, 42, 10.0, 6);
+  EXPECT_EQ(t.executors_per_node, 2);
+  EXPECT_EQ(t.cores_per_executor, 6);
+}
+
+TEST(TopologyTest, ToStringMentionsShape) {
+  const std::string s = EmrCluster(6).ToString();
+  EXPECT_NE(s.find("6x m3.2xlarge"), std::string::npos);
+  EXPECT_NE(s.find("48 slots"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ss::cluster

@@ -1,0 +1,136 @@
+#include "cluster/virtual_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::cluster {
+namespace {
+
+/// A cost model with all overheads zeroed, isolating list scheduling.
+CostModel PureCompute() {
+  CostModel model;
+  model.task_launch_overhead_s = 0.0;
+  model.stage_overhead_s = 0.0;
+  model.job_overhead_s = 0.0;
+  model.serialization_s_per_byte = 0.0;
+  model.network_bandwidth_bytes_per_s = 1e18;
+  return model;
+}
+
+ClusterTopology Slots(int n) {
+  ClusterTopology t;
+  t.instance = M3_2xlarge();
+  t.num_nodes = 1;
+  t.executors_per_node = 1;
+  t.cores_per_executor = n;
+  t.memory_per_executor_gib = 1.0;
+  return t;
+}
+
+TEST(VirtualSchedulerTest, SingleSlotSumsTasks) {
+  VirtualScheduler sched(Slots(1), PureCompute());
+  StageProfile stage;
+  stage.task_compute_s = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(stage), 6.0);
+}
+
+TEST(VirtualSchedulerTest, PerfectParallelismWithEnoughSlots) {
+  VirtualScheduler sched(Slots(3), PureCompute());
+  StageProfile stage;
+  stage.task_compute_s = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(stage), 3.0);  // longest task
+}
+
+TEST(VirtualSchedulerTest, GreedyListScheduling) {
+  // Tasks 4,3,2,1 on 2 slots in order: slot A gets 4, slot B gets 3 then 1
+  // (free at 3), A would be free at 4; 2 goes to B at 3 -> B ends 5... let's
+  // verify the earliest-available rule precisely: order 4,3,2,1.
+  //   t=0: A<-4 (free 4), B<-3 (free 3)
+  //   next: 2 -> B at 3 (free 5)
+  //   next: 1 -> A at 4 (free 5)
+  // makespan 5.
+  VirtualScheduler sched(Slots(2), PureCompute());
+  StageProfile stage;
+  stage.task_compute_s = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(stage), 5.0);
+}
+
+TEST(VirtualSchedulerTest, EmptyStageCostsOnlyOverhead) {
+  CostModel model = PureCompute();
+  model.stage_overhead_s = 0.25;
+  VirtualScheduler sched(Slots(4), model);
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(StageProfile{}), 0.25);
+}
+
+TEST(VirtualSchedulerTest, TaskLaunchOverheadPerTask) {
+  CostModel model = PureCompute();
+  model.task_launch_overhead_s = 0.5;
+  VirtualScheduler sched(Slots(1), model);
+  StageProfile stage;
+  stage.task_compute_s = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(stage), 3.0);  // 2 x (1 + 0.5)
+}
+
+TEST(VirtualSchedulerTest, ShuffleBytesChargeTransferTime) {
+  CostModel model = PureCompute();
+  model.network_bandwidth_bytes_per_s = 100.0;  // 100 B/s
+  VirtualScheduler sched(Slots(1), model);
+  StageProfile stage;
+  stage.task_compute_s = {1.0};
+  stage.shuffle_read_bytes = 200;  // 2 s of transfer
+  EXPECT_DOUBLE_EQ(sched.SimulateStage(stage), 3.0);
+}
+
+TEST(VirtualSchedulerTest, MoreSlotsNeverSlower) {
+  CostModel model;  // default, with realistic overheads
+  StageProfile stage;
+  for (int i = 0; i < 100; ++i) {
+    stage.task_compute_s.push_back(0.1 + 0.01 * (i % 7));
+  }
+  JobProfile job;
+  job.stages.push_back(stage);
+  double previous = 1e100;
+  for (int slots : {1, 2, 4, 8, 16, 64}) {
+    VirtualScheduler sched(Slots(slots), model);
+    const double total = sched.Simulate(job).total_s;
+    EXPECT_LE(total, previous + 1e-9) << slots << " slots";
+    previous = total;
+  }
+}
+
+TEST(VirtualSchedulerTest, JobSumsStagesPlusJobOverhead) {
+  CostModel model = PureCompute();
+  model.job_overhead_s = 10.0;
+  model.stage_overhead_s = 1.0;
+  VirtualScheduler sched(Slots(1), model);
+  JobProfile job;
+  StageProfile s1;
+  s1.task_compute_s = {2.0};
+  StageProfile s2;
+  s2.task_compute_s = {3.0};
+  job.stages = {s1, s2};
+  const MakespanReport report = sched.Simulate(job);
+  EXPECT_DOUBLE_EQ(report.total_s, 10.0 + (2.0 + 1.0) + (3.0 + 1.0));
+  ASSERT_EQ(report.stage_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.stage_s[0], 3.0);
+  EXPECT_DOUBLE_EQ(report.compute_s, 5.0);
+  EXPECT_EQ(report.slots, 1);
+}
+
+TEST(VirtualSchedulerTest, StrongScalingShapeMatchesFig6) {
+  // 1000 equal tasks: 18 nodes must beat 12 must beat 6, with speedup
+  // approaching the slot ratio for compute-dominated stages.
+  CostModel model;
+  StageProfile stage;
+  stage.task_compute_s.assign(1000, 1.0);
+  JobProfile job;
+  job.stages.push_back(stage);
+  const double t6 = VirtualScheduler(EmrCluster(6), model).Simulate(job).total_s;
+  const double t12 = VirtualScheduler(EmrCluster(12), model).Simulate(job).total_s;
+  const double t18 = VirtualScheduler(EmrCluster(18), model).Simulate(job).total_s;
+  EXPECT_GT(t6, t12);
+  EXPECT_GT(t12, t18);
+  EXPECT_NEAR(t6 / t18, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ss::cluster

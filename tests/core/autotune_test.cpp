@@ -1,0 +1,104 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/dataset.hpp"
+
+namespace ss::core {
+namespace {
+
+engine::EngineContext::Options LocalOptions() {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  return options;
+}
+
+/// Runs a job with more tasks than the largest candidate's slot count so
+/// scaling differences are visible in the replay.
+void RunSampleJob(engine::EngineContext& ctx) {
+  std::vector<int> data(2000);
+  for (int i = 0; i < 2000; ++i) data[i] = i;
+  engine::Parallelize(ctx, data, 500)
+      .Map([](const int& x) {
+        double acc = 0;
+        for (int k = 0; k < 2000; ++k) acc += static_cast<double>(k ^ x);
+        return acc;
+      })
+      .Collect();
+}
+
+TEST(AutotuneTest, StrongScalingCandidatesShape) {
+  const auto candidates = StrongScalingCandidates({6, 12, 18});
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].num_nodes, 6);
+  EXPECT_EQ(candidates[2].TotalSlots(), 18 * 8);
+}
+
+TEST(AutotuneTest, ContainerSweepMatchesTableVIII) {
+  const auto candidates = ContainerSweepCandidates();
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& topology : candidates) {
+    EXPECT_EQ(topology.num_nodes, 36);
+  }
+  EXPECT_EQ(candidates[0].cores_per_executor, 6);
+  EXPECT_EQ(candidates[1].cores_per_executor, 3);
+  EXPECT_EQ(candidates[2].cores_per_executor, 2);
+}
+
+TEST(AutotuneTest, AllPaperConfigsPlaceable) {
+  for (const auto& topology : ContainerSweepCandidates()) {
+    EXPECT_TRUE(IsPlaceable(topology)) << topology.ToString();
+  }
+  for (const auto& topology : StrongScalingCandidates({6, 12, 18, 36})) {
+    EXPECT_TRUE(IsPlaceable(topology)) << topology.ToString();
+  }
+}
+
+TEST(AutotuneTest, OversizedContainersNotPlaceable) {
+  // 100 GiB containers cannot fit on 30 GiB nodes.
+  EXPECT_FALSE(IsPlaceable(cluster::ContainerConfig(4, 4, 100.0, 1)));
+}
+
+TEST(AutotuneTest, TuneAcrossSortsByPredictedMakespan) {
+  engine::EngineContext ctx(LocalOptions());
+  RunSampleJob(ctx);
+  const auto points = TuneAcross(ctx, StrongScalingCandidates({6, 12, 18}));
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].report.total_s, points[i].report.total_s);
+  }
+  // Strong scaling: more nodes first.
+  EXPECT_EQ(points[0].topology.num_nodes, 18);
+}
+
+TEST(AutotuneTest, PickBestReturnsFastest) {
+  engine::EngineContext ctx(LocalOptions());
+  RunSampleJob(ctx);
+  const auto best = PickBest(ctx, StrongScalingCandidates({6, 18}));
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().topology.num_nodes, 18);
+}
+
+TEST(AutotuneTest, PickBestFailsWithNoPlaceableCandidate) {
+  engine::EngineContext ctx(LocalOptions());
+  RunSampleJob(ctx);
+  const auto best =
+      PickBest(ctx, {cluster::ContainerConfig(2, 2, 100.0, 1)});
+  EXPECT_FALSE(best.ok());
+}
+
+TEST(AutotuneTest, ContainerSplitNearlyNegligible) {
+  // Fig 7's observation: at a fixed node count, the container split
+  // hardly matters (slots ≈ constant). Predicted makespans within 25%.
+  engine::EngineContext ctx(LocalOptions());
+  RunSampleJob(ctx);
+  const auto points = TuneAcross(ctx, ContainerSweepCandidates());
+  ASSERT_EQ(points.size(), 3u);
+  const double fastest = points.front().report.total_s;
+  const double slowest = points.back().report.total_s;
+  EXPECT_LT(slowest / fastest, 1.25);
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -1,0 +1,140 @@
+// Algorithms 2/3 end-to-end: exceedance counters, p-values, and exact
+// agreement with the serial baseline from identical seeds.
+#include "core/resampling_methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial_skat.hpp"
+#include "core/record_traits.hpp"
+
+namespace ss::core {
+namespace {
+
+simdata::SyntheticDataset SmallDataset(std::uint64_t seed = 44) {
+  simdata::GeneratorConfig config;
+  config.num_patients = 50;
+  config.num_snps = 40;
+  config.num_sets = 4;
+  config.seed = seed;
+  return simdata::Generate(config);
+}
+
+engine::EngineContext::Options LocalOptions() {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  return options;
+}
+
+TEST(ResamplingMethodsTest, ZeroReplicatesComputesOnlyObserved) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
+  const ResamplingResult result = RunMonteCarloMethod(pipeline, 0);
+  EXPECT_EQ(result.replicates, 0u);
+  EXPECT_EQ(result.observed.size(), 4u);
+  for (const auto& [set_id, count] : result.exceed) EXPECT_EQ(count, 0u);
+}
+
+TEST(ResamplingMethodsTest, MonteCarloMatchesSerialBaselineExactly) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  const stats::Phenotype phenotype = stats::Phenotype::Cox(dataset.survival);
+  baseline::SkatInputs inputs{&dataset.genotypes, &phenotype, &dataset.weights,
+                              &dataset.sets};
+  PipelineConfig config;
+  config.seed = 77;
+  const baseline::SkatAnalysis serial =
+      baseline::SerialMonteCarlo(inputs, config.seed, 25);
+
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  const ResamplingResult distributed = RunMonteCarloMethod(pipeline, 25);
+
+  for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
+    const std::uint32_t id = dataset.sets[k].id;
+    EXPECT_NEAR(distributed.observed.at(id), serial.observed[k], 1e-9);
+    EXPECT_EQ(distributed.exceed.at(id), serial.exceed_count[k]) << "set " << k;
+    EXPECT_DOUBLE_EQ(distributed.PValue(id), serial.PValue(k));
+  }
+}
+
+TEST(ResamplingMethodsTest, PermutationMatchesSerialBaselineExactly) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  const stats::Phenotype phenotype = stats::Phenotype::Cox(dataset.survival);
+  baseline::SkatInputs inputs{&dataset.genotypes, &phenotype, &dataset.weights,
+                              &dataset.sets};
+  PipelineConfig config;
+  config.seed = 78;
+  const baseline::SkatAnalysis serial =
+      baseline::SerialPermutation(inputs, config.seed, 12);
+
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  const ResamplingResult distributed = RunPermutationMethod(pipeline, 12);
+
+  for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
+    const std::uint32_t id = dataset.sets[k].id;
+    EXPECT_EQ(distributed.exceed.at(id), serial.exceed_count[k]) << "set " << k;
+  }
+}
+
+TEST(ResamplingMethodsTest, MethodsAgreeOnObservedScores) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx1(LocalOptions());
+  engine::EngineContext ctx2(LocalOptions());
+  SkatPipeline p1 = SkatPipeline::FromMemory(ctx1, dataset, {});
+  SkatPipeline p2 = SkatPipeline::FromMemory(ctx2, dataset, {});
+  const ResamplingResult mc = RunMonteCarloMethod(p1, 3);
+  const ResamplingResult perm = RunPermutationMethod(p2, 3);
+  for (const auto& [set_id, score] : mc.observed) {
+    EXPECT_NEAR(score, perm.observed.at(set_id), 1e-9);
+  }
+}
+
+TEST(ResamplingMethodsTest, CallbackInvokedPerReplicate) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
+  std::vector<std::uint64_t> seen;
+  RunMonteCarloMethod(pipeline, 5,
+                      [&seen](std::uint64_t b) { seen.push_back(b); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResamplingMethodsTest, PValuesInUnitInterval) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
+  const ResamplingResult result = RunMonteCarloMethod(pipeline, 19);
+  for (const auto& [set_id, score] : result.observed) {
+    const double p = result.PValue(set_id);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(ResamplingMethodsTest, RankedPValuesSortedAscending) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx(LocalOptions());
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
+  const ResamplingResult result = RunMonteCarloMethod(pipeline, 9);
+  const auto ranked = result.RankedPValues();
+  ASSERT_EQ(ranked.size(), 4u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].second, ranked[i].second);
+  }
+}
+
+TEST(ResamplingMethodsTest, MoreReplicatesRefinePValueFloor) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  engine::EngineContext ctx(LocalOptions());
+  PipelineConfig config;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  const ResamplingResult result = RunMonteCarloMethod(pipeline, 49);
+  for (const auto& [set_id, score] : result.observed) {
+    EXPECT_GE(result.PValue(set_id), 1.0 / 50.0);
+  }
+}
+
+}  // namespace
+}  // namespace ss::core

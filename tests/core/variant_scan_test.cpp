@@ -1,0 +1,171 @@
+#include "core/variant_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/record_traits.hpp"
+#include "simdata/generator.hpp"
+#include "stats/cox_score.hpp"
+#include "stats/distributions_math.hpp"
+#include "support/distributions.hpp"
+
+namespace ss::core {
+namespace {
+
+engine::EngineContext::Options LocalOptions() {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  return options;
+}
+
+struct Fixture {
+  simdata::SyntheticDataset dataset;
+  std::vector<simdata::SnpRecord> records;
+
+  explicit Fixture(std::uint64_t seed = 55, std::uint32_t snps = 40,
+                   std::uint32_t patients = 80) {
+    simdata::GeneratorConfig config;
+    config.num_patients = patients;
+    config.num_snps = snps;
+    config.num_sets = 4;
+    config.seed = seed;
+    dataset = simdata::Generate(config);
+    for (std::uint32_t j = 0; j < snps; ++j) {
+      records.push_back({j, dataset.genotypes.by_snp[j]});
+    }
+  }
+};
+
+TEST(VariantScanTest, ObservedMatchesDirectComputation) {
+  Fixture f;
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 0;
+  const VariantScanResult result = RunVariantScan(
+      ctx, engine::Parallelize(ctx, f.records, 4),
+      stats::Phenotype::Cox(f.dataset.survival), config);
+
+  ASSERT_EQ(result.by_snp.size(), 40u);
+  const stats::RiskSetIndex index(f.dataset.survival);
+  for (std::uint32_t j = 0; j < 40; ++j) {
+    const auto u = stats::CoxScoreContributions(f.dataset.survival, index,
+                                                f.dataset.genotypes.by_snp[j]);
+    const double score = stats::CoxScoreStatistic(u);
+    const double variance = stats::CoxScoreVariance(u);
+    const VariantStats& got = result.by_snp.at(j);
+    EXPECT_NEAR(got.score, score, 1e-9);
+    EXPECT_NEAR(got.variance, variance, 1e-9);
+    EXPECT_NEAR(got.asymptotic_p, stats::ScoreTestPValue(score, variance),
+                1e-12);
+  }
+}
+
+TEST(VariantScanTest, EmpiricalPValuesCalibratedUnderNull) {
+  // Under the null, empirical and asymptotic p-values should broadly
+  // agree; check means are both unremarkable.
+  Fixture f(77, 30, 120);
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 99;
+  const VariantScanResult result = RunVariantScan(
+      ctx, engine::Parallelize(ctx, f.records, 4),
+      stats::Phenotype::Cox(f.dataset.survival), config);
+
+  double sum_emp = 0.0;
+  for (std::uint32_t j = 0; j < 30; ++j) {
+    const double p = result.EmpiricalP(j);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum_emp += p;
+  }
+  EXPECT_GT(sum_emp / 30.0, 0.25);
+  EXPECT_LT(sum_emp / 30.0, 0.75);
+}
+
+TEST(VariantScanTest, MaxTAdjustmentIsMoreConservative) {
+  Fixture f(78, 25, 100);
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 49;
+  const VariantScanResult result = RunVariantScan(
+      ctx, engine::Parallelize(ctx, f.records, 4),
+      stats::Phenotype::Cox(f.dataset.survival), config);
+  for (std::uint32_t j = 0; j < 25; ++j) {
+    EXPECT_GE(result.MaxTAdjustedP(j) + 1e-12, result.EmpiricalP(j));
+  }
+  EXPECT_EQ(result.replicate_max.size(), 49u);
+}
+
+TEST(VariantScanTest, PlantedSignalRanksFirst) {
+  Fixture f(79, 30, 300);
+  // Rebuild survival with a strong effect of SNP 5.
+  Rng rng(99);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const double g = f.dataset.genotypes.by_snp[5][i];
+    f.dataset.survival.time[i] =
+        SampleExponential(rng, (1.0 / 12.0) * std::exp(1.0 * g));
+    f.dataset.survival.event[i] = SampleBernoulli(rng, 0.85) ? 1 : 0;
+  }
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 99;
+  const VariantScanResult result = RunVariantScan(
+      ctx, engine::Parallelize(ctx, f.records, 4),
+      stats::Phenotype::Cox(f.dataset.survival), config);
+  EXPECT_EQ(result.RankedByAsymptoticP().front(), 5u);
+  EXPECT_LT(result.by_snp.at(5).asymptotic_p, 1e-4);
+  EXPECT_LE(result.MaxTAdjustedP(5), 0.05);
+}
+
+TEST(VariantScanTest, DeterministicInSeed) {
+  Fixture f;
+  VariantScanConfig config;
+  config.replicates = 20;
+  config.seed = 123;
+  engine::EngineContext ctx1(LocalOptions());
+  engine::EngineContext ctx2(LocalOptions());
+  const VariantScanResult a = RunVariantScan(
+      ctx1, engine::Parallelize(ctx1, f.records, 4),
+      stats::Phenotype::Cox(f.dataset.survival), config);
+  const VariantScanResult b = RunVariantScan(
+      ctx2, engine::Parallelize(ctx2, f.records, 3),  // different partitioning
+      stats::Phenotype::Cox(f.dataset.survival), config);
+  for (std::uint32_t j = 0; j < 40; ++j) {
+    EXPECT_EQ(a.exceed.at(j), b.exceed.at(j)) << "snp " << j;
+  }
+  EXPECT_EQ(a.replicate_max, b.replicate_max);
+}
+
+TEST(VariantScanTest, GaussianPhenotypeSupported) {
+  Fixture f(81, 20, 100);
+  stats::QuantitativeData expression;
+  for (int i = 0; i < 100; ++i) {
+    expression.value.push_back(static_cast<double>(i % 9));
+  }
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 10;
+  const VariantScanResult result =
+      RunVariantScan(ctx, engine::Parallelize(ctx, f.records, 4),
+                     stats::Phenotype::Gaussian(expression), config);
+  EXPECT_EQ(result.by_snp.size(), 20u);
+}
+
+TEST(VariantScanTest, UsesCachedContributions) {
+  Fixture f;
+  engine::EngineContext ctx(LocalOptions());
+  VariantScanConfig config;
+  config.replicates = 15;
+  config.num_partitions = 4;
+  RunVariantScan(ctx, engine::Parallelize(ctx, f.records, 4),
+                 stats::Phenotype::Cox(f.dataset.survival), config);
+  const auto stats = ctx.cache().stats();
+  EXPECT_EQ(stats.insertions, 4u);   // U cached once per partition
+  EXPECT_GE(stats.hits, 15u * 4u);   // every replicate reuses it
+}
+
+}  // namespace
+}  // namespace ss::core

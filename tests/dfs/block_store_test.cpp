@@ -1,0 +1,81 @@
+#include "dfs/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ss::dfs {
+namespace {
+
+BlockId Id(std::uint64_t file, std::uint32_t index) { return {file, index}; }
+
+TEST(BlockStoreTest, PutAndGet) {
+  BlockStore store;
+  store.Put(Id(1, 0), {1, 2, 3});
+  auto got = store.Get(Id(1, 0));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(BlockStoreTest, GetMissingIsNotFound) {
+  BlockStore store;
+  EXPECT_EQ(store.Get(Id(1, 0)).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlockStoreTest, OverwriteUpdatesAccounting) {
+  BlockStore store;
+  store.Put(Id(1, 0), std::vector<std::uint8_t>(100));
+  EXPECT_EQ(store.bytes_stored(), 100u);
+  store.Put(Id(1, 0), std::vector<std::uint8_t>(40));
+  EXPECT_EQ(store.bytes_stored(), 40u);
+  EXPECT_EQ(store.block_count(), 1u);
+}
+
+TEST(BlockStoreTest, EraseRemovesAndIsIdempotent) {
+  BlockStore store;
+  store.Put(Id(2, 1), {9});
+  store.Erase(Id(2, 1));
+  EXPECT_FALSE(store.Get(Id(2, 1)).ok());
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  store.Erase(Id(2, 1));  // no-op
+}
+
+TEST(BlockStoreTest, CorruptFlipsBits) {
+  BlockStore store;
+  store.Put(Id(3, 0), {0, 0, 0});
+  ASSERT_TRUE(store.Corrupt(Id(3, 0)).ok());
+  EXPECT_NE(store.Get(Id(3, 0)).value(), (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(BlockStoreTest, CorruptMissingFails) {
+  BlockStore store;
+  EXPECT_EQ(store.Corrupt(Id(3, 0)).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BlockStoreTest, ClearDropsEverything) {
+  BlockStore store;
+  store.Put(Id(1, 0), {1});
+  store.Put(Id(1, 1), {2});
+  store.Clear();
+  EXPECT_EQ(store.block_count(), 0u);
+  EXPECT_EQ(store.bytes_stored(), 0u);
+}
+
+TEST(BlockStoreTest, ConcurrentPutsAreSafe) {
+  BlockStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t]() {
+      for (std::uint32_t i = 0; i < 100; ++i) {
+        store.Put(Id(static_cast<std::uint64_t>(t), i),
+                  std::vector<std::uint8_t>(10));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.block_count(), 400u);
+  EXPECT_EQ(store.bytes_stored(), 4000u);
+}
+
+}  // namespace
+}  // namespace ss::dfs

@@ -1,0 +1,116 @@
+#include "dfs/namenode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ss::dfs {
+namespace {
+
+TEST(NameNodeTest, CreateAndLookup) {
+  NameNode nn(4, 2);
+  auto id = nn.CreateFile("/a.txt");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(nn.Exists("/a.txt"));
+  auto meta = nn.Lookup("/a.txt");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().file_id, id.value());
+  EXPECT_EQ(meta.value().path, "/a.txt");
+}
+
+TEST(NameNodeTest, DuplicateCreateFails) {
+  NameNode nn(4, 2);
+  ASSERT_TRUE(nn.CreateFile("/a").ok());
+  EXPECT_EQ(nn.CreateFile("/a").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NameNodeTest, LookupMissingIsNotFound) {
+  NameNode nn(4, 2);
+  EXPECT_EQ(nn.Lookup("/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NameNodeTest, PlacementUsesDistinctLiveNodes) {
+  NameNode nn(5, 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<int> targets = nn.PlaceBlock();
+    ASSERT_EQ(targets.size(), 3u);
+    std::set<int> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(NameNodeTest, PlacementSkipsDeadNodes) {
+  NameNode nn(3, 2);
+  nn.SetNodeAlive(1, false);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (int node : nn.PlaceBlock()) {
+      EXPECT_NE(node, 1);
+    }
+  }
+}
+
+TEST(NameNodeTest, PlacementSpreadsLoad) {
+  NameNode nn(4, 1);
+  std::vector<int> counts(4, 0);
+  for (int trial = 0; trial < 40; ++trial) {
+    ++counts[nn.PlaceBlock()[0]];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);  // perfect round-robin
+}
+
+TEST(NameNodeTest, ReplicationClampedToNodeCount) {
+  NameNode nn(2, 5);
+  EXPECT_EQ(nn.replication(), 2);
+  EXPECT_EQ(nn.PlaceBlock().size(), 2u);
+}
+
+TEST(NameNodeTest, CommitBlocksInOrder) {
+  NameNode nn(2, 1);
+  const auto id = nn.CreateFile("/f").value();
+  BlockMeta b0;
+  b0.id = {id, 0};
+  EXPECT_TRUE(nn.CommitBlock(id, b0).ok());
+  BlockMeta b2;
+  b2.id = {id, 2};  // skipping index 1
+  EXPECT_EQ(nn.CommitBlock(id, b2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NameNodeTest, CommitToUnknownFileFails) {
+  NameNode nn(2, 1);
+  BlockMeta meta;
+  EXPECT_EQ(nn.CommitBlock(999, meta).code(), StatusCode::kNotFound);
+}
+
+TEST(NameNodeTest, UpdateReplicasRewritesSet) {
+  NameNode nn(4, 2);
+  const auto id = nn.CreateFile("/f").value();
+  BlockMeta meta;
+  meta.id = {id, 0};
+  meta.replica_nodes = {0, 1};
+  ASSERT_TRUE(nn.CommitBlock(id, meta).ok());
+  ASSERT_TRUE(nn.UpdateReplicas(id, 0, {2, 3}).ok());
+  EXPECT_EQ(nn.Lookup("/f").value().blocks[0].replica_nodes,
+            (std::vector<int>{2, 3}));
+}
+
+TEST(NameNodeTest, ListFilesReturnsAllPaths) {
+  NameNode nn(2, 1);
+  ASSERT_TRUE(nn.CreateFile("/x").ok());
+  ASSERT_TRUE(nn.CreateFile("/y").ok());
+  auto files = nn.ListFiles();
+  std::sort(files.begin(), files.end());
+  EXPECT_EQ(files, (std::vector<std::string>{"/x", "/y"}));
+}
+
+TEST(NameNodeTest, LivenessRoundTrip) {
+  NameNode nn(3, 1);
+  EXPECT_TRUE(nn.IsNodeAlive(2));
+  nn.SetNodeAlive(2, false);
+  EXPECT_FALSE(nn.IsNodeAlive(2));
+  nn.SetNodeAlive(2, true);
+  EXPECT_TRUE(nn.IsNodeAlive(2));
+}
+
+}  // namespace
+}  // namespace ss::dfs

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "engine/accumulator.hpp"
+#include "engine/broadcast.hpp"
+#include "engine/dataset.hpp"
+
+namespace ss::engine {
+namespace {
+
+EngineContext::Options LocalOptions(int nodes = 4) {
+  EngineContext::Options options;
+  options.topology = cluster::EmrCluster(nodes);
+  options.physical_threads = 4;
+  return options;
+}
+
+TEST(BroadcastTest, ValueAccessible) {
+  EngineContext ctx(LocalOptions());
+  auto b = MakeBroadcast(ctx, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(b);
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_DOUBLE_EQ((*b)[1], 2.0);
+  EXPECT_DOUBLE_EQ(b.value()[2], 3.0);
+}
+
+TEST(BroadcastTest, DefaultIsEmpty) {
+  Broadcast<int> b;
+  EXPECT_FALSE(b);
+}
+
+TEST(BroadcastTest, CopiesShareValue) {
+  EngineContext ctx(LocalOptions());
+  auto a = MakeBroadcast(ctx, 42);
+  Broadcast<int> b = a;
+  EXPECT_EQ(&a.value(), &b.value());
+}
+
+TEST(BroadcastTest, RecordsTrafficProportionalToExecutors) {
+  EngineContext ctx6(LocalOptions(6));
+  EngineContext ctx12(LocalOptions(12));
+  const std::vector<double> payload(1000, 1.0);
+  MakeBroadcast(ctx6, payload);
+  MakeBroadcast(ctx12, payload);
+  EXPECT_EQ(ctx12.metrics().broadcast_bytes(),
+            2 * ctx6.metrics().broadcast_bytes());
+}
+
+TEST(BroadcastTest, UsableInsideTasks) {
+  EngineContext ctx(LocalOptions());
+  auto offsets = MakeBroadcast(ctx, std::vector<int>{100, 200, 300});
+  auto ds = Parallelize(ctx, std::vector<int>{0, 1, 2}, 3)
+                .Map([offsets](const int& x) { return (*offsets)[x]; });
+  EXPECT_EQ(ds.Collect(), (std::vector<int>{100, 200, 300}));
+}
+
+TEST(AccumulatorTest, SumsFromManyThreads) {
+  Accumulator<long> acc(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&acc]() {
+      for (int i = 0; i < 1000; ++i) acc.Add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(acc.value(), 8000);
+}
+
+TEST(AccumulatorTest, Reset) {
+  Accumulator<int> acc(5);
+  acc.Add(10);
+  EXPECT_EQ(acc.value(), 15);
+  acc.Reset();
+  EXPECT_EQ(acc.value(), 0);
+}
+
+TEST(AccumulatorTest, UsableFromTasks) {
+  EngineContext ctx(LocalOptions());
+  Accumulator<int> count(0);
+  std::vector<int> data(100, 1);
+  Parallelize(ctx, data, 8)
+      .Map([&count](const int& x) {
+        count.Add(x);
+        return x;
+      })
+      .Collect();
+  EXPECT_EQ(count.value(), 100);
+}
+
+TEST(VectorAccumulatorTest, ElementWiseAdds) {
+  VectorAccumulator<int> acc(3);
+  acc.Add(0, 5);
+  acc.Add(2, 7);
+  acc.AddAll({1, 1, 1});
+  EXPECT_EQ(acc.values(), (std::vector<int>{6, 1, 8}));
+  EXPECT_EQ(acc.size(), 3u);
+}
+
+TEST(VectorAccumulatorTest, AddAllIgnoresExtraElements) {
+  VectorAccumulator<int> acc(2);
+  acc.AddAll({1, 2, 3, 4});  // extras beyond size are dropped
+  EXPECT_EQ(acc.values(), (std::vector<int>{1, 2}));
+}
+
+TEST(VectorAccumulatorTest, ConcurrentExceedanceCounting) {
+  // The pattern Algorithms 2/3 use for counter_k.
+  VectorAccumulator<std::uint64_t> counters(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counters, t]() {
+      for (int i = 0; i < 500; ++i) {
+        counters.Add(static_cast<std::size_t>(t), 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counters.values(),
+            (std::vector<std::uint64_t>{500, 500, 500, 500}));
+}
+
+}  // namespace
+}  // namespace ss::engine

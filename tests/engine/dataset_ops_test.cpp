@@ -1,0 +1,276 @@
+// Tests for the extended operations in engine/dataset_ops.hpp.
+#include "engine/dataset_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ss::engine {
+namespace {
+
+EngineContext::Options LocalOptions() {
+  EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  options.seed = 17;
+  return options;
+}
+
+std::vector<int> Ints(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+using P = std::pair<int, int>;
+
+TEST(MapValuesTest, TransformsValuesKeepsKeys) {
+  EngineContext ctx(LocalOptions());
+  std::vector<P> pairs = {{1, 10}, {2, 20}};
+  auto doubled = MapValues(Parallelize(ctx, pairs, 2),
+                           [](const int& v) { return v * 2; });
+  EXPECT_EQ(doubled.Collect(), (std::vector<P>{{1, 20}, {2, 40}}));
+}
+
+TEST(KeysValuesTest, Project) {
+  EngineContext ctx(LocalOptions());
+  std::vector<P> pairs = {{1, 10}, {2, 20}};
+  auto ds = Parallelize(ctx, pairs, 1);
+  EXPECT_EQ(Keys(ds).Collect(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(Values(ds).Collect(), (std::vector<int>{10, 20}));
+}
+
+TEST(CountByKeyTest, Counts) {
+  EngineContext ctx(LocalOptions());
+  std::vector<P> pairs;
+  for (int i = 0; i < 30; ++i) pairs.push_back({i % 3, i});
+  auto counts = CountByKey(Parallelize(ctx, pairs, 4), 2);
+  ASSERT_EQ(counts.size(), 3u);
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(counts[k], 10u);
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  EngineContext ctx(LocalOptions());
+  std::vector<int> data = {3, 1, 3, 2, 1, 1, 2};
+  auto unique = Distinct(Parallelize(ctx, data, 3), 2);
+  auto got = unique.Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DistinctTest, EmptyAndAlreadyUnique) {
+  EngineContext ctx(LocalOptions());
+  EXPECT_TRUE(Distinct(Parallelize(ctx, std::vector<int>{}, 2), 2)
+                  .Collect()
+                  .empty());
+  auto got = Distinct(Parallelize(ctx, Ints(10), 2), 3).Collect();
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(LeftOuterJoinTest, MatchedAndUnmatched) {
+  EngineContext ctx(LocalOptions());
+  std::vector<std::pair<int, std::string>> left = {{1, "a"}, {2, "b"}, {3, "c"}};
+  std::vector<std::pair<int, double>> right = {{2, 2.5}};
+  auto joined =
+      LeftOuterJoin(Parallelize(ctx, left, 2), Parallelize(ctx, right, 1), 2);
+  auto rows = joined.Collect();
+  ASSERT_EQ(rows.size(), 3u);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_FALSE(rows[0].second.second.has_value());  // key 1 unmatched
+  ASSERT_TRUE(rows[1].second.second.has_value());
+  EXPECT_DOUBLE_EQ(*rows[1].second.second, 2.5);
+  EXPECT_FALSE(rows[2].second.second.has_value());  // key 3 unmatched
+}
+
+TEST(LeftOuterJoinTest, DuplicatesOnBothSides) {
+  EngineContext ctx(LocalOptions());
+  std::vector<P> left = {{1, 10}, {1, 11}};
+  std::vector<P> right = {{1, 20}, {1, 21}};
+  auto joined =
+      LeftOuterJoin(Parallelize(ctx, left, 1), Parallelize(ctx, right, 1), 2);
+  EXPECT_EQ(joined.Collect().size(), 4u);  // 2 x 2 cross per key
+}
+
+TEST(CoGroupTest, GathersBothSidesIncludingOneSidedKeys) {
+  EngineContext ctx(LocalOptions());
+  std::vector<P> left = {{1, 10}, {1, 11}, {2, 20}};
+  std::vector<std::pair<int, std::string>> right = {{1, "x"}, {3, "y"}};
+  auto cogrouped =
+      CoGroup(Parallelize(ctx, left, 2), Parallelize(ctx, right, 1), 2);
+  auto result = CollectAsMap(cogrouped);
+  ASSERT_EQ(result.size(), 3u);
+  auto k1 = result[1];
+  std::sort(k1.first.begin(), k1.first.end());
+  EXPECT_EQ(k1.first, (std::vector<int>{10, 11}));
+  EXPECT_EQ(k1.second, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(result[2].first, (std::vector<int>{20}));
+  EXPECT_TRUE(result[2].second.empty());
+  EXPECT_TRUE(result[3].first.empty());
+  EXPECT_EQ(result[3].second, (std::vector<std::string>{"y"}));
+}
+
+TEST(SortByTest, TotalOrder) {
+  EngineContext ctx(LocalOptions());
+  std::vector<int> data;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(static_cast<int>(rng.NextBounded(10000)));
+  }
+  auto sorted = SortBy(Parallelize(ctx, data, 7),
+                       [](const int& x) { return x; }, 4).Collect();
+  std::vector<int> expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(SortByTest, CustomKeyDescending) {
+  EngineContext ctx(LocalOptions());
+  auto sorted = SortBy(Parallelize(ctx, Ints(50), 3),
+                       [](const int& x) { return -x; }, 3).Collect();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], 49 - i);
+}
+
+TEST(SortByTest, EmptyAndSingleton) {
+  EngineContext ctx(LocalOptions());
+  EXPECT_TRUE(SortBy(Parallelize(ctx, std::vector<int>{}, 2),
+                     [](const int& x) { return x; }, 2)
+                  .Collect()
+                  .empty());
+  EXPECT_EQ(SortBy(Parallelize(ctx, std::vector<int>{42}, 1),
+                   [](const int& x) { return x; }, 3)
+                .Collect(),
+            std::vector<int>{42});
+}
+
+TEST(CoalesceTest, MergesPreservingOrder) {
+  EngineContext ctx(LocalOptions());
+  auto coalesced = Coalesce(Parallelize(ctx, Ints(100), 10), 3);
+  EXPECT_EQ(coalesced.NumPartitions(), 3u);
+  EXPECT_EQ(coalesced.Collect(), Ints(100));
+}
+
+TEST(CoalesceTest, ToOnePartition) {
+  EngineContext ctx(LocalOptions());
+  auto one = Coalesce(Parallelize(ctx, Ints(17), 5), 1);
+  EXPECT_EQ(one.NumPartitions(), 1u);
+  EXPECT_EQ(one.Collect(), Ints(17));
+}
+
+TEST(RepartitionTest, RebalancesPreservingMultiset) {
+  EngineContext ctx(LocalOptions());
+  auto repartitioned = Repartition(Parallelize(ctx, Ints(100), 2), 8);
+  EXPECT_EQ(repartitioned.NumPartitions(), 8u);
+  auto got = repartitioned.Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, Ints(100));
+  // Balance check: no partition holds more than half the data.
+  auto sizes = repartitioned.MapPartitions(
+      [](std::uint32_t, const std::vector<int>& p) {
+        return std::vector<std::size_t>{p.size()};
+      });
+  for (std::size_t size : sizes.Collect()) EXPECT_LE(size, 50u);
+}
+
+TEST(ZipTest, PairsUp) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, Ints(10), 2);
+  auto b = Parallelize(ctx, std::vector<std::string>{"0", "1", "2", "3", "4",
+                                                     "5", "6", "7", "8", "9"},
+                       2);
+  auto zipped = Zip(a, b).Collect();
+  ASSERT_EQ(zipped.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipped[i].first, i);
+    EXPECT_EQ(zipped[i].second, std::to_string(i));
+  }
+}
+
+TEST(ZipTest, MismatchedSizesFail) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, Ints(10), 2);
+  auto b = Parallelize(ctx, Ints(9), 2);
+  EXPECT_THROW(Zip(a, b).Collect(), TaskFailure);
+}
+
+TEST(TakeTest, TakesPrefixWithoutComputingEverything) {
+  EngineContext ctx(LocalOptions());
+  std::atomic<int> computes{0};
+  auto ds = Parallelize(ctx, Ints(100), 10).Map([&computes](const int& x) {
+    computes.fetch_add(1);
+    return x;
+  });
+  EXPECT_EQ(Take(ds, 5), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_LT(computes.load(), 100);  // later partitions untouched
+}
+
+TEST(TakeTest, MoreThanAvailable) {
+  EngineContext ctx(LocalOptions());
+  EXPECT_EQ(Take(Parallelize(ctx, Ints(3), 2), 10), Ints(3));
+}
+
+TEST(FirstTest, FirstElementAndEmptyThrows) {
+  EngineContext ctx(LocalOptions());
+  EXPECT_EQ(First(Parallelize(ctx, std::vector<int>{7, 8}, 2)), 7);
+  EXPECT_THROW(First(Parallelize(ctx, std::vector<int>{}, 2)), StatusError);
+}
+
+TEST(TakeOrderedTopTest, OrderedExtremes) {
+  EngineContext ctx(LocalOptions());
+  std::vector<int> data = {5, 3, 9, 1, 7, 2, 8, 0, 6, 4};
+  auto ds = Parallelize(ctx, data, 3);
+  EXPECT_EQ(TakeOrdered(ds, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(Top(ds, 2), (std::vector<int>{9, 8}));
+  EXPECT_EQ(TakeOrdered(ds, 20).size(), 10u);  // clamped to data size
+}
+
+TEST(AggregateTest, TwoLevelFold) {
+  EngineContext ctx(LocalOptions());
+  auto ds = Parallelize(ctx, Ints(101), 7);
+  // Sum of squares via aggregate.
+  const long total = Aggregate(
+      ds, 0L, [](long acc, const int& x) { return acc + 1L * x * x; },
+      [](long a, long b) { return a + b; });
+  long expected = 0;
+  for (int x = 0; x <= 100; ++x) expected += 1L * x * x;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(AggregateTest, DifferentAccumulatorType) {
+  EngineContext ctx(LocalOptions());
+  auto ds = Parallelize(
+      ctx, std::vector<std::string>{"a", "bb", "ccc"}, 2);
+  const std::size_t total_length = Aggregate(
+      ds, std::size_t{0},
+      [](std::size_t acc, const std::string& s) { return acc + s.size(); },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  EXPECT_EQ(total_length, 6u);
+}
+
+TEST(SaveAsTextFileTest, OneFilePerPartition) {
+  dfs::MiniDfs store({.num_nodes = 3, .replication = 2, .block_lines = 64});
+  EngineContext ctx(LocalOptions(), &store);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 20; ++i) lines.push_back("row" + std::to_string(i));
+  auto ds = Parallelize(ctx, lines, 4);
+  ASSERT_TRUE(SaveAsTextFile(ds, "/out").ok());
+  std::vector<std::string> read_back;
+  for (int p = 0; p < 4; ++p) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "/out/part-%05d", p);
+    auto part = store.ReadTextFile(name);
+    ASSERT_TRUE(part.ok());
+    for (auto& line : part.value()) read_back.push_back(std::move(line));
+  }
+  EXPECT_EQ(read_back, lines);
+}
+
+TEST(SaveAsTextFileTest, RequiresDfs) {
+  EngineContext ctx(LocalOptions());
+  auto ds = Parallelize(ctx, std::vector<std::string>{"x"}, 1);
+  EXPECT_EQ(SaveAsTextFile(ds, "/out").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ss::engine

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/accumulator.hpp"
+#include "engine/dataset_ops.hpp"
+
+namespace ss::engine {
+namespace {
+
+EngineContext::Options LocalOptions() {
+  EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  return options;
+}
+
+TEST(ForeachTest, VisitsEveryElement) {
+  EngineContext ctx(LocalOptions());
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 1);
+  Accumulator<long> sum(0);
+  Foreach(Parallelize(ctx, data, 8),
+          [&sum](const int& x) { sum.Add(x); });
+  EXPECT_EQ(sum.value(), 100L * 101 / 2);
+}
+
+TEST(ForeachTest, EmptyDataset) {
+  EngineContext ctx(LocalOptions());
+  Accumulator<int> count(0);
+  Foreach(Parallelize(ctx, std::vector<int>{}, 3),
+          [&count](const int&) { count.Add(1); });
+  EXPECT_EQ(count.value(), 0);
+}
+
+TEST(ForeachTest, RecordsStageMetrics) {
+  EngineContext ctx(LocalOptions());
+  Foreach(Parallelize(ctx, std::vector<int>{1, 2, 3}, 2),
+          [](const int&) {}, "my-foreach");
+  const auto stages = ctx.metrics().stages();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].label, "my-foreach");
+  EXPECT_EQ(stages[0].records_out, 3u);
+}
+
+TEST(CountByValueTest, Counts) {
+  EngineContext ctx(LocalOptions());
+  std::vector<std::string> words = {"a", "b", "a", "c", "a", "b"};
+  auto counts = CountByValue(Parallelize(ctx, words, 3), 2);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 1u);
+}
+
+TEST(CountByValueTest, GenotypeDosageHistogram) {
+  // The natural use: dosage distribution across a genotype row.
+  EngineContext ctx(LocalOptions());
+  std::vector<int> dosages;
+  for (int i = 0; i < 300; ++i) dosages.push_back(i % 3);
+  auto counts = CountByValue(Parallelize(ctx, dosages, 4), 3);
+  EXPECT_EQ(counts[0], 100u);
+  EXPECT_EQ(counts[1], 100u);
+  EXPECT_EQ(counts[2], 100u);
+}
+
+}  // namespace
+}  // namespace ss::engine

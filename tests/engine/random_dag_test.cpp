@@ -1,0 +1,142 @@
+// Property test: randomly composed dataflow pipelines must agree with a
+// straightforward std:: reference computation, across seeds, partition
+// counts, caching decisions, and injected task failures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/fault_injector.hpp"
+#include "engine/dataset.hpp"
+#include "engine/dataset_ops.hpp"
+#include "support/rng.hpp"
+
+namespace ss::engine {
+namespace {
+
+EngineContext::Options LocalOptions(std::uint64_t seed) {
+  EngineContext::Options options;
+  options.topology = cluster::EmrCluster(3);
+  options.physical_threads = 4;
+  options.seed = seed;
+  return options;
+}
+
+/// Applies one random order-preserving transformation to both the dataset
+/// and the reference vector, keeping them semantically identical.
+void ApplyRandomOp(Rng& rng, Dataset<int>& ds, std::vector<int>& reference) {
+  switch (rng.NextBounded(4)) {
+    case 0: {  // map: affine transform
+      const int a = static_cast<int>(rng.NextBounded(5)) + 1;
+      const int b = static_cast<int>(rng.NextBounded(100));
+      ds = ds.Map([a, b](const int& x) { return a * x + b; });
+      for (int& x : reference) x = a * x + b;
+      break;
+    }
+    case 1: {  // filter: modulus predicate
+      const int m = static_cast<int>(rng.NextBounded(4)) + 2;
+      const int r =
+          static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(m)));
+      auto keep = [m, r](int x) { return ((x % m) + m) % m == r; };
+      ds = ds.Filter([keep](const int& x) { return keep(x); });
+      std::vector<int> kept;
+      for (int x : reference) {
+        if (keep(x)) kept.push_back(x);
+      }
+      reference = std::move(kept);
+      break;
+    }
+    case 2: {  // flatMap: duplicate k times
+      const int k = static_cast<int>(rng.NextBounded(3)) + 1;
+      ds = ds.FlatMap([k](const int& x) {
+        return std::vector<int>(static_cast<std::size_t>(k), x);
+      });
+      std::vector<int> expanded;
+      expanded.reserve(reference.size() * static_cast<std::size_t>(k));
+      for (int x : reference) {
+        for (int i = 0; i < k; ++i) expanded.push_back(x);
+      }
+      reference = std::move(expanded);
+      break;
+    }
+    case 3: {  // coalesce: structural change, order preserved
+      ds = Coalesce(ds, static_cast<std::uint32_t>(rng.NextBounded(3)) + 1);
+      break;
+    }
+  }
+}
+
+class RandomDagSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagSweep, PipelineMatchesReference) {
+  Rng rng(GetParam());
+  EngineContext ctx(LocalOptions(GetParam()));
+
+  // Random input and partitioning.
+  const std::size_t n = 50 + rng.NextBounded(300);
+  std::vector<int> reference;
+  reference.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reference.push_back(static_cast<int>(rng.NextBounded(1000)) - 500);
+  }
+  const auto partitions = static_cast<std::uint32_t>(rng.NextBounded(9)) + 1;
+  Dataset<int> ds = Parallelize(ctx, reference, partitions);
+
+  // 2-5 random ops with random persistence in between.
+  const std::uint64_t ops = 2 + rng.NextBounded(4);
+  for (std::uint64_t o = 0; o < ops; ++o) {
+    ApplyRandomOp(rng, ds, reference);
+    if (rng.NextDouble() < 0.3) ds.Cache();
+  }
+
+  // Order-preserving comparison, twice (cache hits on the second pass).
+  EXPECT_EQ(ds.Collect(), reference) << "seed " << GetParam();
+  EXPECT_EQ(ds.Collect(), reference) << "seed " << GetParam();
+  EXPECT_EQ(ds.Count(), reference.size());
+
+  const long expected_sum =
+      std::accumulate(reference.begin(), reference.end(), 0L);
+  auto longs = ds.Map([](const int& x) { return static_cast<long>(x); });
+  EXPECT_EQ(longs.Reduce([](long a, long b) { return a + b; }, 0L),
+            expected_sum);
+
+  std::vector<int> sorted_ref = reference;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  EXPECT_EQ(SortBy(ds, [](const int& x) { return x; }, 3).Collect(),
+            sorted_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(RandomDagFaultSweep, ResultsUnchangedByInjectedFailures) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<int> data;
+    for (int i = 0; i < 200; ++i) {
+      data.push_back(static_cast<int>(rng.NextBounded(100)));
+    }
+    auto run = [&](cluster::FaultInjector* faults) {
+      EngineContext ctx(LocalOptions(seed), nullptr, faults);
+      auto ds = Parallelize(ctx, data, 6)
+                    .Map([](const int& x) { return x * 3; })
+                    .Filter([](const int& x) { return x % 2 == 0; });
+      ds.Cache();
+      auto keyed = ds.Map([](const int& x) {
+        return std::pair<int, int>(x % 5, x);
+      });
+      return CollectAsMap(
+          ReduceByKey(keyed, [](int a, int b) { return a + b; }, 3));
+    };
+    const auto clean = run(nullptr);
+    cluster::FaultInjector faults;
+    faults.FailTask(1, 0, 2);
+    faults.FailTask(2, 1, 1);
+    faults.FailNodeAfterTasks(0, 4);
+    const auto with_faults = run(&faults);
+    EXPECT_EQ(clean, with_faults) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ss::engine

@@ -1,0 +1,102 @@
+// Intersection/Subtract, the stage report, and the driver-only guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/dataset_ops.hpp"
+
+namespace ss::engine {
+namespace {
+
+EngineContext::Options LocalOptions() {
+  EngineContext::Options options;
+  options.topology = cluster::EmrCluster(2);
+  options.physical_threads = 4;
+  return options;
+}
+
+TEST(IntersectionTest, CommonElementsOnly) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, std::vector<int>{1, 2, 3, 4, 5}, 2);
+  auto b = Parallelize(ctx, std::vector<int>{4, 5, 6, 7}, 3);
+  auto got = Intersection(a, b, 2).Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{4, 5}));
+}
+
+TEST(IntersectionTest, DeduplicatesAndHandlesEmpty) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, std::vector<int>{1, 1, 2, 2}, 2);
+  auto b = Parallelize(ctx, std::vector<int>{2, 2, 3}, 1);
+  EXPECT_EQ(Intersection(a, b, 2).Collect(), (std::vector<int>{2}));
+  auto empty = Parallelize(ctx, std::vector<int>{}, 1);
+  EXPECT_TRUE(Intersection(a, empty, 2).Collect().empty());
+}
+
+TEST(SubtractTest, LeftOnlyElements) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, std::vector<int>{1, 2, 3, 4}, 2);
+  auto b = Parallelize(ctx, std::vector<int>{3, 4, 5}, 2);
+  auto got = Subtract(a, b, 3).Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(SubtractTest, DisjointAndIdentical) {
+  EngineContext ctx(LocalOptions());
+  auto a = Parallelize(ctx, std::vector<int>{1, 2}, 1);
+  auto b = Parallelize(ctx, std::vector<int>{3}, 1);
+  auto disjoint = Subtract(a, b, 2).Collect();
+  std::sort(disjoint.begin(), disjoint.end());
+  EXPECT_EQ(disjoint, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(Subtract(a, a, 2).Collect().empty());
+}
+
+TEST(SetAlgebraTest, IntersectionPlusSubtractCoversLeft) {
+  EngineContext ctx(LocalOptions());
+  std::vector<int> left_data;
+  std::vector<int> right_data;
+  for (int i = 0; i < 100; ++i) left_data.push_back(i);
+  for (int i = 50; i < 150; ++i) right_data.push_back(i);
+  auto left = Parallelize(ctx, left_data, 4);
+  auto right = Parallelize(ctx, right_data, 4);
+  auto inter = Intersection(left, right, 3).Collect();
+  auto sub = Subtract(left, right, 3).Collect();
+  std::vector<int> reunion;
+  reunion.insert(reunion.end(), inter.begin(), inter.end());
+  reunion.insert(reunion.end(), sub.begin(), sub.end());
+  std::sort(reunion.begin(), reunion.end());
+  EXPECT_EQ(reunion, left_data);
+}
+
+TEST(StageReportTest, ListsStagesWithMetrics) {
+  EngineContext ctx(LocalOptions());
+  auto ds = Parallelize(ctx, std::vector<int>{1, 2, 3, 4}, 2)
+                .Map([](const int& x) {
+                  return std::pair<int, int>(x % 2, x);
+                });
+  CollectAsMap(ReduceByKey(ds, [](int a, int b) { return a + b; }, 2));
+  const std::string report = FormatStageReport(ctx.metrics().stages());
+  EXPECT_NE(report.find("shuffle-map"), std::string::npos);
+  EXPECT_NE(report.find("collectAsMap"), std::string::npos);
+  EXPECT_NE(report.find("Stages"), std::string::npos);
+}
+
+TEST(DriverGuardTest, ActionInsideTaskAborts) {
+  // Everything lives inside the death statement: the forked child must
+  // create its own thread pool (worker threads do not survive fork).
+  auto nested_action = []() {
+    EngineContext ctx(LocalOptions());
+    auto inner = Parallelize(ctx, std::vector<int>{1, 2}, 1);
+    auto outer = Parallelize(ctx, std::vector<int>{10}, 1)
+                     .Map([inner](const int& x) {
+                       // Nested action from a task closure: forbidden.
+                       return x + inner.Collect().front();
+                     });
+    outer.Collect();
+  };
+  EXPECT_DEATH(nested_action(), "inside a task");
+}
+
+}  // namespace
+}  // namespace ss::engine

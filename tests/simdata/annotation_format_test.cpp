@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "simdata/annotation.hpp"
+
+namespace ss::simdata {
+namespace {
+
+TEST(GeneFormatTest, RoundTrip) {
+  const Gene gene{7, 3, 1000, 25000, "BRCA2"};
+  const auto parsed = ParseGene(FormatGene(gene));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 7u);
+  EXPECT_EQ(parsed.value().chromosome, 3u);
+  EXPECT_EQ(parsed.value().start, 1000u);
+  EXPECT_EQ(parsed.value().end, 25000u);
+  EXPECT_EQ(parsed.value().name, "BRCA2");
+}
+
+TEST(GeneFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseGene("").ok());
+  EXPECT_FALSE(ParseGene("1 2 3 4").ok());        // missing name
+  EXPECT_FALSE(ParseGene("1 2 100 50 G").ok());    // end < start
+  EXPECT_FALSE(ParseGene("x 2 1 2 G").ok());       // bad id
+  EXPECT_FALSE(ParseGene("1 2 -5 2 G").ok());      // negative start
+}
+
+TEST(LocusFormatTest, RoundTrip) {
+  const SnpLocus locus{12, 3141592};
+  const auto parsed = ParseLocus(FormatLocus(locus));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), locus);
+}
+
+TEST(LocusFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseLocus("").ok());
+  EXPECT_FALSE(ParseLocus("1").ok());
+  EXPECT_FALSE(ParseLocus("1 -3").ok());
+  EXPECT_FALSE(ParseLocus("a 5").ok());
+  EXPECT_FALSE(ParseLocus("1 2 3").ok());
+}
+
+TEST(AnnotationFormatTest, GeneratedGenomeRoundTrips) {
+  GenomeConfig config;
+  config.num_genes = 20;
+  config.num_snps = 100;
+  config.seed = 77;
+  const GenomeAnnotation genome = GenerateGenome(config);
+  for (const Gene& gene : genome.genes()) {
+    const auto parsed = ParseGene(FormatGene(gene));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().id, gene.id);
+    EXPECT_EQ(parsed.value().start, gene.start);
+    EXPECT_EQ(parsed.value().end, gene.end);
+  }
+  for (const SnpLocus& locus : genome.loci()) {
+    const auto parsed = ParseLocus(FormatLocus(locus));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), locus);
+  }
+}
+
+}  // namespace
+}  // namespace ss::simdata

@@ -1,0 +1,165 @@
+#include "simdata/annotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ss::simdata {
+namespace {
+
+GenomeAnnotation HandGenome() {
+  // chr1: GENE0 [100,200], GENE1 [150,300] (overlapping), chr2: GENE2 [50,60].
+  std::vector<Gene> genes = {
+      {0, 1, 100, 200, "GENE0"},
+      {1, 1, 150, 300, "GENE1"},
+      {2, 2, 50, 60, "GENE2"},
+  };
+  std::vector<SnpLocus> loci = {
+      {1, 120},  // snp 0: GENE0 only
+      {1, 180},  // snp 1: GENE0 and GENE1 (overlap)
+      {1, 250},  // snp 2: GENE1 only
+      {1, 400},  // snp 3: intergenic
+      {2, 55},   // snp 4: GENE2
+      {2, 120},  // snp 5: intergenic
+      {1, 100},  // snp 6: GENE0 boundary (start inclusive)
+      {1, 300},  // snp 7: GENE1 boundary (end inclusive)
+  };
+  return GenomeAnnotation(std::move(genes), std::move(loci));
+}
+
+TEST(GenomeAnnotationTest, ContainmentIncludingOverlapsAndBoundaries) {
+  const GenomeAnnotation genome = HandGenome();
+  EXPECT_EQ(genome.GenesContaining(0), (std::vector<std::uint32_t>{0}));
+  auto both = genome.GenesContaining(1);
+  std::sort(both.begin(), both.end());
+  EXPECT_EQ(both, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(genome.GenesContaining(2), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(genome.GenesContaining(3).empty());
+  EXPECT_EQ(genome.GenesContaining(4), (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(genome.GenesContaining(5).empty());
+  EXPECT_EQ(genome.GenesContaining(6), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(genome.GenesContaining(7), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GenomeAnnotationTest, ChromosomeSeparation) {
+  // Same position, different chromosome: no cross-chromosome matches.
+  std::vector<Gene> genes = {{0, 1, 10, 20, "G"}};
+  std::vector<SnpLocus> loci = {{2, 15}};
+  const GenomeAnnotation genome(std::move(genes), std::move(loci));
+  EXPECT_TRUE(genome.GenesContaining(0).empty());
+}
+
+TEST(GenomeAnnotationTest, DeriveSnpSetsMatchesContainment) {
+  const GenomeAnnotation genome = HandGenome();
+  const auto sets = genome.DeriveSnpSets();
+  ASSERT_EQ(sets.size(), 3u);  // all three genes contain >= 1 SNP
+  // Find GENE0's set.
+  auto find_set = [&](std::uint32_t id) {
+    for (const auto& set : sets) {
+      if (set.id == id) return set.snps;
+    }
+    return std::vector<std::uint32_t>{};
+  };
+  auto g0 = find_set(0);
+  std::sort(g0.begin(), g0.end());
+  EXPECT_EQ(g0, (std::vector<std::uint32_t>{0, 1, 6}));
+  auto g1 = find_set(1);
+  std::sort(g1.begin(), g1.end());
+  EXPECT_EQ(g1, (std::vector<std::uint32_t>{1, 2, 7}));
+  EXPECT_EQ(find_set(2), (std::vector<std::uint32_t>{4}));
+}
+
+TEST(GenomeAnnotationTest, EmptyGenesDropped) {
+  std::vector<Gene> genes = {{0, 1, 10, 20, "HIT"}, {1, 1, 500, 600, "EMPTY"}};
+  std::vector<SnpLocus> loci = {{1, 15}};
+  const GenomeAnnotation genome(std::move(genes), std::move(loci));
+  const auto sets = genome.DeriveSnpSets();
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].id, 0u);
+}
+
+TEST(GenomeAnnotationTest, GenicSnpCount) {
+  EXPECT_EQ(HandGenome().GenicSnpCount(), 6u);
+}
+
+TEST(GenerateGenomeTest, ShapesAndBounds) {
+  GenomeConfig config;
+  config.num_genes = 50;
+  config.num_snps = 500;
+  config.seed = 3;
+  const GenomeAnnotation genome = GenerateGenome(config);
+  EXPECT_EQ(genome.genes().size(), 50u);
+  EXPECT_EQ(genome.num_snps(), 500u);
+  for (const Gene& gene : genome.genes()) {
+    EXPECT_GE(gene.chromosome, 1u);
+    EXPECT_LE(gene.chromosome, config.num_chromosomes);
+    EXPECT_LE(gene.start, gene.end);
+    EXPECT_LT(gene.end, config.chromosome_length);
+  }
+  for (const SnpLocus& locus : genome.loci()) {
+    EXPECT_GE(locus.chromosome, 1u);
+    EXPECT_LE(locus.chromosome, config.num_chromosomes);
+    EXPECT_LT(locus.position, config.chromosome_length);
+  }
+}
+
+TEST(GenerateGenomeTest, GenicFractionRespected) {
+  GenomeConfig config;
+  config.num_genes = 40;
+  config.num_snps = 2000;
+  config.genic_fraction = 0.8;
+  config.seed = 5;
+  const GenomeAnnotation genome = GenerateGenome(config);
+  // At least the forced fraction is genic (uniform placements add more).
+  EXPECT_GE(genome.GenicSnpCount(), 1500u);
+}
+
+TEST(GenerateGenomeTest, Deterministic) {
+  GenomeConfig config;
+  config.seed = 11;
+  const GenomeAnnotation a = GenerateGenome(config);
+  const GenomeAnnotation b = GenerateGenome(config);
+  ASSERT_EQ(a.loci().size(), b.loci().size());
+  for (std::size_t i = 0; i < a.loci().size(); ++i) {
+    EXPECT_EQ(a.loci()[i], b.loci()[i]);
+  }
+}
+
+TEST(GenerateGenomeTest, DerivedSetsValidForSkat) {
+  GenomeConfig config;
+  config.num_genes = 30;
+  config.num_snps = 400;
+  config.seed = 13;
+  const GenomeAnnotation genome = GenerateGenome(config);
+  const auto sets = genome.DeriveSnpSets();
+  ASSERT_FALSE(sets.empty());
+  EXPECT_TRUE(stats::ValidateSnpSets(sets, 400).ok());
+}
+
+/// Brute-force cross-check over random genomes.
+class AnnotationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnotationSweep, ContainmentMatchesBruteForce) {
+  GenomeConfig config;
+  config.num_genes = 25;
+  config.num_snps = 200;
+  config.num_chromosomes = 4;
+  config.seed = GetParam();
+  const GenomeAnnotation genome = GenerateGenome(config);
+  for (std::uint32_t snp = 0; snp < genome.num_snps(); ++snp) {
+    std::vector<std::uint32_t> brute;
+    for (const Gene& gene : genome.genes()) {
+      if (gene.Contains(genome.loci()[snp])) brute.push_back(gene.id);
+    }
+    auto fast = genome.GenesContaining(snp);
+    std::sort(brute.begin(), brute.end());
+    std::sort(fast.begin(), fast.end());
+    EXPECT_EQ(fast, brute) << "snp " << snp << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnotationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ss::simdata

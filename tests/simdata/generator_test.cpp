@@ -1,0 +1,158 @@
+#include "simdata/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "support/summary.hpp"
+
+namespace ss::simdata {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_patients = 200;
+  config.num_snps = 500;
+  config.num_sets = 20;
+  config.seed = 99;
+  return config;
+}
+
+TEST(GeneratorTest, ShapesMatchConfig) {
+  const SyntheticDataset dataset = Generate(SmallConfig());
+  EXPECT_EQ(dataset.survival.n(), 200u);
+  EXPECT_EQ(dataset.genotypes.num_snps(), 500u);
+  EXPECT_EQ(dataset.genotypes.num_patients, 200u);
+  EXPECT_EQ(dataset.weights.size(), 500u);
+  EXPECT_EQ(dataset.sets.size(), 20u);
+  for (const auto& row : dataset.genotypes.by_snp) {
+    EXPECT_EQ(row.size(), 200u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const SyntheticDataset a = Generate(SmallConfig());
+  const SyntheticDataset b = Generate(SmallConfig());
+  EXPECT_EQ(a.survival.time, b.survival.time);
+  EXPECT_EQ(a.genotypes.by_snp, b.genotypes.by_snp);
+  EXPECT_EQ(a.weights, b.weights);
+  for (std::size_t k = 0; k < a.sets.size(); ++k) {
+    EXPECT_EQ(a.sets[k].snps, b.sets[k].snps);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig other = SmallConfig();
+  other.seed = 100;
+  EXPECT_NE(Generate(SmallConfig()).survival.time,
+            Generate(other).survival.time);
+}
+
+TEST(GeneratorTest, SurvivalMatchesPaperParameters) {
+  // Exp(1/12) survival, Bernoulli(0.85) events (Section III).
+  const stats::SurvivalData data = GenerateSurvival(7, 50000, 12.0, 0.85);
+  EXPECT_NEAR(Mean(data.time), 12.0, 0.3);
+  double events = 0;
+  for (std::uint8_t e : data.event) events += e;
+  EXPECT_NEAR(events / 50000.0, 0.85, 0.01);
+  for (double t : data.time) EXPECT_GE(t, 0.0);
+}
+
+TEST(GeneratorTest, GenotypesAreDiploidDosagesWithMatchingFrequency) {
+  GeneratorConfig config = SmallConfig();
+  config.num_patients = 2000;
+  config.num_snps = 20;
+  config.num_sets = 5;
+  const SyntheticDataset dataset = Generate(config);
+  for (std::uint32_t j = 0; j < 20; ++j) {
+    double allele_sum = 0.0;
+    for (std::uint8_t g : dataset.genotypes.by_snp[j]) {
+      EXPECT_LE(g, 2);
+      allele_sum += g;
+    }
+    const double observed_freq = allele_sum / (2.0 * 2000.0);
+    EXPECT_NEAR(observed_freq, dataset.genotypes.allele_freq[j], 0.04)
+        << "SNP " << j;
+  }
+}
+
+TEST(GeneratorTest, AlleleFrequenciesWithinConfiguredRange) {
+  const SyntheticDataset dataset = Generate(SmallConfig());
+  for (double rho : dataset.genotypes.allele_freq) {
+    EXPECT_GE(rho, 0.05);
+    EXPECT_LE(rho, 0.50);
+  }
+}
+
+TEST(GeneratorTest, SnpSetsPartitionAllSnps) {
+  // Section III: set K is augmented with unpicked SNPs, so the family
+  // covers every SNP exactly once (it is a partition by construction).
+  const auto sets = GenerateSnpSets(3, 1000, 40);
+  std::vector<std::uint32_t> all;
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.snps.empty());
+    all.insert(all.end(), set.snps.begin(), set.snps.end());
+  }
+  ASSERT_EQ(all.size(), 1000u);
+  std::sort(all.begin(), all.end());
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(GeneratorTest, SnpSetSizesHaveExponentialSpread) {
+  // Mean size ~ m/K; sizes should vary (not all equal).
+  const auto sets = GenerateSnpSets(5, 10000, 100);
+  std::vector<double> sizes;
+  for (const auto& set : sets) sizes.push_back(static_cast<double>(set.snps.size()));
+  const Summary s = Summarize(sizes);
+  EXPECT_NEAR(s.mean, 100.0, 1e-9);  // exact: it is a partition
+  EXPECT_GT(s.stdev, 20.0);          // exponential-ish dispersion
+}
+
+TEST(GeneratorTest, SingleSetTakesEverything) {
+  const auto sets = GenerateSnpSets(6, 50, 1);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].snps.size(), 50u);
+}
+
+TEST(GeneratorTest, SetsValidAgainstSkatValidator) {
+  const SyntheticDataset dataset = Generate(SmallConfig());
+  EXPECT_TRUE(stats::ValidateSnpSets(dataset.sets, 500).ok());
+}
+
+TEST(GeneratorTest, WeightSchemes) {
+  GeneratorConfig config = SmallConfig();
+  config.weights = WeightScheme::kUnit;
+  for (double w : Generate(config).weights) EXPECT_DOUBLE_EQ(w, 1.0);
+
+  config.weights = WeightScheme::kMadsenBrowning;
+  const SyntheticDataset mb = Generate(config);
+  for (std::uint32_t j = 0; j < 500; ++j) {
+    const double rho = mb.genotypes.allele_freq[j];
+    EXPECT_NEAR(mb.weights[j], 1.0 / std::sqrt(2.0 * rho * (1.0 - rho)),
+                1e-12);
+  }
+
+  config.weights = WeightScheme::kRandom;
+  for (double w : Generate(config).weights) {
+    EXPECT_GE(w, 0.5);
+    EXPECT_LE(w, 1.5);
+  }
+}
+
+TEST(GeneratorTest, SnpStreamsIndependentOfSnpCount) {
+  // SNP j's genotypes must not change when more SNPs are generated.
+  GeneratorConfig small = SmallConfig();
+  GeneratorConfig large = SmallConfig();
+  large.num_snps = 1000;
+  const SyntheticDataset a = Generate(small);
+  const SyntheticDataset b = Generate(large);
+  for (std::uint32_t j = 0; j < 500; ++j) {
+    EXPECT_EQ(a.genotypes.by_snp[j], b.genotypes.by_snp[j]) << "SNP " << j;
+  }
+}
+
+}  // namespace
+}  // namespace ss::simdata

@@ -1,0 +1,112 @@
+// LD-block genotype generation: marginals preserved, within-block
+// correlation present, cross-block independence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simdata/generator.hpp"
+
+namespace ss::simdata {
+namespace {
+
+GeneratorConfig LdConfig(std::uint32_t block, double correlation) {
+  GeneratorConfig config;
+  config.num_patients = 4000;
+  config.num_snps = 40;
+  config.num_sets = 4;
+  config.seed = 321;
+  config.maf_min = 0.2;
+  config.maf_max = 0.4;
+  config.ld_block_size = block;
+  config.ld_correlation = correlation;
+  return config;
+}
+
+/// Pearson correlation of two dosage rows.
+double Correlation(const std::vector<std::uint8_t>& a,
+                   const std::vector<std::uint8_t>& b) {
+  const std::size_t n = a.size();
+  double ma = 0;
+  double mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0;
+  double va = 0;
+  double vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(LdTest, MarginalsPreservedUnderLd) {
+  const SyntheticDataset dataset = Generate(LdConfig(5, 0.9));
+  for (std::uint32_t j = 0; j < dataset.genotypes.num_snps(); ++j) {
+    double allele_sum = 0;
+    for (std::uint8_t g : dataset.genotypes.by_snp[j]) {
+      ASSERT_LE(g, 2);
+      allele_sum += g;
+    }
+    const double observed = allele_sum / (2.0 * 4000.0);
+    EXPECT_NEAR(observed, dataset.genotypes.allele_freq[j], 0.03)
+        << "SNP " << j;
+  }
+}
+
+TEST(LdTest, WithinBlockCorrelationPresent) {
+  const SyntheticDataset dataset = Generate(LdConfig(5, 0.9));
+  // SNPs 0-4 share a block.
+  const double r01 =
+      Correlation(dataset.genotypes.by_snp[0], dataset.genotypes.by_snp[1]);
+  const double r23 =
+      Correlation(dataset.genotypes.by_snp[2], dataset.genotypes.by_snp[3]);
+  EXPECT_GT(r01, 0.4);
+  EXPECT_GT(r23, 0.4);
+}
+
+TEST(LdTest, CrossBlockUncorrelated) {
+  const SyntheticDataset dataset = Generate(LdConfig(5, 0.9));
+  // SNP 4 (block 0) vs SNP 5 (block 1).
+  const double r =
+      Correlation(dataset.genotypes.by_snp[4], dataset.genotypes.by_snp[5]);
+  EXPECT_LT(std::fabs(r), 0.08);
+}
+
+TEST(LdTest, CorrelationScalesWithParameter) {
+  const SyntheticDataset strong = Generate(LdConfig(4, 0.95));
+  const SyntheticDataset weak = Generate(LdConfig(4, 0.3));
+  const double r_strong =
+      Correlation(strong.genotypes.by_snp[0], strong.genotypes.by_snp[1]);
+  const double r_weak =
+      Correlation(weak.genotypes.by_snp[0], weak.genotypes.by_snp[1]);
+  EXPECT_GT(r_strong, r_weak + 0.2);
+}
+
+TEST(LdTest, BlockSizeOneMatchesIndependentRegime) {
+  // ld_block_size=1 must reproduce the legacy independent generator
+  // exactly (same seed, same data).
+  GeneratorConfig independent = LdConfig(1, 0.9);
+  GeneratorConfig legacy = LdConfig(1, 0.0);
+  const SyntheticDataset a = Generate(independent);
+  const SyntheticDataset b = Generate(legacy);
+  EXPECT_EQ(a.genotypes.by_snp, b.genotypes.by_snp);
+  // And independence holds.
+  EXPECT_LT(std::fabs(Correlation(a.genotypes.by_snp[0],
+                                  a.genotypes.by_snp[1])),
+            0.08);
+}
+
+TEST(LdTest, DeterministicUnderLd) {
+  const SyntheticDataset a = Generate(LdConfig(5, 0.7));
+  const SyntheticDataset b = Generate(LdConfig(5, 0.7));
+  EXPECT_EQ(a.genotypes.by_snp, b.genotypes.by_snp);
+}
+
+}  // namespace
+}  // namespace ss::simdata

@@ -1,0 +1,190 @@
+#include "simdata/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfs/dfs.hpp"
+#include "simdata/dfs_writer.hpp"
+
+namespace ss::simdata {
+namespace {
+
+TEST(SnpRecordFormatTest, RoundTrip) {
+  const SnpRecord record{42, {0, 1, 2, 2, 0}};
+  const auto parsed = ParseSnpRecord(FormatSnpRecord(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), record);
+}
+
+TEST(SnpRecordFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSnpRecord("").ok());
+  EXPECT_FALSE(ParseSnpRecord("42").ok());            // no dosages
+  EXPECT_FALSE(ParseSnpRecord("x 0 1").ok());         // bad id
+  EXPECT_FALSE(ParseSnpRecord("1 0 3").ok());         // dosage > 2
+  EXPECT_FALSE(ParseSnpRecord("1 0 -1").ok());        // negative
+  EXPECT_FALSE(ParseSnpRecord("1 0 1.5").ok());       // non-integer
+}
+
+TEST(SnpRecordFormatTest, ToleratesExtraSpaces) {
+  const auto parsed = ParseSnpRecord("  7   1  2 ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().snp, 7u);
+  EXPECT_EQ(parsed.value().genotypes, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(PhenotypeFormatTest, RoundTrip) {
+  for (const stats::PhenotypePair pair :
+       {stats::PhenotypePair{12.75, 1}, stats::PhenotypePair{0.0, 0},
+        stats::PhenotypePair{1e-6, 1}}) {
+    const auto parsed = ParsePhenotype(FormatPhenotype(pair));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed.value().time, pair.time);
+    EXPECT_EQ(parsed.value().event, pair.event);
+  }
+}
+
+TEST(PhenotypeFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParsePhenotype("").ok());
+  EXPECT_FALSE(ParsePhenotype("1.5").ok());        // missing event
+  EXPECT_FALSE(ParsePhenotype("1.5 2").ok());      // event not 0/1
+  EXPECT_FALSE(ParsePhenotype("-1 0").ok());       // negative time
+  EXPECT_FALSE(ParsePhenotype("a 1").ok());
+  EXPECT_FALSE(ParsePhenotype("1 1 extra").ok());
+}
+
+TEST(WeightFormatTest, RoundTrip) {
+  const auto parsed = ParseWeight(FormatWeight({9, 2.5}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().snp, 9u);
+  EXPECT_DOUBLE_EQ(parsed.value().weight, 2.5);
+}
+
+TEST(WeightFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseWeight("1").ok());
+  EXPECT_FALSE(ParseWeight("1 -0.5").ok());  // negative weight
+  EXPECT_FALSE(ParseWeight("x 1.0").ok());
+}
+
+TEST(SnpSetFormatTest, RoundTrip) {
+  const stats::SnpSet set{3, {10, 20, 30}};
+  const auto parsed = ParseSnpSet(FormatSnpSet(set));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 3u);
+  EXPECT_EQ(parsed.value().snps, set.snps);
+}
+
+TEST(SnpSetFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSnpSet("3").ok());       // empty set
+  EXPECT_FALSE(ParseSnpSet("3 a").ok());
+  EXPECT_FALSE(ParseSnpSet("").ok());
+}
+
+TEST(DfsWriterTest, StagesAllFourFiles) {
+  dfs::MiniDfs dfs({.num_nodes = 3, .replication = 2, .block_lines = 64});
+  GeneratorConfig config;
+  config.num_patients = 50;
+  config.num_snps = 100;
+  config.num_sets = 10;
+  const auto paths = GenerateToDfs(dfs, "/study", config);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_TRUE(dfs.Exists(paths.value().genotypes));
+  EXPECT_TRUE(dfs.Exists(paths.value().phenotype));
+  EXPECT_TRUE(dfs.Exists(paths.value().weights));
+  EXPECT_TRUE(dfs.Exists(paths.value().snp_sets));
+  EXPECT_EQ(dfs.ReadTextFile(paths.value().genotypes).value().size(), 100u);
+  // Phenotype file: "#model cox" header + one line per patient.
+  EXPECT_EQ(dfs.ReadTextFile(paths.value().phenotype).value().size(), 51u);
+}
+
+TEST(DfsWriterTest, StagedDataRoundTripsThroughParsers) {
+  dfs::MiniDfs dfs({.num_nodes = 2, .replication = 1, .block_lines = 16});
+  GeneratorConfig config;
+  config.num_patients = 30;
+  config.num_snps = 40;
+  config.num_sets = 5;
+  const SyntheticDataset dataset = Generate(config);
+  const StudyPaths paths = StudyPaths::Under("/s");
+  ASSERT_TRUE(WriteStudy(dfs, paths, dataset).ok());
+
+  const auto genotype_lines = dfs.ReadTextFile(paths.genotypes).value();
+  for (std::uint32_t j = 0; j < 40; ++j) {
+    const auto record = ParseSnpRecord(genotype_lines[j]);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record.value().snp, j);
+    EXPECT_EQ(record.value().genotypes, dataset.genotypes.by_snp[j]);
+  }
+  const auto phenotype_lines = dfs.ReadTextFile(paths.phenotype).value();
+  const auto phenotype = ParsePhenotypeFile(phenotype_lines);
+  ASSERT_TRUE(phenotype.ok());
+  EXPECT_EQ(phenotype.value().model, stats::ScoreModel::kCox);
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(phenotype.value().survival.time[i],
+                     dataset.survival.time[i]);
+    EXPECT_EQ(phenotype.value().survival.event[i], dataset.survival.event[i]);
+  }
+}
+
+TEST(PhenotypeFileTest, RoundTripsAllThreeModels) {
+  stats::SurvivalData survival;
+  survival.time = {1.5, 2.25};
+  survival.event = {1, 0};
+  stats::QuantitativeData quantitative;
+  quantitative.value = {-0.75, 3.125, 9.0};
+  stats::BinaryData binary;
+  binary.value = {1, 0, 0, 1};
+
+  for (const stats::Phenotype& original :
+       {stats::Phenotype::Cox(survival),
+        stats::Phenotype::Gaussian(quantitative),
+        stats::Phenotype::Binomial(binary)}) {
+    const auto parsed = ParsePhenotypeFile(FormatPhenotypeFile(original));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().model, original.model);
+    EXPECT_EQ(parsed.value().n(), original.n());
+    switch (original.model) {
+      case stats::ScoreModel::kCox:
+        EXPECT_EQ(parsed.value().survival.time, original.survival.time);
+        EXPECT_EQ(parsed.value().survival.event, original.survival.event);
+        break;
+      case stats::ScoreModel::kGaussian:
+        EXPECT_EQ(parsed.value().quantitative.value,
+                  original.quantitative.value);
+        break;
+      case stats::ScoreModel::kBinomial:
+        EXPECT_EQ(parsed.value().binary.value, original.binary.value);
+        break;
+    }
+  }
+}
+
+TEST(PhenotypeFileTest, LegacyHeaderlessFileParsesAsCox) {
+  const auto parsed = ParsePhenotypeFile({"1.5 1", "2.25 0"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().model, stats::ScoreModel::kCox);
+  EXPECT_EQ(parsed.value().n(), 2u);
+}
+
+TEST(PhenotypeFileTest, RejectsBadHeaderAndValues) {
+  EXPECT_FALSE(ParsePhenotypeFile({"#model poisson", "1"}).ok());
+  EXPECT_FALSE(ParsePhenotypeFile({"#banana", "1 1"}).ok());
+  EXPECT_FALSE(ParsePhenotypeFile({"#model binomial", "2"}).ok());
+  EXPECT_FALSE(ParsePhenotypeFile({"#model gaussian", "abc"}).ok());
+}
+
+TEST(PhenotypeFileTest, EmptyFileIsEmptyCoxPhenotype) {
+  const auto parsed = ParsePhenotypeFile({});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().n(), 0u);
+}
+
+TEST(DfsWriterTest, DoubleStageFails) {
+  dfs::MiniDfs dfs({.num_nodes = 2, .replication = 1, .block_lines = 16});
+  GeneratorConfig config;
+  config.num_patients = 10;
+  config.num_snps = 10;
+  config.num_sets = 2;
+  ASSERT_TRUE(GenerateToDfs(dfs, "/dup", config).ok());
+  EXPECT_FALSE(GenerateToDfs(dfs, "/dup", config).ok());
+}
+
+}  // namespace
+}  // namespace ss::simdata

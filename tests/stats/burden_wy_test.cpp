@@ -1,0 +1,184 @@
+// Burden / SKAT-O combination and Westfall-Young maxT adjustment tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/burden.hpp"
+#include "stats/westfall_young.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+std::unordered_map<std::uint32_t, double> Map(
+    std::initializer_list<std::pair<const std::uint32_t, double>> init) {
+  return std::unordered_map<std::uint32_t, double>(init);
+}
+
+TEST(BurdenTest, SquaredWeightedSum) {
+  SnpSet set{0, {1, 2}};
+  // (2*3 + 1*(-1))^2 = 25.
+  EXPECT_DOUBLE_EQ(
+      BurdenStatistic(set, Map({{1, 3.0}, {2, -1.0}}), Map({{1, 2.0}, {2, 1.0}})),
+      25.0);
+}
+
+TEST(BurdenTest, OppositeEffectsCancel) {
+  // The classic burden weakness SKAT avoids: equal and opposite scores.
+  SnpSet set{0, {1, 2}};
+  const auto scores = Map({{1, 5.0}, {2, -5.0}});
+  const auto weights = Map({{1, 1.0}, {2, 1.0}});
+  EXPECT_DOUBLE_EQ(BurdenStatistic(set, scores, weights), 0.0);
+  // SKAT sees the signal (uses squared scores).
+  EXPECT_DOUBLE_EQ(SkatStatistic(set, Map({{1, 25.0}, {2, 25.0}}), weights),
+                   50.0);
+}
+
+TEST(BurdenTest, AlignedEffectsBeatSkatScale) {
+  // With aligned effects, burden = (sum)^2 > sum of squares = SKAT.
+  SnpSet set{0, {1, 2}};
+  const auto scores = Map({{1, 3.0}, {2, 4.0}});
+  const auto weights = Map({{1, 1.0}, {2, 1.0}});
+  EXPECT_DOUBLE_EQ(BurdenStatistic(set, scores, weights), 49.0);
+  EXPECT_DOUBLE_EQ(SkatStatistic(set, Map({{1, 9.0}, {2, 16.0}}), weights),
+                   25.0);
+}
+
+TEST(BurdenTest, MissingWeightDefaultsToOneAndFilteredSnpSkipped) {
+  SnpSet set{0, {1, 99}};
+  EXPECT_DOUBLE_EQ(BurdenStatistic(set, Map({{1, 2.0}}), {}), 4.0);
+}
+
+TEST(BurdenTest, BatchMatchesSingle) {
+  const auto scores = Map({{0, 1.0}, {1, -2.0}, {2, 3.0}});
+  const auto weights = Map({{0, 1.0}, {1, 0.5}, {2, 2.0}});
+  std::vector<SnpSet> sets = {{0, {0, 1}}, {1, {2}}};
+  const auto batch = BurdenStatistics(sets, scores, weights);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0], BurdenStatistic(sets[0], scores, weights));
+  EXPECT_DOUBLE_EQ(batch[1], BurdenStatistic(sets[1], scores, weights));
+}
+
+TEST(SkatOTest, GridEndpointsAreBurdenAndSkat) {
+  const auto grid = SkatORhoGrid();
+  ASSERT_GE(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  const auto q = SkatOGridStatistics(100.0, 40.0, grid);
+  EXPECT_DOUBLE_EQ(q.front(), 40.0);   // rho=0: pure SKAT
+  EXPECT_DOUBLE_EQ(q.back(), 100.0);   // rho=1: pure burden
+}
+
+TEST(SkatOTest, PValueInUnitIntervalAndNullish) {
+  // Null replicates from the same distribution as the observed grid: the
+  // p-value should be unremarkable.
+  Rng rng(7);
+  auto make_grid = [&]() {
+    const double burden = std::pow(SampleNormal(rng), 2);
+    const double skat = std::pow(SampleNormal(rng), 2) + std::pow(SampleNormal(rng), 2);
+    return SkatOGridStatistics(burden, skat, SkatORhoGrid());
+  };
+  const auto observed = make_grid();
+  std::vector<std::vector<double>> replicates;
+  for (int b = 0; b < 200; ++b) replicates.push_back(make_grid());
+  const double p = SkatOPValue(observed, replicates);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(SkatOTest, DetectsSignalRegardlessOfDirectionMix) {
+  // Observed grid far in the tail of the null replicates -> small p.
+  Rng rng(8);
+  std::vector<std::vector<double>> replicates;
+  for (int b = 0; b < 99; ++b) {
+    replicates.push_back(SkatOGridStatistics(std::fabs(SampleNormal(rng)),
+                                             std::fabs(SampleNormal(rng)),
+                                             SkatORhoGrid()));
+  }
+  const auto observed = SkatOGridStatistics(500.0, 500.0, SkatORhoGrid());
+  EXPECT_DOUBLE_EQ(SkatOPValue(observed, replicates), 1.0 / 100.0);
+}
+
+TEST(SkatOTest, NoReplicatesGivesOne) {
+  EXPECT_DOUBLE_EQ(SkatOPValue({1.0, 2.0}, {}), 1.0);
+}
+
+// -- Westfall-Young ------------------------------------------------------------
+
+TEST(MaxTTest, SingleStepDefinition) {
+  // Two hypotheses, three replicates with maxima {3, 5, 1}.
+  const std::vector<double> observed = {4.0, 2.0};
+  const std::vector<std::vector<double>> replicates = {
+      {3.0, 1.0}, {5.0, 2.0}, {1.0, 0.5}};
+  const auto adjusted = MaxTAdjustedPValues(observed, replicates);
+  // T=4: maxima >= 4: {5} -> (1+1)/4 = 0.5. T=2: {3,5} -> 3/4.
+  EXPECT_DOUBLE_EQ(adjusted[0], 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(adjusted[1], 3.0 / 4.0);
+}
+
+TEST(MaxTTest, AdjustedNeverBelowMarginalLevel) {
+  Rng rng(9);
+  const std::size_t m = 20;
+  std::vector<double> observed;
+  for (std::size_t j = 0; j < m; ++j) {
+    observed.push_back(std::pow(SampleNormal(rng), 2));
+  }
+  std::vector<std::vector<double>> replicates;
+  for (int b = 0; b < 100; ++b) {
+    std::vector<double> row;
+    for (std::size_t j = 0; j < m; ++j) {
+      row.push_back(std::pow(SampleNormal(rng), 2));
+    }
+    replicates.push_back(std::move(row));
+  }
+  const auto single = MaxTAdjustedPValues(observed, replicates);
+  const auto stepdown = StepDownMaxTAdjustedPValues(observed, replicates);
+  for (std::size_t j = 0; j < m; ++j) {
+    // Marginal empirical p-value for hypothesis j.
+    std::size_t exceed = 0;
+    for (const auto& row : replicates) {
+      if (row[j] >= observed[j]) ++exceed;
+    }
+    const double marginal = (exceed + 1.0) / 101.0;
+    EXPECT_GE(single[j] + 1e-12, marginal);
+    EXPECT_GE(stepdown[j] + 1e-12, marginal);
+    // Step-down is never more conservative than single-step.
+    EXPECT_LE(stepdown[j], single[j] + 1e-12);
+    EXPECT_LE(single[j], 1.0);
+  }
+}
+
+TEST(MaxTTest, StepDownMonotoneInObservedRanking) {
+  Rng rng(10);
+  std::vector<double> observed = {10.0, 7.0, 3.0, 1.0};
+  std::vector<std::vector<double>> replicates;
+  for (int b = 0; b < 50; ++b) {
+    std::vector<double> row;
+    for (int j = 0; j < 4; ++j) row.push_back(std::fabs(SampleNormal(rng)) * 3);
+    replicates.push_back(std::move(row));
+  }
+  const auto adjusted = StepDownMaxTAdjustedPValues(observed, replicates);
+  for (int j = 1; j < 4; ++j) {
+    EXPECT_LE(adjusted[j - 1], adjusted[j] + 1e-12);
+  }
+}
+
+TEST(MaxTTest, StrongSignalSurvivesAdjustment) {
+  Rng rng(11);
+  std::vector<double> observed = {1000.0};  // one massive statistic
+  std::vector<double> noise;
+  std::vector<std::vector<double>> replicates;
+  for (int b = 0; b < 99; ++b) {
+    replicates.push_back({std::pow(SampleNormal(rng), 2)});
+  }
+  EXPECT_DOUBLE_EQ(MaxTAdjustedPValues(observed, replicates)[0], 0.01);
+}
+
+TEST(MaxTTest, EmptyFamily) {
+  EXPECT_TRUE(MaxTAdjustedPValues({}, {{}}).empty());
+  EXPECT_TRUE(StepDownMaxTAdjustedPValues({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace ss::stats

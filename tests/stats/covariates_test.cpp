@@ -1,0 +1,163 @@
+#include "stats/covariates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+std::vector<std::uint8_t> RandomGenotypes(Rng& rng, std::size_t n,
+                                          double rho = 0.3) {
+  std::vector<std::uint8_t> g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.push_back(static_cast<std::uint8_t>(SampleBinomial(rng, 2, rho)));
+  }
+  return g;
+}
+
+TEST(AdjustedGaussianTest, NoCovariatesMatchesUnadjustedScore) {
+  // With an intercept only, the adjusted score equals Σ (G-Ḡ)(Y-Ȳ); the
+  // unadjusted LinearScoreContributions give Σ G(Y-Ȳ), and the two sums
+  // agree because Σ(Y-Ȳ) = 0.
+  Rng rng(1);
+  QuantitativeData y;
+  const std::size_t n = 150;
+  for (std::size_t i = 0; i < n; ++i) y.value.push_back(SampleNormal(rng) * 3);
+  const auto g = RandomGenotypes(rng, n);
+
+  auto engine = AdjustedScoreEngine::Gaussian(y, {});
+  ASSERT_TRUE(engine.ok());
+  const auto adjusted = engine.value().Contributions(g);
+  const auto unadjusted = LinearScoreContributions(y, y.Mean(), g);
+  const double sum_adjusted =
+      std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  const double sum_unadjusted =
+      std::accumulate(unadjusted.begin(), unadjusted.end(), 0.0);
+  EXPECT_NEAR(sum_adjusted, sum_unadjusted, 1e-8);
+}
+
+TEST(AdjustedGaussianTest, RemovesConfounderEffect) {
+  // Y depends on covariate C only; G is correlated with C. Unadjusted,
+  // the score picks up the confounding; adjusted, it is near zero.
+  Rng rng(2);
+  const std::size_t n = 2000;
+  QuantitativeData y;
+  std::vector<double> c(n);
+  std::vector<std::uint8_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = static_cast<std::uint8_t>(SampleBinomial(rng, 2, 0.4));
+    c[i] = static_cast<double>(g[i]) + SampleNormal(rng) * 0.5;  // G -> C
+    y.value.push_back(2.0 * c[i] + SampleNormal(rng));           // C -> Y
+  }
+  const auto unadjusted = LinearScoreContributions(y, y.Mean(), g);
+  const double score_unadjusted =
+      std::accumulate(unadjusted.begin(), unadjusted.end(), 0.0);
+
+  auto engine = AdjustedScoreEngine::Gaussian(y, {c});
+  ASSERT_TRUE(engine.ok());
+  const auto adjusted = engine.value().Contributions(g);
+  const double score_adjusted =
+      std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  double v_adjusted = 0.0;
+  for (double u : adjusted) v_adjusted += u * u;
+
+  EXPECT_GT(std::fabs(score_unadjusted), 500.0);  // large spurious signal
+  // Adjusted score is within ~3 sd of zero.
+  EXPECT_LT(std::fabs(score_adjusted), 3.0 * std::sqrt(v_adjusted));
+}
+
+TEST(AdjustedGaussianTest, PreservesTrueDirectEffect) {
+  // Y depends on both G (directly) and a covariate; the adjusted score
+  // must remain strongly positive.
+  Rng rng(3);
+  const std::size_t n = 2000;
+  QuantitativeData y;
+  std::vector<double> c(n);
+  std::vector<std::uint8_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = static_cast<std::uint8_t>(SampleBinomial(rng, 2, 0.4));
+    c[i] = SampleNormal(rng);
+    y.value.push_back(1.0 * g[i] + 2.0 * c[i] + SampleNormal(rng));
+  }
+  auto engine = AdjustedScoreEngine::Gaussian(y, {c});
+  ASSERT_TRUE(engine.ok());
+  const auto adjusted = engine.value().Contributions(g);
+  const double score =
+      std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  double variance = 0.0;
+  for (double u : adjusted) variance += u * u;
+  EXPECT_GT(score / std::sqrt(variance), 5.0);  // strong z-score survives
+}
+
+TEST(AdjustedGaussianTest, CollinearCovariatesFail) {
+  QuantitativeData y;
+  y.value = {1, 2, 3, 4};
+  const std::vector<double> c = {1, 2, 3, 4};
+  const std::vector<double> c2 = {2, 4, 6, 8};  // 2*c
+  EXPECT_FALSE(AdjustedScoreEngine::Gaussian(y, {c, c2}).ok());
+}
+
+TEST(AdjustedBinomialTest, NoCovariatesMatchesUnadjustedScoreSum) {
+  Rng rng(4);
+  const std::size_t n = 300;
+  BinaryData y;
+  for (std::size_t i = 0; i < n; ++i) {
+    y.value.push_back(SampleBernoulli(rng, 0.35) ? 1 : 0);
+  }
+  const auto g = RandomGenotypes(rng, n);
+  auto engine = AdjustedScoreEngine::Binomial(y, {});
+  ASSERT_TRUE(engine.ok());
+  const auto adjusted = engine.value().Contributions(g);
+  const auto unadjusted = LogisticScoreContributions(y, y.CaseRate(), g);
+  EXPECT_NEAR(std::accumulate(adjusted.begin(), adjusted.end(), 0.0),
+              std::accumulate(unadjusted.begin(), unadjusted.end(), 0.0),
+              1e-6);
+}
+
+TEST(AdjustedBinomialTest, RemovesConfounderEffect) {
+  Rng rng(5);
+  const std::size_t n = 3000;
+  BinaryData y;
+  std::vector<double> c(n);
+  std::vector<std::uint8_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = static_cast<std::uint8_t>(SampleBinomial(rng, 2, 0.4));
+    c[i] = static_cast<double>(g[i]) + SampleNormal(rng) * 0.5;
+    const double p = 1.0 / (1.0 + std::exp(-(-0.5 + 1.0 * c[i])));
+    y.value.push_back(SampleBernoulli(rng, p) ? 1 : 0);
+  }
+  const auto unadjusted = LogisticScoreContributions(y, y.CaseRate(), g);
+  const double score_unadjusted =
+      std::accumulate(unadjusted.begin(), unadjusted.end(), 0.0);
+
+  auto engine = AdjustedScoreEngine::Binomial(y, {c});
+  ASSERT_TRUE(engine.ok());
+  const auto adjusted = engine.value().Contributions(g);
+  const double score_adjusted =
+      std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  double v_adjusted = 0.0;
+  for (double u : adjusted) v_adjusted += u * u;
+
+  EXPECT_GT(std::fabs(score_unadjusted), 100.0);
+  EXPECT_LT(std::fabs(score_adjusted), 3.5 * std::sqrt(v_adjusted));
+}
+
+TEST(AdjustedBinomialTest, ResidualsSumToZeroWithIntercept) {
+  Rng rng(6);
+  BinaryData y;
+  for (int i = 0; i < 200; ++i) {
+    y.value.push_back(SampleBernoulli(rng, 0.6) ? 1 : 0);
+  }
+  auto engine = AdjustedScoreEngine::Binomial(y, {});
+  ASSERT_TRUE(engine.ok());
+  const auto& resid = engine.value().residuals();
+  EXPECT_NEAR(std::accumulate(resid.begin(), resid.end(), 0.0), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ss::stats

@@ -1,0 +1,161 @@
+#include "stats/cox_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+/// Random survival data with the paper's generative shape.
+SurvivalData RandomSurvival(std::uint64_t seed, int n, double event_rate = 0.85) {
+  Rng rng(seed);
+  SurvivalData data;
+  for (int i = 0; i < n; ++i) {
+    data.time.push_back(SampleExponential(rng, 1.0 / 12.0));
+    data.event.push_back(SampleBernoulli(rng, event_rate) ? 1 : 0);
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> RandomGenotypes(std::uint64_t seed, int n,
+                                          double rho = 0.3) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> g;
+  for (int i = 0; i < n; ++i) {
+    g.push_back(static_cast<std::uint8_t>(SampleBinomial(rng, 2, rho)));
+  }
+  return g;
+}
+
+TEST(CoxScoreTest, HandWorkedExample) {
+  // 3 patients, times 3 > 2 > 1, all events, genotypes 2, 1, 0.
+  //   patient 0 (t=3): risk set {0}, a=2, b=1, U = 2 - 2/1 = 0
+  //   patient 1 (t=2): risk set {0,1}, a=3, b=2, U = 1 - 3/2 = -0.5
+  //   patient 2 (t=1): risk set {0,1,2}, a=3, b=3, U = 0 - 1 = -1
+  SurvivalData data;
+  data.time = {3.0, 2.0, 1.0};
+  data.event = {1, 1, 1};
+  const RiskSetIndex index(data);
+  const auto u = CoxScoreContributions(data, index, {2, 1, 0});
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_DOUBLE_EQ(u[0], 0.0);
+  EXPECT_DOUBLE_EQ(u[1], -0.5);
+  EXPECT_DOUBLE_EQ(u[2], -1.0);
+  EXPECT_DOUBLE_EQ(CoxScoreStatistic(u), -1.5);
+}
+
+TEST(CoxScoreTest, CensoredPatientsContributeZero) {
+  SurvivalData data;
+  data.time = {3.0, 2.0, 1.0};
+  data.event = {1, 0, 1};
+  const RiskSetIndex index(data);
+  const auto u = CoxScoreContributions(data, index, {2, 1, 0});
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+}
+
+TEST(CoxScoreTest, ConstantGenotypeScoresZero) {
+  // If every patient has the same genotype, G_ij == a_ij/b_i exactly.
+  const SurvivalData data = RandomSurvival(3, 100);
+  const RiskSetIndex index(data);
+  for (std::uint8_t g : {0, 1, 2}) {
+    const auto u = CoxScoreContributions(
+        data, index, std::vector<std::uint8_t>(100, g));
+    for (double v : u) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(CoxScoreTest, FastMatchesNaiveOnRandomData) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const SurvivalData data = RandomSurvival(seed, 150);
+    const RiskSetIndex index(data);
+    const auto g = RandomGenotypes(seed + 100, 150);
+    const auto fast = CoxScoreContributions(data, index, g);
+    const auto naive = CoxScoreContributionsNaive(data, g);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], naive[i], 1e-12) << "seed " << seed << " i " << i;
+    }
+  }
+}
+
+TEST(CoxScoreTest, FastMatchesNaiveWithHeavyTies) {
+  Rng rng(77);
+  SurvivalData data;
+  for (int i = 0; i < 120; ++i) {
+    data.time.push_back(static_cast<double>(rng.NextBounded(5)));  // ties
+    data.event.push_back(SampleBernoulli(rng, 0.7) ? 1 : 0);
+  }
+  const RiskSetIndex index(data);
+  const auto g = RandomGenotypes(78, 120);
+  const auto fast = CoxScoreContributions(data, index, g);
+  const auto naive = CoxScoreContributionsNaive(data, g);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-12);
+  }
+}
+
+TEST(CoxScoreTest, LastEventHasZeroContributionWhenAlone) {
+  // The patient with the longest (unique) time has risk set {self}:
+  // U = g - g/1 = 0 regardless of genotype.
+  SurvivalData data;
+  data.time = {10.0, 2.0, 1.0};
+  data.event = {1, 1, 1};
+  const RiskSetIndex index(data);
+  for (std::uint8_t g0 : {0, 1, 2}) {
+    const auto u = CoxScoreContributions(data, index, {g0, 1, 1});
+    EXPECT_DOUBLE_EQ(u[0], 0.0);
+  }
+}
+
+TEST(CoxScoreTest, VarianceIsSumOfSquares) {
+  const std::vector<double> u = {1.0, -2.0, 0.5};
+  EXPECT_DOUBLE_EQ(CoxScoreVariance(u), 1.0 + 4.0 + 0.25);
+}
+
+TEST(CoxScoreTest, ScoreCenteredUnderNull) {
+  // Under H0 (genotypes independent of survival), E[U_j] = 0: the average
+  // score across many independent SNPs should be near zero relative to its
+  // spread.
+  const SurvivalData data = RandomSurvival(11, 300);
+  const RiskSetIndex index(data);
+  std::vector<double> scores;
+  for (std::uint64_t j = 0; j < 300; ++j) {
+    const auto u =
+        CoxScoreContributions(data, index, RandomGenotypes(1000 + j, 300));
+    scores.push_back(CoxScoreStatistic(u));
+  }
+  double mean = std::accumulate(scores.begin(), scores.end(), 0.0) / 300.0;
+  double sd = 0;
+  for (double s : scores) sd += (s - mean) * (s - mean);
+  sd = std::sqrt(sd / 299.0);
+  EXPECT_LT(std::fabs(mean), 3.0 * sd / std::sqrt(300.0));
+}
+
+/// Sweep: fast == naive across sizes and event rates.
+class CoxEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CoxEquivalenceSweep, FastEqualsNaive) {
+  const auto [n, event_rate] = GetParam();
+  const SurvivalData data = RandomSurvival(991, n, event_rate);
+  const RiskSetIndex index(data);
+  const auto g = RandomGenotypes(992, n);
+  const auto fast = CoxScoreContributions(data, index, g);
+  const auto naive = CoxScoreContributionsNaive(data, g);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoxEquivalenceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 10, 64, 257),
+                       ::testing::Values(0.0, 0.5, 0.85, 1.0)));
+
+}  // namespace
+}  // namespace ss::stats

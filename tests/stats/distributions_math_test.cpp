@@ -1,0 +1,94 @@
+#include "stats/distributions_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ss::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(NormalCdf(-1.959964), 0.025, 1e-5);
+  EXPECT_NEAR(NormalCdf(3.0), 0.998650, 1e-5);
+}
+
+TEST(NormalCdfTest, Symmetry) {
+  for (double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalCdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalTwoSidedTest, KnownValues) {
+  EXPECT_NEAR(NormalTwoSidedP(1.959964), 0.05, 1e-5);
+  EXPECT_NEAR(NormalTwoSidedP(-1.959964), 0.05, 1e-5);
+  EXPECT_NEAR(NormalTwoSidedP(0.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ComplementaryPair) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 50.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareSfTest, KnownQuantilesDf1) {
+  // P(χ²(1) >= 3.841459) = 0.05; >= 6.634897 = 0.01.
+  EXPECT_NEAR(ChiSquareSf(3.841459, 1.0), 0.05, 1e-5);
+  EXPECT_NEAR(ChiSquareSf(6.634897, 1.0), 0.01, 1e-5);
+}
+
+TEST(ChiSquareSfTest, KnownQuantilesHigherDf) {
+  EXPECT_NEAR(ChiSquareSf(5.991465, 2.0), 0.05, 1e-5);
+  EXPECT_NEAR(ChiSquareSf(18.307038, 10.0), 0.05, 1e-5);
+}
+
+TEST(ChiSquareSfTest, Df1MatchesNormalTail) {
+  // P(χ²(1) >= z²) == P(|Z| >= z).
+  for (double z : {0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(ChiSquareSf(z * z, 1.0), NormalTwoSidedP(z), 1e-10);
+  }
+}
+
+TEST(ChiSquareSfTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double p = ChiSquareSf(x, 3.0);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+  }
+}
+
+TEST(ScoreTestPValueTest, StandardizedScore) {
+  // score=2, variance=1 -> z=2 -> p = P(χ²(1) >= 4) ≈ 0.0455.
+  EXPECT_NEAR(ScoreTestPValue(2.0, 1.0), 0.04550026, 1e-6);
+}
+
+TEST(ScoreTestPValueTest, DegenerateVarianceReturnsOne) {
+  EXPECT_DOUBLE_EQ(ScoreTestPValue(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ScoreTestPValue(5.0, -1.0), 1.0);
+}
+
+TEST(ScoreTestPValueTest, ZeroScoreIsOne) {
+  EXPECT_DOUBLE_EQ(ScoreTestPValue(0.0, 10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ss::stats

@@ -1,0 +1,179 @@
+#include "stats/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+TEST(MatrixTest, GramMatrix) {
+  Matrix x(3, 2);
+  // Columns: [1,1,1] and [1,2,3].
+  for (int r = 0; r < 3; ++r) {
+    x.at(r, 0) = 1.0;
+    x.at(r, 1) = r + 1.0;
+  }
+  const Matrix gram = x.Gram();
+  EXPECT_DOUBLE_EQ(gram.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(gram.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(gram.at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(gram.at(1, 1), 14.0);
+}
+
+TEST(MatrixTest, WeightedGram) {
+  Matrix x(2, 1);
+  x.at(0, 0) = 2.0;
+  x.at(1, 0) = 3.0;
+  std::vector<double> w = {0.5, 2.0};
+  EXPECT_DOUBLE_EQ(x.Gram(&w).at(0, 0), 0.5 * 4.0 + 2.0 * 9.0);
+}
+
+TEST(MatrixTest, TransposeTimesAndTimes) {
+  Matrix x(2, 2);
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(1, 0) = 3;
+  x.at(1, 1) = 4;
+  EXPECT_EQ(x.Times({1.0, 1.0}), (std::vector<double>{3.0, 7.0}));
+  EXPECT_EQ(x.TransposeTimes({1.0, 1.0}), (std::vector<double>{4.0, 6.0}));
+}
+
+TEST(CholeskyTest, FactorAndSolve) {
+  // SPD matrix [[4,2],[2,3]]; solve A x = [8, 7] -> x = [1.3..., ...].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const auto x = chol.value().Solve({8.0, 7.0});
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 8.0, 1e-12);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 7.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::Factor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsCollinear) {
+  // Duplicate columns -> singular Gram matrix.
+  Matrix x(4, 2);
+  for (int r = 0; r < 4; ++r) {
+    x.at(r, 0) = r + 1.0;
+    x.at(r, 1) = 2.0 * (r + 1.0);
+  }
+  EXPECT_FALSE(Cholesky::Factor(x.Gram()).ok());
+}
+
+TEST(OlsTest, RecoversExactLinearRelation) {
+  // y = 2 + 3 t, no noise.
+  Matrix x(5, 2);
+  std::vector<double> y(5);
+  for (int r = 0; r < 5; ++r) {
+    x.at(r, 0) = 1.0;
+    x.at(r, 1) = r;
+    y[r] = 2.0 + 3.0 * r;
+  }
+  auto beta = OlsFit(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 2.0, 1e-10);
+  EXPECT_NEAR(beta.value()[1], 3.0, 1e-10);
+  for (double r : Residuals(x, y, beta.value())) EXPECT_NEAR(r, 0.0, 1e-10);
+}
+
+TEST(OlsTest, ResidualsOrthogonalToDesign) {
+  Rng rng(3);
+  const std::size_t n = 200;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x.at(r, 0) = 1.0;
+    x.at(r, 1) = SampleNormal(rng);
+    x.at(r, 2) = SampleNormal(rng) * 2.0;
+    y[r] = 1.0 + 0.5 * x.at(r, 1) - x.at(r, 2) + SampleNormal(rng);
+  }
+  auto beta = OlsFit(x, y);
+  ASSERT_TRUE(beta.ok());
+  const auto resid = Residuals(x, y, beta.value());
+  const auto xtr = x.TransposeTimes(resid);
+  for (double v : xtr) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(LogisticTest, RecoversInterceptOnlyRate) {
+  // With only an intercept, fitted p == observed case rate.
+  std::vector<std::uint8_t> y;
+  for (int i = 0; i < 100; ++i) y.push_back(i < 30 ? 1 : 0);
+  Matrix x(100, 1, 1.0);
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().converged);
+  EXPECT_NEAR(fit.value().fitted[0], 0.3, 1e-8);
+}
+
+TEST(LogisticTest, RecoversSlopeSign) {
+  // Strongly separated-by-trend data: slope must come out positive and
+  // substantial.
+  Rng rng(9);
+  const std::size_t n = 2000;
+  Matrix x(n, 2);
+  std::vector<std::uint8_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = SampleNormal(rng);
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = t;
+    const double p = 1.0 / (1.0 + std::exp(-(0.5 + 1.5 * t)));
+    y[i] = SampleBernoulli(rng, p) ? 1 : 0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().converged);
+  EXPECT_NEAR(fit.value().beta[0], 0.5, 0.2);
+  EXPECT_NEAR(fit.value().beta[1], 1.5, 0.3);
+}
+
+TEST(LogisticTest, ScoreEquationsHoldAtFit) {
+  // X'(y - p̂) = 0 at the MLE.
+  Rng rng(11);
+  const std::size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<std::uint8_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = SampleNormal(rng);
+    y[i] = SampleBernoulli(rng, 0.4) ? 1 : 0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  std::vector<double> resid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    resid[i] = static_cast<double>(y[i]) - fit.value().fitted[i];
+  }
+  for (double v : x.TransposeTimes(resid)) EXPECT_NEAR(v, 0.0, 1e-6);
+}
+
+TEST(DesignMatrixTest, PrependsIntercept) {
+  const Matrix design = DesignMatrix(3, {{10.0, 20.0, 30.0}});
+  EXPECT_EQ(design.rows(), 3u);
+  EXPECT_EQ(design.cols(), 2u);
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(design.at(r, 0), 1.0);
+  EXPECT_DOUBLE_EQ(design.at(1, 1), 20.0);
+}
+
+TEST(DesignMatrixTest, NoCovariatesIsInterceptOnly) {
+  const Matrix design = DesignMatrix(4, {});
+  EXPECT_EQ(design.cols(), 1u);
+}
+
+}  // namespace
+}  // namespace ss::stats

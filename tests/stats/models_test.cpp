@@ -1,0 +1,147 @@
+// Gaussian and Binomial score models, plus the model-generic ScoreEngine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/linear_score.hpp"
+#include "stats/logistic_score.hpp"
+#include "stats/score_engine.hpp"
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+TEST(LinearScoreTest, MeanComputed) {
+  QuantitativeData data;
+  data.value = {1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(data.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(QuantitativeData{}.Mean(), 0.0);
+}
+
+TEST(LinearScoreTest, ContributionsAreGenotypeTimesResidual) {
+  QuantitativeData data;
+  data.value = {1.0, 3.0};  // mean 2
+  const auto u = LinearScoreContributions(data, 2.0, {1, 2});
+  EXPECT_DOUBLE_EQ(u[0], 1.0 * (1.0 - 2.0));
+  EXPECT_DOUBLE_EQ(u[1], 2.0 * (3.0 - 2.0));
+}
+
+TEST(LinearScoreTest, ScoreSumsToZeroForConstantGenotype) {
+  // Σ (Y_i - Ȳ) = 0, so any constant genotype scores exactly zero.
+  Rng rng(3);
+  QuantitativeData data;
+  for (int i = 0; i < 100; ++i) data.value.push_back(SampleNormal(rng) * 5.0);
+  const double mean = data.Mean();
+  const auto u =
+      LinearScoreContributions(data, mean, std::vector<std::uint8_t>(100, 2));
+  EXPECT_NEAR(std::accumulate(u.begin(), u.end(), 0.0), 0.0, 1e-9);
+}
+
+TEST(LogisticScoreTest, CaseRate) {
+  BinaryData data;
+  data.value = {1, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(data.CaseRate(), 0.75);
+  EXPECT_DOUBLE_EQ(BinaryData{}.CaseRate(), 0.0);
+}
+
+TEST(LogisticScoreTest, ContributionsAreGenotypeTimesResidual) {
+  BinaryData data;
+  data.value = {1, 0};
+  const auto u = LogisticScoreContributions(data, 0.5, {2, 1});
+  EXPECT_DOUBLE_EQ(u[0], 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(u[1], 1.0 * -0.5);
+}
+
+TEST(LogisticScoreTest, ScoreZeroForConstantGenotype) {
+  Rng rng(4);
+  BinaryData data;
+  for (int i = 0; i < 200; ++i) {
+    data.value.push_back(SampleBernoulli(rng, 0.4) ? 1 : 0);
+  }
+  const auto u = LogisticScoreContributions(
+      data, data.CaseRate(), std::vector<std::uint8_t>(200, 1));
+  EXPECT_NEAR(std::accumulate(u.begin(), u.end(), 0.0), 0.0, 1e-9);
+}
+
+// -- Phenotype / ScoreEngine --------------------------------------------------
+
+TEST(PhenotypeTest, FactoriesSetModel) {
+  EXPECT_EQ(Phenotype::Cox({}).model, ScoreModel::kCox);
+  EXPECT_EQ(Phenotype::Gaussian({}).model, ScoreModel::kGaussian);
+  EXPECT_EQ(Phenotype::Binomial({}).model, ScoreModel::kBinomial);
+}
+
+TEST(PhenotypeTest, ModelNames) {
+  EXPECT_STREQ(ScoreModelName(ScoreModel::kCox), "Cox");
+  EXPECT_STREQ(ScoreModelName(ScoreModel::kGaussian), "Gaussian");
+  EXPECT_STREQ(ScoreModelName(ScoreModel::kBinomial), "Binomial");
+}
+
+TEST(PhenotypeTest, NCountsActiveArm) {
+  QuantitativeData q;
+  q.value = {1.0, 2.0, 3.0};
+  EXPECT_EQ(Phenotype::Gaussian(q).n(), 3u);
+  BinaryData b;
+  b.value = {1};
+  EXPECT_EQ(Phenotype::Binomial(b).n(), 1u);
+}
+
+TEST(PhenotypeTest, PermutedGaussian) {
+  QuantitativeData q;
+  q.value = {10.0, 20.0, 30.0};
+  const Phenotype p = Phenotype::Gaussian(q).Permuted({2, 0, 1});
+  EXPECT_EQ(p.quantitative.value, (std::vector<double>{30.0, 10.0, 20.0}));
+}
+
+TEST(PhenotypeTest, PermutedBinomial) {
+  BinaryData b;
+  b.value = {1, 0, 0};
+  const Phenotype p = Phenotype::Binomial(b).Permuted({1, 2, 0});
+  EXPECT_EQ(p.binary.value, (std::vector<std::uint8_t>{0, 0, 1}));
+}
+
+TEST(ScoreEngineTest, CoxMatchesDirectComputation) {
+  Rng rng(7);
+  SurvivalData data;
+  std::vector<std::uint8_t> g;
+  for (int i = 0; i < 80; ++i) {
+    data.time.push_back(SampleExponential(rng, 0.1));
+    data.event.push_back(SampleBernoulli(rng, 0.85) ? 1 : 0);
+    g.push_back(static_cast<std::uint8_t>(SampleBinomial(rng, 2, 0.3)));
+  }
+  const ScoreEngine engine(Phenotype::Cox(data));
+  const RiskSetIndex index(data);
+  EXPECT_EQ(engine.Contributions(g), CoxScoreContributions(data, index, g));
+}
+
+TEST(ScoreEngineTest, GaussianMatchesDirectComputation) {
+  QuantitativeData data;
+  data.value = {1.0, 4.0, 2.0, 5.0};
+  const ScoreEngine engine(Phenotype::Gaussian(data));
+  EXPECT_EQ(engine.Contributions({0, 1, 2, 1}),
+            LinearScoreContributions(data, data.Mean(), {0, 1, 2, 1}));
+}
+
+TEST(ScoreEngineTest, BinomialMatchesDirectComputation) {
+  BinaryData data;
+  data.value = {1, 0, 1, 0, 0};
+  const ScoreEngine engine(Phenotype::Binomial(data));
+  EXPECT_EQ(engine.Contributions({2, 2, 0, 1, 1}),
+            LogisticScoreContributions(data, data.CaseRate(), {2, 2, 0, 1, 1}));
+}
+
+TEST(ScoreEngineTest, MoveOnlyButBroadcastable) {
+  // The engine is moved (not copied) into shared ownership — compile-time
+  // behaviour exercised by the pipeline; here we just verify move works.
+  SurvivalData data;
+  data.time = {1.0, 2.0};
+  data.event = {1, 1};
+  ScoreEngine engine(Phenotype::Cox(data));
+  ScoreEngine moved = std::move(engine);
+  EXPECT_EQ(moved.n(), 2u);
+}
+
+}  // namespace
+}  // namespace ss::stats

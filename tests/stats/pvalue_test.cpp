@@ -1,0 +1,94 @@
+#include "stats/pvalue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss::stats {
+namespace {
+
+TEST(EmpiricalPValueTest, AddOneEstimator) {
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(0, 99), 1.0 / 100.0);
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(4, 99), 5.0 / 100.0);
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(99, 99), 1.0);
+}
+
+TEST(EmpiricalPValueTest, RawProportion) {
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(0, 100, /*add_one=*/false), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(25, 100, false), 0.25);
+}
+
+TEST(EmpiricalPValueTest, NeverZeroWithAddOne) {
+  for (std::uint64_t b : {1ULL, 10ULL, 10000ULL}) {
+    EXPECT_GT(EmpiricalPValue(0, b), 0.0);
+  }
+}
+
+TEST(EmpiricalPValueTest, ZeroReplicatesIsOne) {
+  EXPECT_DOUBLE_EQ(EmpiricalPValue(0, 0), 1.0);
+}
+
+TEST(EmpiricalPValueTest, MonotoneInCount) {
+  double prev = 0.0;
+  for (std::uint64_t c = 0; c <= 50; ++c) {
+    const double p = EmpiricalPValue(c, 50);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(EmpiricalPValueTest, PrecisionImprovesWithB) {
+  // The smallest attainable p-value shrinks as 1/(B+1) — the paper's note
+  // that p-value precision is tied to the number of resamplings.
+  EXPECT_GT(EmpiricalPValue(0, 10), EmpiricalPValue(0, 100));
+  EXPECT_GT(EmpiricalPValue(0, 100), EmpiricalPValue(0, 10000));
+}
+
+TEST(BonferroniTest, MultipliesAndClamps) {
+  const auto adjusted = BonferroniAdjust({0.01, 0.2, 0.5});
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.6);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0);
+}
+
+TEST(BonferroniTest, EmptyInput) {
+  EXPECT_TRUE(BonferroniAdjust({}).empty());
+}
+
+TEST(BenjaminiHochbergTest, KnownExample) {
+  // p = {0.01, 0.04, 0.03, 0.005} (m=4):
+  // sorted: 0.005(r1) -> 0.02, 0.01(r2) -> 0.02, 0.03(r3) -> 0.04,
+  // 0.04(r4) -> 0.04; monotone from the top already.
+  const auto adjusted = BenjaminiHochbergAdjust({0.01, 0.04, 0.03, 0.005});
+  EXPECT_NEAR(adjusted[3], 0.02, 1e-12);
+  EXPECT_NEAR(adjusted[0], 0.02, 1e-12);
+  EXPECT_NEAR(adjusted[2], 0.04, 1e-12);
+  EXPECT_NEAR(adjusted[1], 0.04, 1e-12);
+}
+
+TEST(BenjaminiHochbergTest, PreservesOrderAndBounds) {
+  const std::vector<double> p = {0.9, 0.001, 0.03, 0.5, 0.0499};
+  const auto adjusted = BenjaminiHochbergAdjust(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(adjusted[i], p[i]);   // adjustment never decreases
+    EXPECT_LE(adjusted[i], 1.0);
+  }
+  // Ranking by adjusted p preserves ranking by raw p.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (p[i] < p[j]) {
+        EXPECT_LE(adjusted[i], adjusted[j]);
+      }
+    }
+  }
+}
+
+TEST(BenjaminiHochbergTest, LessConservativeThanBonferroni) {
+  const std::vector<double> p = {0.01, 0.011, 0.012, 0.013};
+  const auto bh = BenjaminiHochbergAdjust(p);
+  const auto bonf = BonferroniAdjust(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LE(bh[i], bonf[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ss::stats

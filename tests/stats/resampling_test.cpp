@@ -1,0 +1,97 @@
+#include "stats/resampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/summary.hpp"
+
+namespace ss::stats {
+namespace {
+
+TEST(PermutationPlanTest, ShapeAndValidity) {
+  const PermutationPlan plan(1, 50, 10);
+  EXPECT_EQ(plan.replicates(), 10u);
+  EXPECT_EQ(plan.n(), 50u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    std::vector<std::uint32_t> sorted = plan.Get(b);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(PermutationPlanTest, DeterministicInSeed) {
+  const PermutationPlan a(7, 20, 5);
+  const PermutationPlan b(7, 20, 5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a.Get(i), b.Get(i));
+}
+
+TEST(PermutationPlanTest, ReplicatesDiffer) {
+  const PermutationPlan plan(7, 30, 4);
+  EXPECT_NE(plan.Get(0), plan.Get(1));
+  EXPECT_NE(plan.Get(1), plan.Get(2));
+}
+
+TEST(PermutationPlanTest, PrefixStability) {
+  // Replicate b must not depend on how many replicates were requested —
+  // critical for incrementally extending B.
+  const PermutationPlan small(3, 25, 4);
+  const PermutationPlan large(3, 25, 16);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(small.Get(b), large.Get(b));
+}
+
+TEST(MonteCarloWeightsTest, ShapeAndMoments) {
+  const MonteCarloWeights weights(5, 1000, 20);
+  EXPECT_EQ(weights.replicates(), 20u);
+  std::vector<double> all;
+  for (std::size_t b = 0; b < 20; ++b) {
+    const auto& z = weights.Get(b);
+    ASSERT_EQ(z.size(), 1000u);
+    all.insert(all.end(), z.begin(), z.end());
+  }
+  const Summary s = Summarize(all);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+  EXPECT_NEAR(s.stdev, 1.0, 0.02);
+}
+
+TEST(MonteCarloWeightsTest, DeterministicAndPrefixStable) {
+  const MonteCarloWeights a(9, 100, 3);
+  const MonteCarloWeights b(9, 100, 8);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(a.Get(i), b.Get(i));
+}
+
+TEST(MonteCarloReplicateScoreTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(
+      MonteCarloReplicateScore({1.0, 2.0, 3.0}, {0.5, -1.0, 2.0}),
+      0.5 - 2.0 + 6.0);
+}
+
+TEST(MonteCarloReplicateScoreTest, ZeroContributionsGiveZero) {
+  const MonteCarloWeights weights(2, 50, 1);
+  EXPECT_DOUBLE_EQ(
+      MonteCarloReplicateScore(std::vector<double>(50, 0.0), weights.Get(0)),
+      0.0);
+}
+
+TEST(MonteCarloReplicateScoreTest, ReplicatesHaveCorrectVariance) {
+  // For fixed contributions u, Ũ = Σ Z_i u_i has mean 0 and variance Σu².
+  std::vector<double> u(200);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = std::sin(static_cast<double>(i));  // arbitrary fixed pattern
+  }
+  const double var_expected =
+      std::inner_product(u.begin(), u.end(), u.begin(), 0.0);
+  const MonteCarloWeights weights(31, u.size(), 4000);
+  std::vector<double> scores;
+  for (std::size_t b = 0; b < 4000; ++b) {
+    scores.push_back(MonteCarloReplicateScore(u, weights.Get(b)));
+  }
+  const Summary s = Summarize(scores);
+  EXPECT_NEAR(s.mean, 0.0, 3.0 * std::sqrt(var_expected / 4000.0));
+  EXPECT_NEAR(s.stdev * s.stdev, var_expected, 0.1 * var_expected);
+}
+
+}  // namespace
+}  // namespace ss::stats

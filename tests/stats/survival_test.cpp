@@ -1,0 +1,111 @@
+#include "stats/survival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/distributions.hpp"
+#include "support/rng.hpp"
+
+namespace ss::stats {
+namespace {
+
+TEST(SurvivalDataTest, PairsRoundTrip) {
+  const std::vector<PhenotypePair> pairs = {
+      {5.0, 1}, {3.0, 0}, {7.5, 1}};
+  const SurvivalData data = SurvivalData::FromPairs(pairs);
+  EXPECT_EQ(data.n(), 3u);
+  EXPECT_EQ(data.ToPairs(), pairs);
+}
+
+TEST(SurvivalDataTest, PermutedMovesPairsTogether) {
+  SurvivalData data;
+  data.time = {1.0, 2.0, 3.0};
+  data.event = {1, 0, 1};
+  const SurvivalData permuted = data.Permuted({2, 0, 1});
+  EXPECT_EQ(permuted.time, (std::vector<double>{3.0, 1.0, 2.0}));
+  EXPECT_EQ(permuted.event, (std::vector<std::uint8_t>{1, 1, 0}));
+}
+
+TEST(SurvivalDataTest, PermutationPreservesMultiset) {
+  Rng rng(5);
+  SurvivalData data;
+  for (int i = 0; i < 50; ++i) {
+    data.time.push_back(SampleExponential(rng, 0.1));
+    data.event.push_back(SampleBernoulli(rng, 0.8) ? 1 : 0);
+  }
+  const auto perm = SamplePermutation(rng, 50);
+  SurvivalData permuted = data.Permuted(perm);
+  std::vector<PhenotypePair> a = data.ToPairs();
+  std::vector<PhenotypePair> b = permuted.ToPairs();
+  auto cmp = [](const PhenotypePair& x, const PhenotypePair& y) {
+    return x.time < y.time || (x.time == y.time && x.event < y.event);
+  };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RiskSetIndexTest, RiskCountsMatchDefinition) {
+  SurvivalData data;
+  data.time = {4.0, 1.0, 3.0, 2.0};
+  data.event = {1, 1, 1, 1};
+  const RiskSetIndex index(data);
+  // b_i = #{l : Y_l >= Y_i}
+  EXPECT_EQ(index.risk_count(0), 1u);  // only time 4 >= 4
+  EXPECT_EQ(index.risk_count(1), 4u);  // all >= 1
+  EXPECT_EQ(index.risk_count(2), 2u);  // 4, 3
+  EXPECT_EQ(index.risk_count(3), 3u);  // 4, 3, 2
+}
+
+TEST(RiskSetIndexTest, TiesIncludedInRiskSet) {
+  SurvivalData data;
+  data.time = {2.0, 2.0, 1.0};
+  data.event = {1, 1, 1};
+  const RiskSetIndex index(data);
+  EXPECT_EQ(index.risk_count(0), 2u);  // both tied 2.0 values
+  EXPECT_EQ(index.risk_count(1), 2u);
+  EXPECT_EQ(index.risk_count(2), 3u);
+}
+
+TEST(RiskSetIndexTest, OrderSortedDescending) {
+  SurvivalData data;
+  data.time = {1.0, 5.0, 3.0};
+  data.event = {1, 1, 1};
+  const RiskSetIndex index(data);
+  EXPECT_EQ(index.order(), (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(RiskSetIndexTest, MatchesBruteForceOnRandomData) {
+  Rng rng(9);
+  SurvivalData data;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    // Coarse times to force many ties.
+    data.time.push_back(static_cast<double>(rng.NextBounded(20)));
+    data.event.push_back(1);
+  }
+  const RiskSetIndex index(data);
+  for (int i = 0; i < n; ++i) {
+    std::uint32_t brute = 0;
+    for (int l = 0; l < n; ++l) {
+      if (data.time[l] >= data.time[i]) ++brute;
+    }
+    EXPECT_EQ(index.risk_count(i), brute) << "patient " << i;
+  }
+}
+
+TEST(RiskSetIndexTest, SingletonAndEmpty) {
+  SurvivalData one;
+  one.time = {1.0};
+  one.event = {1};
+  const RiskSetIndex index(one);
+  EXPECT_EQ(index.n(), 1u);
+  EXPECT_EQ(index.risk_count(0), 1u);
+
+  const RiskSetIndex empty((SurvivalData()));
+  EXPECT_EQ(empty.n(), 0u);
+}
+
+}  // namespace
+}  // namespace ss::stats

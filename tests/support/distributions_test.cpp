@@ -1,0 +1,170 @@
+#include "support/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/summary.hpp"
+
+namespace ss {
+namespace {
+
+TEST(ExponentialTest, NonNegative) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(SampleExponential(rng, 0.5), 0.0);
+  }
+}
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  // The paper's survival times: Exp(1/12), mean 12 months.
+  Rng rng(2);
+  std::vector<double> draws;
+  for (int i = 0; i < 200000; ++i) {
+    draws.push_back(SampleExponential(rng, 1.0 / 12.0));
+  }
+  EXPECT_NEAR(Mean(draws), 12.0, 0.15);
+}
+
+TEST(ExponentialTest, MedianMatchesTheory) {
+  Rng rng(3);
+  std::vector<double> draws;
+  for (int i = 0; i < 100000; ++i) draws.push_back(SampleExponential(rng, 2.0));
+  // Median of Exp(rate) = ln 2 / rate.
+  EXPECT_NEAR(Quantile(draws, 0.5), std::log(2.0) / 2.0, 0.01);
+}
+
+TEST(BernoulliTest, RateMatches) {
+  // The paper's event indicator: Bernoulli(0.85).
+  Rng rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += SampleBernoulli(rng, 0.85) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.85, 0.01);
+}
+
+TEST(BernoulliTest, DegenerateRates) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SampleBernoulli(rng, 0.0));
+    EXPECT_TRUE(SampleBernoulli(rng, 1.0));
+  }
+}
+
+TEST(BinomialTest, SupportAndMoments) {
+  // The paper's genotypes: Binomial(2, rho).
+  Rng rng(6);
+  const double rho = 0.3;
+  std::vector<double> draws;
+  for (int i = 0; i < 100000; ++i) {
+    const int g = SampleBinomial(rng, 2, rho);
+    EXPECT_GE(g, 0);
+    EXPECT_LE(g, 2);
+    draws.push_back(g);
+  }
+  const Summary s = Summarize(draws);
+  EXPECT_NEAR(s.mean, 2 * rho, 0.02);                       // mean np
+  EXPECT_NEAR(s.stdev, std::sqrt(2 * rho * (1 - rho)), 0.02);  // sd
+}
+
+TEST(BinomialTest, ZeroTrials) {
+  Rng rng(7);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0);
+}
+
+TEST(NormalTest, FirstTwoMoments) {
+  Rng rng(8);
+  std::vector<double> draws;
+  for (int i = 0; i < 200000; ++i) draws.push_back(SampleNormal(rng));
+  const Summary s = Summarize(draws);
+  EXPECT_NEAR(s.mean, 0.0, 0.01);
+  EXPECT_NEAR(s.stdev, 1.0, 0.01);
+}
+
+TEST(NormalTest, TailProbability) {
+  Rng rng(9);
+  int beyond2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(SampleNormal(rng)) > 1.959964) ++beyond2;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.05, 0.005);
+}
+
+TEST(NormalVectorTest, SizeAndDeterminism) {
+  Rng a(10);
+  Rng b(10);
+  const auto va = SampleNormalVector(a, 1000);
+  const auto vb = SampleNormalVector(b, 1000);
+  ASSERT_EQ(va.size(), 1000u);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  Rng rng(11);
+  const auto perm = SamplePermutation(rng, 1000);
+  std::vector<std::uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PermutationTest, NotIdentityForLargeN) {
+  Rng rng(12);
+  const auto perm = SamplePermutation(rng, 100);
+  std::vector<std::uint32_t> identity(100);
+  std::iota(identity.begin(), identity.end(), 0u);
+  EXPECT_NE(perm, identity);
+}
+
+TEST(PermutationTest, UniformFirstElement) {
+  // Every value should appear in position 0 about equally often.
+  std::vector<int> counts(5, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) + 1000);
+    ++counts[SamplePermutation(rng, 5)[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 4000, 400);
+}
+
+TEST(ShuffleInPlaceTest, PreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> items = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = items;
+  ShuffleInPlace(rng, items);
+  std::sort(items.begin(), items.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(ShuffleInPlaceTest, EmptyAndSingleton) {
+  Rng rng(14);
+  std::vector<int> empty;
+  ShuffleInPlace(rng, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  ShuffleInPlace(rng, one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+/// Kolmogorov-Smirnov-style sweep: exponential CDF match at several rates.
+class ExponentialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialSweep, CdfMatches) {
+  const double rate = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rate * 1000) + 17);
+  const int n = 50000;
+  int below_mean = 0;
+  for (int i = 0; i < n; ++i) {
+    if (SampleExponential(rng, rate) < 1.0 / rate) ++below_mean;
+  }
+  // P(X < mean) = 1 - e^-1 ≈ 0.632.
+  EXPECT_NEAR(static_cast<double>(below_mean) / n, 1.0 - std::exp(-1.0), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 1.0 / 12.0));
+
+}  // namespace
+}  // namespace ss

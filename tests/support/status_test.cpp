@@ -1,0 +1,96 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ss {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing").message(), "missing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("f.txt").ToString(), "NotFound: f.txt");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+  EXPECT_THROW(result.value(), StatusError);
+}
+
+TEST(ResultTest, ThrownStatusErrorCarriesStatus) {
+  Result<int> result(Status::DataLoss("gone"));
+  try {
+    result.value();
+    FAIL() << "expected throw";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(std::string(error.what()).find("gone"), std::string::npos);
+  }
+}
+
+TEST(ResultTest, MoveValueOut) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> result(Status::Ok());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Unavailable("down"); };
+  auto wrapper = [&]() -> Status {
+    SS_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  auto succeeds = []() -> Status { return Status::Ok(); };
+  auto wrapper = [&]() -> Status {
+    SS_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace ss

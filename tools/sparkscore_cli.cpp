@@ -1,0 +1,245 @@
+// sparkscore — command-line driver for the whole system.
+//
+// Runs a complete study (generate -> stage in the mini-DFS -> distributed
+// analysis -> report) in one process, since the simulated cluster and DFS
+// are in-memory. Subcommands:
+//
+//   sparkscore skat     [key=value...]   SNP-set analysis (Algorithms 1+3/2)
+//   sparkscore skato    [key=value...]   SKAT-O combination
+//   sparkscore scan     [key=value...]   variant-by-variant scan
+//   sparkscore selftest                  tiny end-to-end sanity run
+//
+// Common keys: patients, snps, sets, reps (B), seed, nodes, partitions,
+// method=mc|perm, model=cox|gaussian|binomial (scan/skat in-memory only),
+// top (rows to print), stages=1 (print the per-stage report),
+// export=<dfs path> (persist the result inside the run's DFS and echo it).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/record_traits.hpp"
+#include "core/sparkscore.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using ss::Result;
+using ss::Status;
+
+struct CliArgs {
+  std::map<std::string, std::string> values;
+
+  std::uint64_t U64(const std::string& key, std::uint64_t fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+struct Study {
+  std::unique_ptr<ss::dfs::MiniDfs> dfs;
+  std::unique_ptr<ss::engine::EngineContext> ctx;
+  std::unique_ptr<ss::core::SkatPipeline> pipeline;
+  ss::simdata::SyntheticDataset dataset;
+};
+
+Study OpenStudy(const CliArgs& args) {
+  Study study;
+  ss::simdata::GeneratorConfig generator;
+  generator.num_patients =
+      static_cast<std::uint32_t>(args.U64("patients", 300));
+  generator.num_snps = static_cast<std::uint32_t>(args.U64("snps", 2000));
+  generator.num_sets = static_cast<std::uint32_t>(args.U64("sets", 100));
+  generator.seed = args.U64("seed", 2016);
+  generator.ld_block_size =
+      static_cast<std::uint32_t>(args.U64("ld_block", 1));
+
+  const int nodes = static_cast<int>(args.U64("nodes", 6));
+  study.dfs = std::make_unique<ss::dfs::MiniDfs>(ss::dfs::DfsOptions{
+      .num_nodes = std::max(2, nodes),
+      .replication = 2,
+      .block_lines = std::max<std::uint32_t>(
+          1, generator.num_snps /
+                 static_cast<std::uint32_t>(args.U64("partitions", 8)))});
+
+  ss::engine::EngineContext::Options options;
+  options.topology = ss::cluster::EmrCluster(nodes);
+  options.seed = generator.seed;
+  study.ctx = std::make_unique<ss::engine::EngineContext>(options,
+                                                          study.dfs.get());
+
+  study.dataset = ss::simdata::Generate(generator);
+  const auto paths = ss::simdata::StudyPaths::Under("/study");
+  ss::Status staged = ss::simdata::WriteStudy(*study.dfs, paths, study.dataset);
+  if (!staged.ok()) throw ss::StatusError(staged);
+
+  ss::core::PipelineConfig config;
+  config.seed = generator.seed;
+  config.num_partitions =
+      static_cast<std::uint32_t>(args.U64("partitions", 8));
+  config.num_reducers = static_cast<std::uint32_t>(args.U64("reducers", 8));
+  auto pipeline = ss::core::SkatPipeline::Open(*study.ctx, paths, config);
+  if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
+  study.pipeline =
+      std::make_unique<ss::core::SkatPipeline>(std::move(pipeline).value());
+
+  std::printf("study: %u patients x %u SNPs x %u sets on %s\n",
+              generator.num_patients, generator.num_snps, generator.num_sets,
+              options.topology.ToString().c_str());
+  return study;
+}
+
+void MaybePrintStages(const CliArgs& args, ss::engine::EngineContext& ctx) {
+  if (args.U64("stages", 0) != 0) {
+    std::fputs(ss::engine::FormatStageReport(ctx.metrics().stages()).c_str(),
+               stdout);
+  }
+}
+
+int RunSkat(const CliArgs& args, bool skato) {
+  Study study = OpenStudy(args);
+  const std::uint64_t reps = args.U64("reps", skato ? 99 : 499);
+  ss::Stopwatch stopwatch;
+  if (skato) {
+    const ss::core::SkatOResult result =
+        ss::core::RunSkatOMethod(*study.pipeline, reps);
+    std::printf("SKAT-O with B=%llu finished in %.2fs\n",
+                static_cast<unsigned long long>(reps),
+                stopwatch.ElapsedSeconds());
+    const auto ranked = result.RankedPValues();
+    const std::size_t top = std::min<std::size_t>(args.U64("top", 10),
+                                                  ranked.size());
+    for (std::size_t r = 0; r < top; ++r) {
+      const auto& per_set = result.by_set.at(ranked[r].first);
+      std::printf("  #%zu set %u: SKAT=%.2f burden=%.2f p=%.4f\n", r + 1,
+                  ranked[r].first, per_set.skat, per_set.burden,
+                  ranked[r].second);
+    }
+  } else {
+    const std::string method = args.Str("method", "mc");
+    const ss::core::ResamplingResult result =
+        method == "perm"
+            ? ss::core::RunPermutationMethod(*study.pipeline, reps)
+            : ss::core::RunMonteCarloMethod(*study.pipeline, reps);
+    std::printf("%s with B=%llu finished in %.2fs\n",
+                method == "perm" ? "Permutation" : "Monte Carlo",
+                static_cast<unsigned long long>(reps),
+                stopwatch.ElapsedSeconds());
+    std::fputs(ss::core::FormatTopHits(
+                   result, static_cast<std::size_t>(args.U64("top", 10)))
+                   .c_str(),
+               stdout);
+    const std::string export_path = args.Str("export", "");
+    if (!export_path.empty()) {
+      const Status written =
+          ss::core::WriteResultToDfs(result, *study.dfs, export_path);
+      std::printf("result %s to DFS path %s\n",
+                  written.ok() ? "exported" : "EXPORT FAILED",
+                  export_path.c_str());
+      if (written.ok()) {
+        const std::vector<std::string> lines =
+            study.dfs->ReadTextFile(export_path).value();
+        for (std::size_t i = 0; i < lines.size() && i < 5; ++i) {
+          std::printf("    %s\n", lines[i].c_str());
+        }
+      }
+    }
+  }
+  MaybePrintStages(args, *study.ctx);
+  return 0;
+}
+
+int RunScan(const CliArgs& args) {
+  Study study = OpenStudy(args);
+  ss::core::VariantScanConfig config;
+  config.replicates = args.U64("reps", 199);
+  config.seed = args.U64("seed", 2016);
+  std::vector<ss::simdata::SnpRecord> records;
+  for (std::uint32_t j = 0; j < study.dataset.genotypes.num_snps(); ++j) {
+    records.push_back({j, study.dataset.genotypes.by_snp[j]});
+  }
+  ss::Stopwatch stopwatch;
+  const ss::core::VariantScanResult result = ss::core::RunVariantScan(
+      *study.ctx,
+      ss::engine::Parallelize(
+          *study.ctx, records,
+          static_cast<std::uint32_t>(args.U64("partitions", 8))),
+      ss::stats::Phenotype::Cox(study.dataset.survival), config);
+  std::printf("variant scan with B=%llu finished in %.2fs\n",
+              static_cast<unsigned long long>(config.replicates),
+              stopwatch.ElapsedSeconds());
+  const auto ranked = result.RankedByAsymptoticP();
+  const std::size_t top =
+      std::min<std::size_t>(args.U64("top", 10), ranked.size());
+  std::printf("  %-8s %-12s %-12s %-12s %-12s\n", "snp", "score",
+              "asym p", "emp p", "maxT p");
+  for (std::size_t r = 0; r < top; ++r) {
+    const auto& s = result.by_snp.at(ranked[r]);
+    std::printf("  %-8u %-12.3f %-12.3g %-12.4f %-12.4f\n", ranked[r],
+                s.score, s.asymptotic_p, result.EmpiricalP(ranked[r]),
+                result.MaxTAdjustedP(ranked[r]));
+  }
+  MaybePrintStages(args, *study.ctx);
+  return 0;
+}
+
+int RunSelfTest() {
+  CliArgs args;
+  args.values["patients"] = "60";
+  args.values["snps"] = "80";
+  args.values["sets"] = "8";
+  args.values["reps"] = "19";
+  args.values["top"] = "3";
+  std::printf("== selftest: skat ==\n");
+  if (RunSkat(args, false) != 0) return 1;
+  std::printf("== selftest: skato ==\n");
+  if (RunSkat(args, true) != 0) return 1;
+  std::printf("== selftest: scan ==\n");
+  if (RunScan(args) != 0) return 1;
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n"
+      "keys: patients snps sets reps seed nodes partitions reducers top\n"
+      "      method=mc|perm ld_block stages=1 export=<dfs path>\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  CliArgs args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  ss::SetLogLevel(ss::LogLevel::kError);
+  try {
+    const std::string command = argv[1];
+    if (command == "skat") return RunSkat(args, false);
+    if (command == "skato") return RunSkat(args, true);
+    if (command == "scan") return RunScan(args);
+    if (command == "selftest") return RunSelfTest();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  PrintUsage();
+  return 2;
+}
