@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment_a.dir/bench_experiment_a.cpp.o"
+  "CMakeFiles/bench_experiment_a.dir/bench_experiment_a.cpp.o.d"
+  "bench_experiment_a"
+  "bench_experiment_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

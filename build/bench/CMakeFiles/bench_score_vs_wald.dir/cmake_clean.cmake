@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_score_vs_wald.dir/bench_score_vs_wald.cpp.o"
+  "CMakeFiles/bench_score_vs_wald.dir/bench_score_vs_wald.cpp.o.d"
+  "bench_score_vs_wald"
+  "bench_score_vs_wald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_score_vs_wald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_score_vs_wald.
+# This may be replaced when dependencies are built.

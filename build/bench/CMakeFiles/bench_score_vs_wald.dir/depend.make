@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_score_vs_wald.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqtl_study.dir/eqtl_study.cpp.o"
+  "CMakeFiles/eqtl_study.dir/eqtl_study.cpp.o.d"
+  "eqtl_study"
+  "eqtl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqtl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

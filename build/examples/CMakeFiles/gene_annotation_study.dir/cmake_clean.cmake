@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_annotation_study.dir/gene_annotation_study.cpp.o"
+  "CMakeFiles/gene_annotation_study.dir/gene_annotation_study.cpp.o.d"
+  "gene_annotation_study"
+  "gene_annotation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_annotation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwas_survival.dir/gwas_survival.cpp.o"
+  "CMakeFiles/gwas_survival.dir/gwas_survival.cpp.o.d"
+  "gwas_survival"
+  "gwas_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwas_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_scan.dir/variant_scan.cpp.o"
+  "CMakeFiles/variant_scan.dir/variant_scan.cpp.o.d"
+  "variant_scan"
+  "variant_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

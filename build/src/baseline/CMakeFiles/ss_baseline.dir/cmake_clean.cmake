@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_baseline.dir/serial_skat.cpp.o"
+  "CMakeFiles/ss_baseline.dir/serial_skat.cpp.o.d"
+  "libss_baseline.a"
+  "libss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cpp" "src/cluster/CMakeFiles/ss_cluster.dir/cost_model.cpp.o" "gcc" "src/cluster/CMakeFiles/ss_cluster.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/fault_injector.cpp" "src/cluster/CMakeFiles/ss_cluster.dir/fault_injector.cpp.o" "gcc" "src/cluster/CMakeFiles/ss_cluster.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/cluster/resource_manager.cpp" "src/cluster/CMakeFiles/ss_cluster.dir/resource_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/ss_cluster.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/cluster/CMakeFiles/ss_cluster.dir/topology.cpp.o" "gcc" "src/cluster/CMakeFiles/ss_cluster.dir/topology.cpp.o.d"
+  "/root/repo/src/cluster/virtual_scheduler.cpp" "src/cluster/CMakeFiles/ss_cluster.dir/virtual_scheduler.cpp.o" "gcc" "src/cluster/CMakeFiles/ss_cluster.dir/virtual_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

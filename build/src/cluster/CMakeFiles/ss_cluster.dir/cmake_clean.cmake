@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/ss_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ss_cluster.dir/fault_injector.cpp.o"
+  "CMakeFiles/ss_cluster.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/ss_cluster.dir/resource_manager.cpp.o"
+  "CMakeFiles/ss_cluster.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/ss_cluster.dir/topology.cpp.o"
+  "CMakeFiles/ss_cluster.dir/topology.cpp.o.d"
+  "CMakeFiles/ss_cluster.dir/virtual_scheduler.cpp.o"
+  "CMakeFiles/ss_cluster.dir/virtual_scheduler.cpp.o.d"
+  "libss_cluster.a"
+  "libss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/ss_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/ss_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ss_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resampling_methods.cpp" "src/core/CMakeFiles/ss_core.dir/resampling_methods.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/resampling_methods.cpp.o.d"
+  "/root/repo/src/core/variant_scan.cpp" "src/core/CMakeFiles/ss_core.dir/variant_scan.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/variant_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ss_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/ss_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/ss_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

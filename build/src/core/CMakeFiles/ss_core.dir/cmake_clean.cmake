@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/autotune.cpp.o"
+  "CMakeFiles/ss_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/ss_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ss_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ss_core.dir/report.cpp.o"
+  "CMakeFiles/ss_core.dir/report.cpp.o.d"
+  "CMakeFiles/ss_core.dir/resampling_methods.cpp.o"
+  "CMakeFiles/ss_core.dir/resampling_methods.cpp.o.d"
+  "CMakeFiles/ss_core.dir/variant_scan.cpp.o"
+  "CMakeFiles/ss_core.dir/variant_scan.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/block_store.cpp" "src/dfs/CMakeFiles/ss_dfs.dir/block_store.cpp.o" "gcc" "src/dfs/CMakeFiles/ss_dfs.dir/block_store.cpp.o.d"
+  "/root/repo/src/dfs/dfs.cpp" "src/dfs/CMakeFiles/ss_dfs.dir/dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/ss_dfs.dir/dfs.cpp.o.d"
+  "/root/repo/src/dfs/namenode.cpp" "src/dfs/CMakeFiles/ss_dfs.dir/namenode.cpp.o" "gcc" "src/dfs/CMakeFiles/ss_dfs.dir/namenode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_dfs.dir/block_store.cpp.o"
+  "CMakeFiles/ss_dfs.dir/block_store.cpp.o.d"
+  "CMakeFiles/ss_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/ss_dfs.dir/dfs.cpp.o.d"
+  "CMakeFiles/ss_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/ss_dfs.dir/namenode.cpp.o.d"
+  "libss_dfs.a"
+  "libss_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cache_manager.cpp" "src/engine/CMakeFiles/ss_engine.dir/cache_manager.cpp.o" "gcc" "src/engine/CMakeFiles/ss_engine.dir/cache_manager.cpp.o.d"
+  "/root/repo/src/engine/context.cpp" "src/engine/CMakeFiles/ss_engine.dir/context.cpp.o" "gcc" "src/engine/CMakeFiles/ss_engine.dir/context.cpp.o.d"
+  "/root/repo/src/engine/metrics.cpp" "src/engine/CMakeFiles/ss_engine.dir/metrics.cpp.o" "gcc" "src/engine/CMakeFiles/ss_engine.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/ss_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_engine.dir/cache_manager.cpp.o"
+  "CMakeFiles/ss_engine.dir/cache_manager.cpp.o.d"
+  "CMakeFiles/ss_engine.dir/context.cpp.o"
+  "CMakeFiles/ss_engine.dir/context.cpp.o.d"
+  "CMakeFiles/ss_engine.dir/metrics.cpp.o"
+  "CMakeFiles/ss_engine.dir/metrics.cpp.o.d"
+  "libss_engine.a"
+  "libss_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

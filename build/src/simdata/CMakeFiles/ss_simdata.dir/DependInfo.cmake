@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/annotation.cpp" "src/simdata/CMakeFiles/ss_simdata.dir/annotation.cpp.o" "gcc" "src/simdata/CMakeFiles/ss_simdata.dir/annotation.cpp.o.d"
+  "/root/repo/src/simdata/dfs_writer.cpp" "src/simdata/CMakeFiles/ss_simdata.dir/dfs_writer.cpp.o" "gcc" "src/simdata/CMakeFiles/ss_simdata.dir/dfs_writer.cpp.o.d"
+  "/root/repo/src/simdata/generator.cpp" "src/simdata/CMakeFiles/ss_simdata.dir/generator.cpp.o" "gcc" "src/simdata/CMakeFiles/ss_simdata.dir/generator.cpp.o.d"
+  "/root/repo/src/simdata/text_format.cpp" "src/simdata/CMakeFiles/ss_simdata.dir/text_format.cpp.o" "gcc" "src/simdata/CMakeFiles/ss_simdata.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/ss_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

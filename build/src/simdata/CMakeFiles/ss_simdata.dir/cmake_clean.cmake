@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_simdata.dir/annotation.cpp.o"
+  "CMakeFiles/ss_simdata.dir/annotation.cpp.o.d"
+  "CMakeFiles/ss_simdata.dir/dfs_writer.cpp.o"
+  "CMakeFiles/ss_simdata.dir/dfs_writer.cpp.o.d"
+  "CMakeFiles/ss_simdata.dir/generator.cpp.o"
+  "CMakeFiles/ss_simdata.dir/generator.cpp.o.d"
+  "CMakeFiles/ss_simdata.dir/text_format.cpp.o"
+  "CMakeFiles/ss_simdata.dir/text_format.cpp.o.d"
+  "libss_simdata.a"
+  "libss_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

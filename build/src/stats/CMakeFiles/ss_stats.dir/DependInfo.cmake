@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/burden.cpp" "src/stats/CMakeFiles/ss_stats.dir/burden.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/burden.cpp.o.d"
+  "/root/repo/src/stats/covariates.cpp" "src/stats/CMakeFiles/ss_stats.dir/covariates.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/covariates.cpp.o.d"
+  "/root/repo/src/stats/cox_score.cpp" "src/stats/CMakeFiles/ss_stats.dir/cox_score.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/cox_score.cpp.o.d"
+  "/root/repo/src/stats/distributions_math.cpp" "src/stats/CMakeFiles/ss_stats.dir/distributions_math.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/distributions_math.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/ss_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/linear_score.cpp" "src/stats/CMakeFiles/ss_stats.dir/linear_score.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/linear_score.cpp.o.d"
+  "/root/repo/src/stats/logistic_score.cpp" "src/stats/CMakeFiles/ss_stats.dir/logistic_score.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/logistic_score.cpp.o.d"
+  "/root/repo/src/stats/pvalue.cpp" "src/stats/CMakeFiles/ss_stats.dir/pvalue.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/pvalue.cpp.o.d"
+  "/root/repo/src/stats/resampling.cpp" "src/stats/CMakeFiles/ss_stats.dir/resampling.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/resampling.cpp.o.d"
+  "/root/repo/src/stats/score_engine.cpp" "src/stats/CMakeFiles/ss_stats.dir/score_engine.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/score_engine.cpp.o.d"
+  "/root/repo/src/stats/skat.cpp" "src/stats/CMakeFiles/ss_stats.dir/skat.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/skat.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/ss_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/survival.cpp.o.d"
+  "/root/repo/src/stats/wald.cpp" "src/stats/CMakeFiles/ss_stats.dir/wald.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/wald.cpp.o.d"
+  "/root/repo/src/stats/westfall_young.cpp" "src/stats/CMakeFiles/ss_stats.dir/westfall_young.cpp.o" "gcc" "src/stats/CMakeFiles/ss_stats.dir/westfall_young.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_stats.dir/burden.cpp.o"
+  "CMakeFiles/ss_stats.dir/burden.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/covariates.cpp.o"
+  "CMakeFiles/ss_stats.dir/covariates.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/cox_score.cpp.o"
+  "CMakeFiles/ss_stats.dir/cox_score.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/distributions_math.cpp.o"
+  "CMakeFiles/ss_stats.dir/distributions_math.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/linalg.cpp.o"
+  "CMakeFiles/ss_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/linear_score.cpp.o"
+  "CMakeFiles/ss_stats.dir/linear_score.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/logistic_score.cpp.o"
+  "CMakeFiles/ss_stats.dir/logistic_score.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/pvalue.cpp.o"
+  "CMakeFiles/ss_stats.dir/pvalue.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/resampling.cpp.o"
+  "CMakeFiles/ss_stats.dir/resampling.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/score_engine.cpp.o"
+  "CMakeFiles/ss_stats.dir/score_engine.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/skat.cpp.o"
+  "CMakeFiles/ss_stats.dir/skat.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/survival.cpp.o"
+  "CMakeFiles/ss_stats.dir/survival.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/wald.cpp.o"
+  "CMakeFiles/ss_stats.dir/wald.cpp.o.d"
+  "CMakeFiles/ss_stats.dir/westfall_young.cpp.o"
+  "CMakeFiles/ss_stats.dir/westfall_young.cpp.o.d"
+  "libss_stats.a"
+  "libss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_support.dir/binary_io.cpp.o"
+  "CMakeFiles/ss_support.dir/binary_io.cpp.o.d"
+  "CMakeFiles/ss_support.dir/distributions.cpp.o"
+  "CMakeFiles/ss_support.dir/distributions.cpp.o.d"
+  "CMakeFiles/ss_support.dir/log.cpp.o"
+  "CMakeFiles/ss_support.dir/log.cpp.o.d"
+  "CMakeFiles/ss_support.dir/rng.cpp.o"
+  "CMakeFiles/ss_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ss_support.dir/status.cpp.o"
+  "CMakeFiles/ss_support.dir/status.cpp.o.d"
+  "CMakeFiles/ss_support.dir/string_util.cpp.o"
+  "CMakeFiles/ss_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/ss_support.dir/summary.cpp.o"
+  "CMakeFiles/ss_support.dir/summary.cpp.o.d"
+  "CMakeFiles/ss_support.dir/table.cpp.o"
+  "CMakeFiles/ss_support.dir/table.cpp.o.d"
+  "CMakeFiles/ss_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/ss_support.dir/thread_pool.cpp.o.d"
+  "libss_support.a"
+  "libss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/fault_injector_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/fault_injector_test.cpp.o.d"
+  "/root/repo/tests/cluster/resource_manager_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/resource_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/resource_manager_test.cpp.o.d"
+  "/root/repo/tests/cluster/speculation_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/speculation_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/speculation_test.cpp.o.d"
+  "/root/repo/tests/cluster/topology_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/topology_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/topology_test.cpp.o.d"
+  "/root/repo/tests/cluster/virtual_scheduler_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/virtual_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/virtual_scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

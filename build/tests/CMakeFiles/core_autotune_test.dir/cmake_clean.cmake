@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_autotune_test.dir/core/autotune_test.cpp.o"
+  "CMakeFiles/core_autotune_test.dir/core/autotune_test.cpp.o.d"
+  "core_autotune_test"
+  "core_autotune_test.pdb"
+  "core_autotune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_autotune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

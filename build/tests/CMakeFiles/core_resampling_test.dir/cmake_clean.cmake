@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_resampling_test.dir/core/resampling_methods_test.cpp.o"
+  "CMakeFiles/core_resampling_test.dir/core/resampling_methods_test.cpp.o.d"
+  "core_resampling_test"
+  "core_resampling_test.pdb"
+  "core_resampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_resampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

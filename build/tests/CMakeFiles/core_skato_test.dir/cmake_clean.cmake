@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_skato_test.dir/core/skato_test.cpp.o"
+  "CMakeFiles/core_skato_test.dir/core/skato_test.cpp.o.d"
+  "core_skato_test"
+  "core_skato_test.pdb"
+  "core_skato_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_skato_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_core_test.dir/engine/cache_test.cpp.o"
+  "CMakeFiles/engine_core_test.dir/engine/cache_test.cpp.o.d"
+  "CMakeFiles/engine_core_test.dir/engine/dataset_test.cpp.o"
+  "CMakeFiles/engine_core_test.dir/engine/dataset_test.cpp.o.d"
+  "engine_core_test"
+  "engine_core_test.pdb"
+  "engine_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_fault_test.dir/engine/fault_tolerance_test.cpp.o"
+  "CMakeFiles/engine_fault_test.dir/engine/fault_tolerance_test.cpp.o.d"
+  "engine_fault_test"
+  "engine_fault_test.pdb"
+  "engine_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_foreach_test.dir/engine/foreach_countby_test.cpp.o"
+  "CMakeFiles/engine_foreach_test.dir/engine/foreach_countby_test.cpp.o.d"
+  "engine_foreach_test"
+  "engine_foreach_test.pdb"
+  "engine_foreach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_foreach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_random_dag_test.dir/engine/random_dag_test.cpp.o"
+  "CMakeFiles/engine_random_dag_test.dir/engine/random_dag_test.cpp.o.d"
+  "engine_random_dag_test"
+  "engine_random_dag_test.pdb"
+  "engine_random_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_random_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdata_annotation_test.dir/simdata/annotation_test.cpp.o"
+  "CMakeFiles/simdata_annotation_test.dir/simdata/annotation_test.cpp.o.d"
+  "simdata_annotation_test"
+  "simdata_annotation_test.pdb"
+  "simdata_annotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdata_annotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

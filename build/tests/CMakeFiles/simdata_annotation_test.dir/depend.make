@@ -1,0 +1,2 @@
+# Empty dependencies file for simdata_annotation_test.
+# This may be replaced when dependencies are built.

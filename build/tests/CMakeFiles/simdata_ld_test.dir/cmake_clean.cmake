@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdata_ld_test.dir/simdata/annotation_format_test.cpp.o"
+  "CMakeFiles/simdata_ld_test.dir/simdata/annotation_format_test.cpp.o.d"
+  "CMakeFiles/simdata_ld_test.dir/simdata/ld_test.cpp.o"
+  "CMakeFiles/simdata_ld_test.dir/simdata/ld_test.cpp.o.d"
+  "simdata_ld_test"
+  "simdata_ld_test.pdb"
+  "simdata_ld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdata_ld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

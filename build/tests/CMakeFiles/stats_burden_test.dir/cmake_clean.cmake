@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_burden_test.dir/stats/burden_wy_test.cpp.o"
+  "CMakeFiles/stats_burden_test.dir/stats/burden_wy_test.cpp.o.d"
+  "stats_burden_test"
+  "stats_burden_test.pdb"
+  "stats_burden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_burden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_math_test.dir/stats/distributions_math_test.cpp.o"
+  "CMakeFiles/stats_math_test.dir/stats/distributions_math_test.cpp.o.d"
+  "CMakeFiles/stats_math_test.dir/stats/wald_test.cpp.o"
+  "CMakeFiles/stats_math_test.dir/stats/wald_test.cpp.o.d"
+  "stats_math_test"
+  "stats_math_test.pdb"
+  "stats_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

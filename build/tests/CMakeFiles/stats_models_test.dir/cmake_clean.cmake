@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_models_test.dir/stats/models_test.cpp.o"
+  "CMakeFiles/stats_models_test.dir/stats/models_test.cpp.o.d"
+  "CMakeFiles/stats_models_test.dir/stats/skat_test.cpp.o"
+  "CMakeFiles/stats_models_test.dir/stats/skat_test.cpp.o.d"
+  "stats_models_test"
+  "stats_models_test.pdb"
+  "stats_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_resampling_test.dir/stats/pvalue_test.cpp.o"
+  "CMakeFiles/stats_resampling_test.dir/stats/pvalue_test.cpp.o.d"
+  "CMakeFiles/stats_resampling_test.dir/stats/resampling_test.cpp.o"
+  "CMakeFiles/stats_resampling_test.dir/stats/resampling_test.cpp.o.d"
+  "stats_resampling_test"
+  "stats_resampling_test.pdb"
+  "stats_resampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_resampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_stratified_test.dir/stats/stratified_cox_test.cpp.o"
+  "CMakeFiles/stats_stratified_test.dir/stats/stratified_cox_test.cpp.o.d"
+  "stats_stratified_test"
+  "stats_stratified_test.pdb"
+  "stats_stratified_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_stratified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_distributions_test.dir/support/distributions_test.cpp.o"
+  "CMakeFiles/support_distributions_test.dir/support/distributions_test.cpp.o.d"
+  "support_distributions_test"
+  "support_distributions_test.pdb"
+  "support_distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_util_test.dir/support/util_test.cpp.o"
+  "CMakeFiles/support_util_test.dir/support/util_test.cpp.o.d"
+  "support_util_test"
+  "support_util_test.pdb"
+  "support_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

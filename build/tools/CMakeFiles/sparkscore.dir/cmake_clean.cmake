@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkscore.dir/sparkscore_cli.cpp.o"
+  "CMakeFiles/sparkscore.dir/sparkscore_cli.cpp.o.d"
+  "sparkscore"
+  "sparkscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
