@@ -25,17 +25,19 @@ namespace {
 /// N/A cells do — the configuration becomes impractically slow.
 void RunSweep(const char* figure, const Workload& base,
               const std::vector<std::uint64_t>& iteration_counts,
-              std::uint64_t uncached_max, int reps) {
+              std::uint64_t uncached_max, int reps, const Args* args) {
   Table table(figure, {"iterations", "MC w/ cache", "MC w/o cache"});
   double cached_at_max = 0.0;
   double uncached_at_cutoff = 0.0;
   for (std::uint64_t iters : iteration_counts) {
     Workload cached = base;
     cached.pipeline.cache_contributions = true;
-    const auto cached_runs =
-        TimeAnalysisRuns(cached, reps, [&](core::SkatPipeline& pipeline) {
+    const auto cached_runs = TimeAnalysisRuns(
+        cached, reps,
+        [&](core::SkatPipeline& pipeline) {
           core::RunMonteCarloMethod(pipeline, iters);
-        });
+        },
+        args);
     cached_at_max = Mean(cached_runs);
 
     std::string uncached_cell = "N/A";
@@ -64,6 +66,7 @@ void RunSweep(const char* figure, const Workload& base,
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   const std::uint64_t snps_small = args.GetU64("snps_small", 500);
   const std::uint64_t snps_large = args.GetU64("snps_large", 5000);
   const int reps = static_cast<int>(args.GetU64("reps", 2));
@@ -84,13 +87,13 @@ int Run(int argc, char** argv) {
   // Fig 4's x-axis (10, 100, ..., 10000) scaled down by ~10.
   RunSweep("Figure 4 / Table V — small genotype matrix (seconds)", small,
            {0, 10, 50, 100, 200, 500, 1000},
-           /*uncached_max=*/100, reps);
+           /*uncached_max=*/100, reps, &args);
 
   Workload large = DefaultWorkload(empty, snps_large, snps_large / 10);
   large.engine.topology = cluster::EmrCluster(18);
   // Fig 5's x-axis (10..1000) scaled down by ~10.
   RunSweep("Figure 5 — large genotype matrix (seconds)", large,
-           {0, 10, 50, 100}, /*uncached_max=*/10, reps);
+           {0, 10, 50, 100}, /*uncached_max=*/10, reps, &args);
   return 0;
 }
 

@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
+#include "engine/trace.hpp"
+#include "support/log.hpp"
 #include "support/string_util.hpp"
 
 namespace ss::bench {
@@ -29,6 +32,49 @@ double Args::GetDouble(const std::string& key, double fallback) const {
   if (it == values_.end()) return fallback;
   double parsed = 0;
   return ParseDouble(it->second, &parsed) ? parsed : fallback;
+}
+
+std::string Args::GetStr(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+void ConfigureObservability(const Args& args) {
+  const std::string loglevel = args.GetStr("loglevel", "");
+  if (!loglevel.empty()) {
+    if (std::optional<LogLevel> level = ParseLogLevel(loglevel)) {
+      SetLogLevel(*level);
+    } else {
+      std::fprintf(stderr, "unrecognized loglevel '%s' ignored\n",
+                   loglevel.c_str());
+    }
+  }
+  if (!args.GetStr("trace", "").empty()) {
+    engine::Tracer::Global().Enable();
+  }
+}
+
+void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx) {
+  const std::string trace_path = args.GetStr("trace", "");
+  if (!trace_path.empty()) {
+    if (engine::Tracer::Global().WriteChromeTraceJson(trace_path)) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write trace to %s\n", trace_path.c_str());
+    }
+  }
+  const std::string metrics_path = args.GetStr("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << ctx.RunMetricsJson();
+    if (out.good()) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+  }
 }
 
 void PrintBanner(const std::string& bench_name, const std::string& reproduces,
@@ -59,12 +105,15 @@ std::vector<double> TimeRepeated(int reps, const std::function<void()>& fn) {
 
 std::vector<double> TimeAnalysisRuns(
     const Workload& workload, int reps,
-    const std::function<void(core::SkatPipeline&)>& fn) {
+    const std::function<void(core::SkatPipeline&)>& fn, const Args* args) {
   std::vector<double> seconds;
   seconds.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     Workload::Instance instance = workload.Build();
     seconds.push_back(TimeOnce([&]() { fn(*instance.pipeline); }));
+    if (args != nullptr && r + 1 == reps) {
+      WriteRunArtifacts(*args, *instance.ctx);
+    }
   }
   return seconds;
 }

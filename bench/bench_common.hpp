@@ -29,10 +29,22 @@ class Args {
 
   std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const;
   double GetDouble(const std::string& key, double fallback) const;
+  std::string GetStr(const std::string& key, const std::string& fallback) const;
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Applies the shared observability keys every bench accepts:
+/// trace=<file> enables the engine tracer (the file is written by
+/// WriteRunArtifacts), metrics=<file> selects the run-summary path, and
+/// loglevel=debug|info|warn|error adjusts stderr verbosity. Call once
+/// before the timing loops; see docs/OBSERVABILITY.md.
+void ConfigureObservability(const Args& args);
+
+/// Writes the trace=/metrics= artifacts named in `args` from `ctx`'s
+/// recorded state. No-op for keys that were not passed.
+void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx);
 
 /// Prints the bench banner: paper reference, simulated hardware (Table I),
 /// and the scale the bench runs at.
@@ -49,10 +61,13 @@ struct Workload;
 
 /// Builds a fresh pipeline per repetition (outside the timer — generation
 /// and DFS staging are not part of the measured analysis, matching the
-/// paper's timing of the Spark job only) and times `fn` over it.
+/// paper's timing of the Spark job only) and times `fn` over it. When
+/// `args` is given, the trace=/metrics= artifacts are written from the
+/// last repetition's context before it is torn down.
 std::vector<double> TimeAnalysisRuns(
     const Workload& workload, int reps,
-    const std::function<void(core::SkatPipeline&)>& fn);
+    const std::function<void(core::SkatPipeline&)>& fn,
+    const Args* args = nullptr);
 
 /// "123.4 ± 5.6" formatting for Table III/V style cells.
 std::string MeanStdevCell(const std::vector<double>& seconds);

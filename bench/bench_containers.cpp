@@ -15,6 +15,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   Workload workload = DefaultWorkload(args, /*snps_default=*/5000,
                                       /*sets_default=*/200);
   workload.pipeline.num_partitions =
@@ -57,6 +58,9 @@ int Run(int argc, char** argv) {
     Workload::Instance instance = workload.Build();
     instance.ctx->metrics().Reset();
     core::RunMonteCarloMethod(*instance.pipeline, iters);
+    if (iters == iteration_counts.back()) {
+      WriteRunArtifacts(args, *instance.ctx);
+    }
 
     std::vector<std::string> row = {std::to_string(iters)};
     double lo = 1e100;

@@ -20,6 +20,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   Workload workload = DefaultWorkload(args);
   workload.generator.num_patients =
       static_cast<std::uint32_t>(args.GetU64("patients", 300));
@@ -98,10 +99,12 @@ int Run(int argc, char** argv) {
     const double serial_seconds = TimeOnce([&]() {
       baseline::SerialMonteCarlo(inputs, workload.generator.seed, 16);
     });
-    const auto engine_runs =
-        TimeAnalysisRuns(workload, 1, [&](core::SkatPipeline& pipeline) {
+    const auto engine_runs = TimeAnalysisRuns(
+        workload, 1,
+        [&](core::SkatPipeline& pipeline) {
           core::RunMonteCarloMethod(pipeline, 16);
-        });
+        },
+        &args);
     std::printf("\nSerial baseline (engine-free, fast scores), MC B=16: "
                 "%.3fs; engine (1 machine, faithful scores): %.3fs — the "
                 "engine's overhead buys fault tolerance and the ability to "

@@ -19,6 +19,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   const auto patients = static_cast<std::uint32_t>(args.GetU64("patients", 1000));
   const auto snps = static_cast<std::uint32_t>(args.GetU64("snps", 400));
 

@@ -14,6 +14,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   // Iteration counts are kept large relative to the single observed pass
   // (as in the paper, where even the 10-iteration configuration amortizes
   // the observed 1M-SNP pass); otherwise the observed pass skews the
@@ -56,10 +57,12 @@ int Run(int argc, char** argv) {
         TimeAnalysisRuns(workload, reps, [&](core::SkatPipeline& pipeline) {
           core::RunMonteCarloMethod(pipeline, config.iterations);
         });
-    const auto perm_runs =
-        TimeAnalysisRuns(workload, reps, [&](core::SkatPipeline& pipeline) {
+    const auto perm_runs = TimeAnalysisRuns(
+        workload, reps,
+        [&](core::SkatPipeline& pipeline) {
           core::RunPermutationMethod(pipeline, config.iterations);
-        });
+        },
+        &args);
     mc_means.push_back(Mean(mc_runs));
     perm_means.push_back(Mean(perm_runs));
     figure3.AddRow({std::to_string(config.iterations) + " x " +

@@ -14,6 +14,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   Workload workload = DefaultWorkload(args, /*snps_default=*/2000,
                                       /*sets_default=*/100);
   workload.pipeline.num_partitions =
@@ -33,6 +34,7 @@ int Run(int argc, char** argv) {
   instance.ctx->metrics().Reset();
   core::RunMonteCarloMethod(*instance.pipeline, 10);
   const cluster::JobProfile profile = instance.ctx->metrics().ToJobProfile();
+  WriteRunArtifacts(args, *instance.ctx);
 
   Table table("Predicted makespan (seconds) vs straggler rate",
               {"straggler probability", "no speculation", "speculation",

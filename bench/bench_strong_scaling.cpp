@@ -25,6 +25,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
+  ConfigureObservability(args);
   Workload base = DefaultWorkload(args, /*snps_default=*/3000,
                                   /*sets_default=*/200);
   base.generator.num_patients =
@@ -92,6 +93,9 @@ int Run(int argc, char** argv) {
       Workload::Instance instance = workload.Build();
       instance.ctx->metrics().Reset();
       core::RunMonteCarloMethod(*instance.pipeline, iters);
+      if (iters == iteration_counts.back() && nodes == node_counts.back()) {
+        WriteRunArtifacts(args, *instance.ctx);
+      }
       const double t =
           instance.ctx->ReplayOn(workload.engine.topology).total_s;
       row.push_back(Table::Num(t, 2));

@@ -1,5 +1,6 @@
 #include "cluster/fault_injector.hpp"
 
+#include "engine/trace.hpp"
 #include "support/log.hpp"
 
 namespace ss::cluster {
@@ -36,6 +37,9 @@ void FaultInjector::OnTaskCompleted() {
   }
   // Fire outside the lock: the callback typically re-enters engine/DFS code.
   for (int node : to_fire) {
+    engine::CounterRegistry::Global().Add("fault.node_failures", 1);
+    engine::Tracer::Global().Instant("fault", "injected node failure",
+                                     {engine::Arg("node", node)});
     SS_LOG(kInfo, "fault") << "injected failure of node " << node;
     std::function<void(int)> callback;
     {
@@ -53,6 +57,10 @@ bool FaultInjector::ShouldFailTask(std::uint64_t stage_id,
     if (failure.stage_id == stage_id && failure.partition == partition &&
         failure.remaining > 0) {
       --failure.remaining;
+      engine::CounterRegistry::Global().Add("fault.task_failures", 1);
+      engine::Tracer::Global().Instant(
+          "fault", "injected task failure",
+          {engine::Arg("stage", stage_id), engine::Arg("partition", partition)});
       return true;
     }
   }

@@ -4,6 +4,7 @@
 
 #include "core/record_traits.hpp"
 #include "engine/dataset_ops.hpp"
+#include "engine/trace.hpp"
 #include "stats/resampling.hpp"
 #include "support/log.hpp"
 
@@ -248,6 +249,7 @@ void SkatPipeline::EnsureUBuilt() {
 }
 
 SetScores SkatPipeline::ComputeObserved() {
+  engine::TraceSpan span(engine::Tracer::Global(), "algo", "observed skat");
   EnsureUBuilt();
   return SetScoresFromU(u_observed_);
 }
@@ -294,6 +296,8 @@ SkatPipeline::SkatBurdenFromScores(
 
 std::unordered_map<std::uint32_t, std::pair<double, double>>
 SkatPipeline::ComputeObservedSkatBurden() {
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "observed skat+burden");
   EnsureUBuilt();
   auto scores = u_observed_.Map(
       [](const std::pair<std::uint32_t, std::vector<double>>& record) {
@@ -309,6 +313,8 @@ SkatPipeline::ComputeMonteCarloSkatBurdenReplicate(
     const std::vector<double>& multipliers) {
   SS_CHECK(u_built_);
   SS_CHECK(multipliers.size() == n());
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "monte-carlo skat+burden replicate");
   auto z = engine::MakeBroadcast(*ctx_, multipliers);
   auto scores = u_observed_.Map(
       [z](const std::pair<std::uint32_t, std::vector<double>>& record) {
@@ -326,6 +332,8 @@ SetScores SkatPipeline::ComputeMonteCarloReplicate(
     const std::vector<double>& multipliers) {
   SS_CHECK(u_built_);  // ComputeObserved must run first (Algorithm 3 step 1)
   SS_CHECK(multipliers.size() == n());
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "monte-carlo replicate");
   auto z = engine::MakeBroadcast(*ctx_, multipliers);
   // Algorithm 3's modification of step 8: Ũ_j = Σ_i Z_i U_ij, squared.
   auto inner_sigma = u_observed_.Map(
@@ -343,6 +351,8 @@ SetScores SkatPipeline::ComputeMonteCarloReplicate(
 SetScores SkatPipeline::ComputePermutationReplicate(
     const std::vector<std::uint32_t>& perm) {
   // Algorithm 2: rebroadcast a permuted phenotype and rerun steps 6-12.
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "permutation replicate");
   auto engine_bcast = engine::MakeBroadcast(
       *ctx_, stats::ScoreEngine(phenotype_.Permuted(perm),
                                 config_.paper_faithful_scores));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/trace.hpp"
 #include "stats/burden.hpp"
 #include "stats/pvalue.hpp"
 #include "stats/resampling.hpp"
@@ -62,6 +63,10 @@ ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
   const stats::PermutationPlan plan(pipeline.config().seed, pipeline.n(),
                                     replicates);
   for (std::uint64_t b = 0; b < replicates; ++b) {
+    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
+                           "permutation b=" + std::to_string(b),
+                           {engine::Arg("algorithm", "permutation"),
+                            engine::Arg("b", b)});
     const SetScores replicate =
         pipeline.ComputePermutationReplicate(plan.Get(b));
     CountExceedances(result.observed, replicate, &result.exceed);
@@ -107,6 +112,10 @@ SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
   const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
                                          replicates);
   for (std::uint64_t b = 0; b < replicates; ++b) {
+    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
+                           "skat-o b=" + std::to_string(b),
+                           {engine::Arg("algorithm", "skat-o"),
+                            engine::Arg("b", b)});
     const auto replicate =
         pipeline.ComputeMonteCarloSkatBurdenReplicate(weights.Get(b));
     for (const auto& [set_id, pair] : replicate) {
@@ -138,6 +147,10 @@ ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
   const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
                                          replicates);
   for (std::uint64_t b = 0; b < replicates; ++b) {
+    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
+                           "monte-carlo b=" + std::to_string(b),
+                           {engine::Arg("algorithm", "monte-carlo"),
+                            engine::Arg("b", b)});
     const SetScores replicate =
         pipeline.ComputeMonteCarloReplicate(weights.Get(b));
     CountExceedances(result.observed, replicate, &result.exceed);

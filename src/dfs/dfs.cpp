@@ -2,12 +2,32 @@
 
 #include <algorithm>
 
+#include "engine/trace.hpp"
 #include "support/binary_io.hpp"
 #include "support/log.hpp"
 
 namespace ss::dfs {
 namespace {
 constexpr std::uint32_t kBlockMagic = 0x53424c4bU;  // "SBLK"
+
+/// Counts one committed block (payload bytes x replicas) and emits an
+/// instant event tagged with the placement.
+void RecordBlockWrite(const BlockMeta& meta) {
+  static std::atomic<std::uint64_t>& writes =
+      engine::CounterRegistry::Global().Get("dfs.block_writes");
+  static std::atomic<std::uint64_t>& write_bytes =
+      engine::CounterRegistry::Global().Get("dfs.write_bytes");
+  writes.fetch_add(1, std::memory_order_relaxed);
+  write_bytes.fetch_add(
+      meta.size_bytes * static_cast<std::uint64_t>(meta.replica_nodes.size()),
+      std::memory_order_relaxed);
+  engine::Tracer::Global().Instant(
+      "dfs", "block write",
+      {engine::Arg("file", meta.id.file_id), engine::Arg("block", meta.id.index),
+       engine::Arg("bytes", meta.size_bytes),
+       engine::Arg("replicas", meta.replica_nodes.size())});
+}
+
 }  // namespace
 
 MiniDfs::MiniDfs(DfsOptions options)
@@ -73,6 +93,7 @@ Status MiniDfs::WriteTextFile(const std::string& path,
     for (int node : meta.replica_nodes) {
       stores_[static_cast<std::size_t>(node)]->Put(meta.id, payload);
     }
+    RecordBlockWrite(meta);
     SS_RETURN_IF_ERROR(name_node_->CommitBlock(file_id.value(), meta));
     ++block_index;
     offset = end;
@@ -83,8 +104,23 @@ Status MiniDfs::WriteTextFile(const std::string& path,
 
 Result<std::vector<std::uint8_t>> MiniDfs::FetchBlockBytes(
     const BlockMeta& meta) const {
+  static std::atomic<std::uint64_t>& reads =
+      engine::CounterRegistry::Global().Get("dfs.block_reads");
+  static std::atomic<std::uint64_t>& read_bytes =
+      engine::CounterRegistry::Global().Get("dfs.read_bytes");
+  static std::atomic<std::uint64_t>& failovers =
+      engine::CounterRegistry::Global().Get("dfs.read_failovers");
+  engine::TraceSpan span(
+      engine::Tracer::Global(), "dfs",
+      "block read f" + std::to_string(meta.id.file_id) + " b" +
+          std::to_string(meta.id.index),
+      {engine::Arg("file", meta.id.file_id),
+       engine::Arg("block", meta.id.index)});
+  reads.fetch_add(1, std::memory_order_relaxed);
+  int attempts = 0;
   for (int node : meta.replica_nodes) {
     if (!name_node_->IsNodeAlive(node)) continue;
+    ++attempts;
     Result<std::vector<std::uint8_t>> bytes =
         stores_[static_cast<std::size_t>(node)]->Get(meta.id);
     if (!bytes.ok()) continue;  // replica dropped (e.g. node was recycled)
@@ -93,8 +129,16 @@ Result<std::vector<std::uint8_t>> MiniDfs::FetchBlockBytes(
                            << " on node " << node << "; trying next replica";
       continue;
     }
+    if (attempts > 1) {
+      failovers.fetch_add(static_cast<std::uint64_t>(attempts - 1),
+                          std::memory_order_relaxed);
+    }
+    read_bytes.fetch_add(bytes.value().size(), std::memory_order_relaxed);
+    span.AddEndArg(engine::Arg("bytes", bytes.value().size()));
+    span.AddEndArg(engine::Arg("node", node));
     return bytes;
   }
+  span.AddEndArg(engine::Arg("outcome", "data_loss"));
   return Status::DataLoss("no intact live replica for block");
 }
 
@@ -137,6 +181,7 @@ Status MiniDfs::WriteBinaryFile(
     for (int node : meta.replica_nodes) {
       stores_[static_cast<std::size_t>(node)]->Put(meta.id, payload);
     }
+    RecordBlockWrite(meta);
     SS_RETURN_IF_ERROR(name_node_->CommitBlock(file_id.value(), meta));
     ++block_index;
   }

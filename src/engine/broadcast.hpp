@@ -12,6 +12,7 @@
 
 #include "engine/approx_bytes.hpp"
 #include "engine/context.hpp"
+#include "engine/trace.hpp"
 
 namespace ss::engine {
 
@@ -48,6 +49,8 @@ Broadcast<T> MakeBroadcast(EngineContext& ctx, T value) {
   // ~one copy and executors share the rest; total volume is still
   // bytes x executors across the fabric.
   ctx.metrics().RecordBroadcast(bytes * static_cast<std::uint64_t>(executors));
+  Tracer::Global().Instant("broadcast", "publish",
+                           {Arg("bytes", bytes), Arg("executors", executors)});
   return Broadcast<T>(std::make_shared<const T>(std::move(value)));
 }
 

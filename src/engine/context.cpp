@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "engine/trace.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
@@ -51,14 +52,18 @@ std::uint64_t EngineContext::RunTasks(
   const std::uint64_t stage_id = metrics_.BeginStage(label, num_tasks);
   SS_LOG(kDebug, "engine") << "stage " << stage_id << " (" << label << "): "
                            << num_tasks << " tasks";
+  TraceSpan span(Tracer::Global(), "stage",
+                 "stage " + std::to_string(stage_id) + ": " + label,
+                 {Arg("stage", stage_id), Arg("label", label),
+                  Arg("tasks", num_tasks)});
   pool_->ParallelFor(0, num_tasks, [&](std::size_t index) {
-    RunOneTask(stage_id, static_cast<std::uint32_t>(index), task_fn);
+    RunOneTask(stage_id, static_cast<std::uint32_t>(index), label, task_fn);
   });
   return stage_id;
 }
 
 void EngineContext::RunOneTask(
-    std::uint64_t stage_id, std::uint32_t index,
+    std::uint64_t stage_id, std::uint32_t index, const std::string& label,
     const std::function<void(TaskContext&)>& task_fn) {
   const int executors = std::max(1, options_.topology.TotalExecutors());
   const int executor = static_cast<int>(index) % executors;
@@ -66,8 +71,15 @@ void EngineContext::RunOneTask(
 
   for (int attempt = 0; attempt < options_.max_task_attempts; ++attempt) {
     TaskContext task(stage_id, index, attempt, executor, node, options_.seed);
+    TraceSpan span(Tracer::Global(), "task",
+                   label + " p" + std::to_string(index) +
+                       (attempt > 0 ? " a" + std::to_string(attempt) : ""),
+                   {Arg("stage", stage_id), Arg("partition", index),
+                    Arg("attempt", attempt), Arg("executor", executor),
+                    Arg("node", node)});
     if (faults_ != nullptr && faults_->ShouldFailTask(stage_id, index)) {
       metrics_.RecordFailure(stage_id);
+      span.AddEndArg(Arg("outcome", "injected_failure"));
       SS_LOG(kDebug, "engine") << "injected failure: stage " << stage_id
                                << " partition " << index << " attempt "
                                << attempt;
@@ -79,6 +91,8 @@ void EngineContext::RunOneTask(
       task_fn(task);
     } catch (const TaskFailure& failure) {
       metrics_.RecordFailure(stage_id);
+      span.AddEndArg(Arg("outcome", "failed"));
+      span.AddEndArg(Arg("error", failure.what()));
       SS_LOG(kWarn, "engine")
           << "task failed (stage " << stage_id << ", partition " << index
           << ", attempt " << attempt << "): " << failure.what();
@@ -87,6 +101,7 @@ void EngineContext::RunOneTask(
     }
     task.metrics().compute_seconds = stopwatch.ElapsedSeconds();
     task.metrics().attempt = attempt;
+    span.AddEndArg(Arg("outcome", "ok"));
     metrics_.RecordTask(stage_id, task.metrics());
     tasks_completed_.fetch_add(1);
     if (faults_ != nullptr) faults_->OnTaskCompleted();
@@ -103,8 +118,16 @@ cluster::MakespanReport EngineContext::ReplayOn(
 
 void EngineContext::FailNode(int node) {
   const int dropped = cache_.DropNode(node);
+  Tracer::Global().Instant("fault", "node failure",
+                           {Arg("node", node), Arg("dropped", dropped)});
   SS_LOG(kInfo, "engine") << "node " << node << " failed; " << dropped
                           << " cached partitions lost (lineage will rebuild)";
+}
+
+std::string EngineContext::RunMetricsJson() const {
+  return ss::engine::RunMetricsJson(metrics_.stages(), cache_.stats(),
+                                    metrics_.broadcast_bytes(),
+                                    tasks_completed());
 }
 
 }  // namespace ss::engine

@@ -92,8 +92,14 @@ class EngineContext {
   /// Total tasks executed successfully since construction.
   std::uint64_t tasks_completed() const { return tasks_completed_.load(); }
 
+  /// Machine-readable summary of everything this context has recorded so
+  /// far: stage stats, cache hit/miss, broadcast and shuffle volumes, and
+  /// the global counter registry (schema "sparkscore-run-metrics-v1").
+  std::string RunMetricsJson() const;
+
  private:
   void RunOneTask(std::uint64_t stage_id, std::uint32_t index,
+                  const std::string& label,
                   const std::function<void(TaskContext&)>& task_fn);
 
   Options options_;

@@ -1,7 +1,12 @@
 #include "engine/metrics.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
 
+#include "engine/trace.hpp"
 #include "support/status.hpp"
 #include "support/table.hpp"
 
@@ -9,6 +14,9 @@ namespace ss::engine {
 
 std::uint64_t MetricsRecorder::BeginStage(const std::string& label,
                                           std::uint32_t num_tasks) {
+  static std::atomic<std::uint64_t>& stages_counter =
+      CounterRegistry::Global().Get("engine.stages");
+  stages_counter.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   StageMetrics stage;
   stage.stage_id = next_stage_id_++;
@@ -31,6 +39,16 @@ StageMetrics* FindStage(std::vector<StageMetrics>& stages, std::uint64_t id) {
 
 void MetricsRecorder::RecordTask(std::uint64_t stage_id,
                                  const TaskMetrics& metrics) {
+  static std::atomic<std::uint64_t>& tasks_counter =
+      CounterRegistry::Global().Get("engine.tasks.completed");
+  static std::atomic<std::uint64_t>& shuffle_read =
+      CounterRegistry::Global().Get("engine.shuffle.read_bytes");
+  static std::atomic<std::uint64_t>& shuffle_write =
+      CounterRegistry::Global().Get("engine.shuffle.write_bytes");
+  tasks_counter.fetch_add(1, std::memory_order_relaxed);
+  shuffle_read.fetch_add(metrics.shuffle_read_bytes, std::memory_order_relaxed);
+  shuffle_write.fetch_add(metrics.shuffle_write_bytes,
+                          std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   StageMetrics* stage = FindStage(stages_, stage_id);
   SS_CHECK(stage != nullptr);
@@ -41,6 +59,9 @@ void MetricsRecorder::RecordTask(std::uint64_t stage_id,
 }
 
 void MetricsRecorder::RecordFailure(std::uint64_t stage_id) {
+  static std::atomic<std::uint64_t>& failures_counter =
+      CounterRegistry::Global().Get("engine.tasks.failed_attempts");
+  failures_counter.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   StageMetrics* stage = FindStage(stages_, stage_id);
   SS_CHECK(stage != nullptr);
@@ -48,6 +69,12 @@ void MetricsRecorder::RecordFailure(std::uint64_t stage_id) {
 }
 
 void MetricsRecorder::RecordBroadcast(std::uint64_t bytes) {
+  static std::atomic<std::uint64_t>& broadcast_count =
+      CounterRegistry::Global().Get("broadcast.count");
+  static std::atomic<std::uint64_t>& broadcast_bytes =
+      CounterRegistry::Global().Get("broadcast.bytes");
+  broadcast_count.fetch_add(1, std::memory_order_relaxed);
+  broadcast_bytes.fetch_add(bytes, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   broadcast_bytes_ += bytes;
 }
@@ -101,6 +128,166 @@ std::string FormatStageReport(const std::vector<StageMetrics>& stages) {
                   std::to_string(stage.failed_attempts)});
   }
   return table.ToString();
+}
+
+std::string FormatRunReport(const std::vector<StageMetrics>& stages,
+                            const CacheStats& cache,
+                            std::uint64_t broadcast_bytes) {
+  std::uint64_t shuffle_read = 0;
+  std::uint64_t shuffle_write = 0;
+  for (const StageMetrics& stage : stages) {
+    shuffle_read += stage.shuffle_read_bytes;
+    shuffle_write += stage.shuffle_write_bytes;
+  }
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(cache.hits) /
+                         static_cast<double>(lookups);
+  char line[256];
+  std::string out = FormatStageReport(stages);
+  std::snprintf(line, sizeof(line),
+                "cache: %llu hits / %llu misses (%.1f%% hit rate), "
+                "%llu insertions, %llu evictions, %llu dropped by failure, "
+                "%llu bytes resident\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses), hit_rate,
+                static_cast<unsigned long long>(cache.insertions),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.dropped_by_failure),
+                static_cast<unsigned long long>(cache.bytes_cached));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "traffic: %llu broadcast bytes, %llu/%llu shuffle R/W bytes\n",
+                static_cast<unsigned long long>(broadcast_bytes),
+                static_cast<unsigned long long>(shuffle_read),
+                static_cast<unsigned long long>(shuffle_write));
+  out += line;
+  return out;
+}
+
+namespace {
+
+/// Upper edges (seconds) of the task-time histogram; the final bucket is
+/// the implicit +inf overflow, so counts has one more entry than edges.
+constexpr std::array<double, 7> kHistEdges = {1e-5, 1e-4, 1e-3, 1e-2,
+                                              0.1,  1.0,  10.0};
+
+void AppendNum(std::string* out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  *out += buffer;
+}
+
+/// q-th quantile of an ascending-sorted sample (nearest-rank).
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void AppendStageJson(std::string* out, const StageMetrics& stage) {
+  std::vector<double> sorted = stage.task_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double seconds : sorted) total += seconds;
+  std::array<std::uint64_t, kHistEdges.size() + 1> counts{};
+  for (double seconds : sorted) {
+    std::size_t bucket = 0;
+    while (bucket < kHistEdges.size() && seconds > kHistEdges[bucket]) {
+      ++bucket;
+    }
+    ++counts[bucket];
+  }
+
+  *out += "{\"id\":" + std::to_string(stage.stage_id);
+  *out += ",\"label\":\"" + JsonEscape(stage.label) + "\"";
+  *out += ",\"tasks\":" + std::to_string(sorted.size());
+  *out += ",\"failed_attempts\":" + std::to_string(stage.failed_attempts);
+  *out += ",\"records_out\":" + std::to_string(stage.records_out);
+  *out += ",\"shuffle_read_bytes\":" + std::to_string(stage.shuffle_read_bytes);
+  *out +=
+      ",\"shuffle_write_bytes\":" + std::to_string(stage.shuffle_write_bytes);
+  *out += ",\"task_seconds\":{\"total\":";
+  AppendNum(out, total);
+  *out += ",\"min\":";
+  AppendNum(out, sorted.empty() ? 0.0 : sorted.front());
+  *out += ",\"mean\":";
+  AppendNum(out, sorted.empty() ? 0.0
+                                : total / static_cast<double>(sorted.size()));
+  *out += ",\"p50\":";
+  AppendNum(out, Quantile(sorted, 0.50));
+  *out += ",\"p90\":";
+  AppendNum(out, Quantile(sorted, 0.90));
+  *out += ",\"p99\":";
+  AppendNum(out, Quantile(sorted, 0.99));
+  *out += ",\"max\":";
+  AppendNum(out, sorted.empty() ? 0.0 : sorted.back());
+  *out += "},\"task_seconds_hist\":{\"le\":[";
+  for (std::size_t i = 0; i < kHistEdges.size(); ++i) {
+    if (i != 0) *out += ",";
+    AppendNum(out, kHistEdges[i]);
+  }
+  *out += "],\"counts\":[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) *out += ",";
+    *out += std::to_string(counts[i]);
+  }
+  *out += "]}}";
+}
+
+}  // namespace
+
+std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
+                           const CacheStats& cache,
+                           std::uint64_t broadcast_bytes,
+                           std::uint64_t tasks_completed) {
+  std::uint64_t total_tasks = 0;
+  std::uint64_t total_failures = 0;
+  std::uint64_t shuffle_read = 0;
+  std::uint64_t shuffle_write = 0;
+  double total_task_seconds = 0.0;
+  for (const StageMetrics& stage : stages) {
+    total_tasks += stage.task_seconds.size();
+    total_failures += static_cast<std::uint64_t>(stage.failed_attempts);
+    shuffle_read += stage.shuffle_read_bytes;
+    shuffle_write += stage.shuffle_write_bytes;
+    for (double seconds : stage.task_seconds) total_task_seconds += seconds;
+  }
+
+  std::string out = "{\"schema\":\"sparkscore-run-metrics-v1\"";
+  out += ",\"tasks_completed\":" + std::to_string(tasks_completed);
+  out += ",\"totals\":{\"stages\":" + std::to_string(stages.size());
+  out += ",\"tasks\":" + std::to_string(total_tasks);
+  out += ",\"failed_attempts\":" + std::to_string(total_failures);
+  out += ",\"shuffle_read_bytes\":" + std::to_string(shuffle_read);
+  out += ",\"shuffle_write_bytes\":" + std::to_string(shuffle_write);
+  out += ",\"task_seconds\":";
+  AppendNum(&out, total_task_seconds);
+  out += "},\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n";
+    AppendStageJson(&out, stages[i]);
+  }
+  out += "]";
+  out += ",\"cache\":{\"hits\":" + std::to_string(cache.hits);
+  out += ",\"misses\":" + std::to_string(cache.misses);
+  out += ",\"insertions\":" + std::to_string(cache.insertions);
+  out += ",\"evictions\":" + std::to_string(cache.evictions);
+  out += ",\"dropped_by_failure\":" + std::to_string(cache.dropped_by_failure);
+  out += ",\"bytes_cached\":" + std::to_string(cache.bytes_cached) + "}";
+  out += ",\"broadcast_bytes\":" + std::to_string(broadcast_bytes);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : CounterRegistry::Global().Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "}}\n";
+  return out;
 }
 
 }  // namespace ss::engine

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/virtual_scheduler.hpp"
+#include "engine/cache_manager.hpp"
 #include "engine/task.hpp"
 
 namespace ss::engine {
@@ -64,5 +65,22 @@ class MetricsRecorder {
 /// the Spark UI's stage list): id, label, tasks, total/max task seconds,
 /// shuffle volumes, failed attempts.
 std::string FormatStageReport(const std::vector<StageMetrics>& stages);
+
+/// FormatStageReport plus the storage/traffic summary the stage table
+/// alone hides: cache hit/miss/eviction counts and broadcast bytes next
+/// to the total shuffle volumes.
+std::string FormatRunReport(const std::vector<StageMetrics>& stages,
+                            const CacheStats& cache,
+                            std::uint64_t broadcast_bytes);
+
+/// Machine-readable run summary (schema "sparkscore-run-metrics-v1"):
+/// per-stage task-time stats and log-bucket histograms, shuffle volumes,
+/// retry counts, cache hit/miss, broadcast bytes, and a dump of the
+/// process-global CounterRegistry. Field reference in
+/// docs/OBSERVABILITY.md; validated by tools/check_trace.py.
+std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
+                           const CacheStats& cache,
+                           std::uint64_t broadcast_bytes,
+                           std::uint64_t tasks_completed);
 
 }  // namespace ss::engine

@@ -1,13 +1,26 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace ss {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+int InitialLevel() {
+  const char* env = std::getenv("SS_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::optional<LogLevel> level = ParseLogLevel(env)) {
+      return static_cast<int>(*level);
+    }
+    std::fprintf(stderr, "[WARN log] unrecognized SS_LOG_LEVEL '%s'\n", env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{InitialLevel()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -25,6 +38,20 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 namespace internal {
 

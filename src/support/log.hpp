@@ -4,6 +4,7 @@
 // kDebug; benches run with kWarn so timing loops are not polluted by I/O.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,8 +13,14 @@ namespace ss {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Sets the global minimum level; messages below it are discarded.
+/// The initial level is kWarn, unless the SS_LOG_LEVEL environment
+/// variable names another level (debug|info|warn|error).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive);
+/// nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 namespace internal {
 

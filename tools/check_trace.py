@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates a SparkScore Chrome-trace JSON (and optionally the run-metrics
+JSON) produced by `sparkscore ... trace=<file> metrics=<file>`.
+
+Checks, stdlib only:
+  * the trace parses as JSON and has the trace_event envelope;
+  * every event carries name/ph/ts/pid/tid, with a known phase;
+  * B/E spans balance per thread and nest (LIFO) with matching names;
+  * timestamps are non-decreasing (events are driver-sorted);
+  * the metrics JSON (if given) matches schema sparkscore-run-metrics-v1
+    and its per-stage histogram counts sum to the stage's task count.
+
+Exit code 0 and a one-line summary on success; 1 with a diagnostic on the
+first violation. Used by the `trace_smoke` ctest; see docs/OBSERVABILITY.md.
+
+Usage: check_trace.py <trace.json> [metrics.json]
+"""
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "i"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(f"{path} is not valid JSON: {error}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path} has no traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path} has an empty traceEvents array")
+
+    stacks = {}  # tid -> stack of open span names
+    last_ts = None
+    counts = {"B": 0, "E": 0, "i": 0}
+    for n, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"event #{n} is missing '{key}': {event}")
+        phase = event["ph"]
+        if phase not in KNOWN_PHASES:
+            fail(f"event #{n} has unknown phase '{phase}'")
+        counts[phase] += 1
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            fail(f"event #{n} goes back in time ({ts} < {last_ts})")
+        last_ts = ts
+        stack = stacks.setdefault(event["tid"], [])
+        if phase == "B":
+            stack.append(event["name"])
+        elif phase == "E":
+            if not stack:
+                fail(f"event #{n}: End with no open span on tid {event['tid']}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                fail(
+                    f"event #{n}: End '{event['name']}' does not match "
+                    f"open span '{opened}' on tid {event['tid']}"
+                )
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"tid {tid} has unclosed spans: {stack}")
+    if counts["B"] == 0:
+        fail("trace contains no spans at all")
+    return counts
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(f"{path} is not valid JSON: {error}")
+    if doc.get("schema") != "sparkscore-run-metrics-v1":
+        fail(f"{path} schema is {doc.get('schema')!r}")
+    for key in ("totals", "stages", "cache", "broadcast_bytes", "counters"):
+        if key not in doc:
+            fail(f"{path} is missing '{key}'")
+    total_tasks = 0
+    for stage in doc["stages"]:
+        hist = stage["task_seconds_hist"]
+        if len(hist["counts"]) != len(hist["le"]) + 1:
+            fail(f"stage {stage['id']}: histogram is missing the overflow bucket")
+        if sum(hist["counts"]) != stage["tasks"]:
+            fail(
+                f"stage {stage['id']}: histogram sums to "
+                f"{sum(hist['counts'])}, expected {stage['tasks']} tasks"
+            )
+        total_tasks += stage["tasks"]
+    if doc["totals"]["tasks"] != total_tasks:
+        fail(
+            f"totals.tasks={doc['totals']['tasks']} but stages sum to "
+            f"{total_tasks}"
+        )
+    return total_tasks
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    counts = check_trace(argv[1])
+    summary = (
+        f"{counts['B']} spans, {counts['i']} instants in {argv[1]}"
+    )
+    if len(argv) == 3:
+        tasks = check_metrics(argv[2])
+        summary += f"; {tasks} tasks in {argv[2]}"
+    print(f"check_trace: OK: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,15 +11,28 @@
 //
 // Common keys: patients, snps, sets, reps (B), seed, nodes, partitions,
 // method=mc|perm, model=cox|gaussian|binomial (scan/skat in-memory only),
-// top (rows to print), stages=1 (print the per-stage report),
+// top (rows to print), stages=1 (print the per-stage run report),
 // export=<dfs path> (persist the result inside the run's DFS and echo it).
+//
+// Observability keys (see docs/OBSERVABILITY.md):
+//   trace=<file>     enable the engine tracer and write a Chrome
+//                    trace_event JSON (load in chrome://tracing or
+//                    https://ui.perfetto.dev)
+//   metrics=<file>   write the machine-readable run summary
+//                    (schema "sparkscore-run-metrics-v1")
+//   loglevel=debug|info|warn|error
+//                    stderr log verbosity (default error; the
+//                    SS_LOG_LEVEL environment variable also works)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
+#include "engine/trace.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 
@@ -97,8 +110,37 @@ Study OpenStudy(const CliArgs& args) {
 
 void MaybePrintStages(const CliArgs& args, ss::engine::EngineContext& ctx) {
   if (args.U64("stages", 0) != 0) {
-    std::fputs(ss::engine::FormatStageReport(ctx.metrics().stages()).c_str(),
+    std::fputs(ss::engine::FormatRunReport(ctx.metrics().stages(),
+                                           ctx.cache().stats(),
+                                           ctx.metrics().broadcast_bytes())
+                   .c_str(),
                stdout);
+  }
+}
+
+/// Writes the trace= and metrics= artifacts, if requested. The tracer is
+/// process-global and accumulates across sub-runs (selftest), so each
+/// call rewrites the file with the cumulative trace.
+void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
+  const std::string trace_path = args.Str("trace", "");
+  if (!trace_path.empty()) {
+    if (ss::engine::Tracer::Global().WriteChromeTraceJson(trace_path)) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+  const std::string metrics_path = args.Str("metrics", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << ctx.RunMetricsJson();
+    if (out.good()) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
   }
 }
 
@@ -152,6 +194,7 @@ int RunSkat(const CliArgs& args, bool skato) {
     }
   }
   MaybePrintStages(args, *study.ctx);
+  WriteRunArtifacts(args, *study.ctx);
   return 0;
 }
 
@@ -186,11 +229,18 @@ int RunScan(const CliArgs& args) {
                 result.MaxTAdjustedP(ranked[r]));
   }
   MaybePrintStages(args, *study.ctx);
+  WriteRunArtifacts(args, *study.ctx);
   return 0;
 }
 
-int RunSelfTest() {
+int RunSelfTest(const CliArgs& outer) {
   CliArgs args;
+  // Observability keys pass through so `selftest trace=...` exercises the
+  // full artifact path (used by the trace_smoke ctest).
+  for (const char* key : {"trace", "metrics", "stages"}) {
+    const std::string value = outer.Str(key, "");
+    if (!value.empty()) args.values[key] = value;
+  }
   args.values["patients"] = "60";
   args.values["snps"] = "80";
   args.values["sets"] = "8";
@@ -210,7 +260,8 @@ void PrintUsage() {
   std::fputs(
       "usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n"
       "keys: patients snps sets reps seed nodes partitions reducers top\n"
-      "      method=mc|perm ld_block stages=1 export=<dfs path>\n",
+      "      method=mc|perm ld_block stages=1 export=<dfs path>\n"
+      "      trace=<file> metrics=<file> loglevel=debug|info|warn|error\n",
       stderr);
 }
 
@@ -229,13 +280,28 @@ int main(int argc, char** argv) {
       args.values[arg.substr(0, eq)] = arg.substr(eq + 1);
     }
   }
-  ss::SetLogLevel(ss::LogLevel::kError);
+  const std::string loglevel = args.Str("loglevel", "");
+  if (!loglevel.empty()) {
+    if (std::optional<ss::LogLevel> level = ss::ParseLogLevel(loglevel)) {
+      ss::SetLogLevel(*level);
+    } else {
+      std::fprintf(stderr, "error: unrecognized loglevel '%s'\n",
+                   loglevel.c_str());
+      return 2;
+    }
+  } else if (std::getenv("SS_LOG_LEVEL") == nullptr) {
+    // Keep CLI output clean by default, but let SS_LOG_LEVEL override.
+    ss::SetLogLevel(ss::LogLevel::kError);
+  }
+  if (!args.Str("trace", "").empty()) {
+    ss::engine::Tracer::Global().Enable();
+  }
   try {
     const std::string command = argv[1];
     if (command == "skat") return RunSkat(args, false);
     if (command == "skato") return RunSkat(args, true);
     if (command == "scan") return RunScan(args);
-    if (command == "selftest") return RunSelfTest();
+    if (command == "selftest") return RunSelfTest(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,0 +1,24 @@
+# Driver for the trace_smoke ctest: runs the CLI selftest with the
+# trace=/metrics= keys, then validates both artifacts with check_trace.py.
+# Invoked as:
+#   cmake -DSPARKSCORE=<bin> -DPYTHON=<python3> -DCHECK=<check_trace.py>
+#         -DOUT_DIR=<dir> -P trace_smoke.cmake
+set(trace_file "${OUT_DIR}/trace_smoke.trace.json")
+set(metrics_file "${OUT_DIR}/trace_smoke.metrics.json")
+
+execute_process(
+  COMMAND "${SPARKSCORE}" selftest "trace=${trace_file}"
+          "metrics=${metrics_file}"
+  RESULT_VARIABLE run_result
+)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "sparkscore selftest failed (exit ${run_result})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECK}" "${trace_file}" "${metrics_file}"
+  RESULT_VARIABLE check_result
+)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the artifacts (exit ${check_result})")
+endif()
