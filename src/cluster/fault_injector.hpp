@@ -10,6 +10,8 @@
 #include <mutex>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace ss::cluster {
 
 class FaultInjector {
@@ -50,9 +52,9 @@ class FaultInjector {
   };
 
   mutable std::mutex mutex_;
-  std::vector<PendingNodeFailure> node_failures_;
-  std::vector<PendingTaskFailure> task_failures_;
-  std::function<void(int)> on_node_failure_;
+  std::vector<PendingNodeFailure> node_failures_ SS_GUARDED_BY(mutex_);
+  std::vector<PendingTaskFailure> task_failures_ SS_GUARDED_BY(mutex_);
+  std::function<void(int)> on_node_failure_ SS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ss::cluster

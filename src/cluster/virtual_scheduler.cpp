@@ -4,7 +4,6 @@
 #include <queue>
 
 #include "support/rng.hpp"
-#include "support/status.hpp"
 
 namespace ss::cluster {
 

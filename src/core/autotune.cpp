@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "cluster/resource_manager.hpp"
+
 namespace ss::core {
 namespace {
 

@@ -12,7 +12,6 @@
 #include <string>
 #include <vector>
 
-#include "cluster/resource_manager.hpp"
 #include "cluster/topology.hpp"
 #include "cluster/virtual_scheduler.hpp"
 #include "engine/context.hpp"

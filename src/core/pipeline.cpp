@@ -2,10 +2,9 @@
 
 #include <algorithm>
 
-#include "core/record_traits.hpp"
+#include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
 #include "engine/dataset_ops.hpp"
 #include "engine/trace.hpp"
-#include "stats/resampling.hpp"
 #include "support/log.hpp"
 
 namespace ss::core {

@@ -6,7 +6,6 @@
 #include "stats/burden.hpp"
 #include "stats/pvalue.hpp"
 #include "stats/resampling.hpp"
-#include "support/log.hpp"
 
 namespace ss::core {
 namespace {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/record_traits.hpp"
+#include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
 #include "engine/broadcast.hpp"
 #include "stats/distributions_math.hpp"
 #include "stats/pvalue.hpp"

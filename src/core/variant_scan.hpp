@@ -19,7 +19,6 @@
 #include "engine/dataset.hpp"
 #include "simdata/text_format.hpp"
 #include "stats/score_engine.hpp"
-#include "support/status.hpp"
 
 namespace ss::core {
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dfs/block.hpp"
+#include "support/check.hpp"
 #include "support/status.hpp"
 
 namespace ss::dfs {
@@ -36,8 +37,9 @@ class BlockStore {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<BlockId, std::vector<std::uint8_t>, BlockIdHash> blocks_;
-  std::uint64_t bytes_stored_ = 0;
+  std::unordered_map<BlockId, std::vector<std::uint8_t>, BlockIdHash> blocks_
+      SS_GUARDED_BY(mutex_);
+  std::uint64_t bytes_stored_ SS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ss::dfs

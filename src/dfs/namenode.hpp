@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dfs/block.hpp"
+#include "support/check.hpp"
 #include "support/status.hpp"
 
 namespace ss::dfs {
@@ -55,11 +56,12 @@ class NameNode {
   const int replication_;
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::uint64_t> path_to_id_;
-  std::unordered_map<std::uint64_t, FileMeta> files_;
-  std::vector<bool> node_alive_;
-  std::uint64_t next_file_id_ = 1;
-  int placement_cursor_ = 0;
+  std::unordered_map<std::string, std::uint64_t> path_to_id_
+      SS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, FileMeta> files_ SS_GUARDED_BY(mutex_);
+  std::vector<bool> node_alive_ SS_GUARDED_BY(mutex_);
+  std::uint64_t next_file_id_ SS_GUARDED_BY(mutex_) = 1;
+  int placement_cursor_ SS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ss::dfs

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace ss::engine {
 
 /// Scalar accumulator with a user-supplied commutative/associative merge.
@@ -32,7 +34,7 @@ class Accumulator {
 
  private:
   mutable std::mutex mutex_;
-  T value_;
+  T value_ SS_GUARDED_BY(mutex_);
 };
 
 /// Fixed-length vector accumulator (element-wise +=). The per-SNP-set
@@ -45,6 +47,7 @@ class VectorAccumulator {
 
   void Add(std::size_t index, const T& delta) {
     std::lock_guard<std::mutex> lock(mutex_);
+    SS_DCHECK(index < values_.size());
     values_[index] += delta;
   }
 
@@ -64,7 +67,7 @@ class VectorAccumulator {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<T> values_;
+  std::vector<T> values_ SS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ss::engine

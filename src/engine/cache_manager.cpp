@@ -56,6 +56,7 @@ void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
 }
 
 void CacheManager::EvictIfNeededLocked() {
+  SS_ASSERT_HELD(mutex_);
   static std::atomic<std::uint64_t>& evictions =
       CacheCounter("cache.evictions");
   if (capacity_bytes_ == 0) return;
@@ -71,6 +72,7 @@ void CacheManager::EvictIfNeededLocked() {
 }
 
 void CacheManager::EraseLocked(const CacheKey& key) {
+  SS_ASSERT_HELD(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   stats_.bytes_cached -= it->second.bytes;

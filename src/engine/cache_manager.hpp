@@ -15,6 +15,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "support/check.hpp"
+
 namespace ss::engine {
 
 /// Identifies a cached partition: (dataset node id, partition index).
@@ -77,14 +79,15 @@ class CacheManager {
     std::list<CacheKey>::iterator lru_it;
   };
 
-  void EvictIfNeededLocked();
-  void EraseLocked(const CacheKey& key);
+  void EvictIfNeededLocked() SS_REQUIRES(mutex_);
+  void EraseLocked(const CacheKey& key) SS_REQUIRES(mutex_);
 
   const std::uint64_t capacity_bytes_;
   mutable std::mutex mutex_;
-  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
-  std::list<CacheKey> lru_;  ///< Front = most recently used.
-  CacheStats stats_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_
+      SS_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ SS_GUARDED_BY(mutex_);  ///< Front = MRU.
+  CacheStats stats_ SS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ss::engine

@@ -260,9 +260,17 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
  protected:
   void EnsureReadySelf() override {
     const std::uint32_t reducers = this->num_partitions();
-    buckets_.assign(reducers, {});
+    const std::uint32_t mappers = parent_->num_partitions();
+    // Map outputs are staged per map partition and concatenated in map
+    // partition order below. Appending directly to the reduce buckets in
+    // task *completion* order would make the record order inside a bucket
+    // (and thus every non-associative downstream fold, e.g. a float sum
+    // in ReduceByKey) depend on scheduling — a bitwise-nondeterminism bug
+    // caught by tests/engine/determinism_test.cpp.
+    std::vector<std::vector<std::vector<Pair>>> per_map(mappers);
+    std::mutex per_map_mutex;
     this->ctx_->RunTasks(
-        "shuffle-map(" + parent_->label() + ")", parent_->num_partitions(),
+        "shuffle-map(" + parent_->label() + ")", mappers,
         [&](TaskContext& task) {
           auto input = parent_->Get(task.partition(), task);
           std::vector<std::vector<Pair>> local(reducers);
@@ -277,14 +285,22 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
           }
           task.metrics().shuffle_write_bytes += bytes;
           task.metrics().records_out = input->size();
-          std::lock_guard<std::mutex> lock(buckets_mutex_);
-          for (std::uint32_t r = 0; r < reducers; ++r) {
-            auto& bucket = buckets_[r];
-            bucket.insert(bucket.end(),
-                          std::make_move_iterator(local[r].begin()),
-                          std::make_move_iterator(local[r].end()));
-          }
+          // Speculative duplicate attempts of a map task write identical
+          // (deterministically computed) data, so last-writer-wins is fine.
+          std::lock_guard<std::mutex> lock(per_map_mutex);
+          per_map[task.partition()] = std::move(local);
         });
+    std::lock_guard<std::mutex> lock(buckets_mutex_);
+    buckets_.assign(reducers, {});
+    for (std::uint32_t m = 0; m < mappers; ++m) {
+      SS_CHECK(per_map[m].size() == reducers);  // RunTasks ran every mapper
+      for (std::uint32_t r = 0; r < reducers; ++r) {
+        auto& bucket = buckets_[r];
+        bucket.insert(bucket.end(),
+                      std::make_move_iterator(per_map[m][r].begin()),
+                      std::make_move_iterator(per_map[m][r].end()));
+      }
+    }
   }
 
  private:

@@ -16,6 +16,7 @@
 #include "cluster/virtual_scheduler.hpp"
 #include "engine/cache_manager.hpp"
 #include "engine/task.hpp"
+#include "support/check.hpp"
 
 namespace ss::engine {
 
@@ -56,9 +57,9 @@ class MetricsRecorder {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<StageMetrics> stages_;
-  std::uint64_t next_stage_id_ = 1;
-  std::uint64_t broadcast_bytes_ = 0;
+  std::vector<StageMetrics> stages_ SS_GUARDED_BY(mutex_);
+  std::uint64_t next_stage_id_ SS_GUARDED_BY(mutex_) = 1;
+  std::uint64_t broadcast_bytes_ SS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Renders recorded stages as an ASCII table (the engine's equivalent of

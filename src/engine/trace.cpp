@@ -29,7 +29,8 @@ std::uint64_t NextTracerId() {
 Tracer::Tracer() : tracer_id_(NextTracerId()), epoch_ns_(NowNs()) {}
 
 Tracer& Tracer::Global() {
-  static Tracer* global = new Tracer();  // leaked: usable during teardown
+  // ss-lint: allow(naked-new) leaked singleton, usable during teardown
+  static Tracer* global = new Tracer();
   return *global;
 }
 
@@ -180,6 +181,7 @@ bool Tracer::WriteChromeTraceJson(const std::string& path) const {
 }
 
 CounterRegistry& CounterRegistry::Global() {
+  // ss-lint: allow(naked-new) leaked singleton, usable during teardown
   static CounterRegistry* global = new CounterRegistry();
   return *global;
 }

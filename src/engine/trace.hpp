@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace ss::engine {
 
 /// One key/value annotation on an event. Values are kept as strings;
@@ -105,8 +107,8 @@ class Tracer {
  private:
   struct ThreadLog {
     std::mutex mutex;
-    std::vector<TraceEvent> events;
-    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events SS_GUARDED_BY(mutex);
+    std::uint32_t tid = 0;  ///< Immutable after registration.
   };
 
   void Record(TraceEvent event);
@@ -117,7 +119,7 @@ class Tracer {
   std::atomic<std::int64_t> epoch_ns_;
   std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex logs_mutex_;
-  std::vector<std::shared_ptr<ThreadLog>> logs_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_ SS_GUARDED_BY(logs_mutex_);
 };
 
 /// RAII span: Begin on construction (if the tracer is enabled at that
@@ -190,7 +192,8 @@ class CounterRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_
+      SS_GUARDED_BY(mutex_);
 };
 
 /// Escapes a string for embedding in a JSON string literal (no quotes).

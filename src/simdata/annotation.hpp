@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "stats/skat.hpp"
-#include "support/rng.hpp"
 #include "support/status.hpp"
 
 namespace ss::simdata {

@@ -1,5 +1,7 @@
 #include "stats/cox_score.hpp"
 
+#include "support/status.hpp"
+
 namespace ss::stats {
 
 std::vector<double> CoxScoreContributions(

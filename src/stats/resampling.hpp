@@ -11,8 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "support/rng.hpp"
-
 namespace ss::stats {
 
 /// B permutations of 0..n-1.

@@ -1,5 +1,8 @@
 #include "stats/score_engine.hpp"
 
+#include "stats/cox_score.hpp"
+#include "support/status.hpp"
+
 namespace ss::stats {
 
 const char* ScoreModelName(ScoreModel model) {

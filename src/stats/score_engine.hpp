@@ -16,11 +16,9 @@
 #include <memory>
 #include <vector>
 
-#include "stats/cox_score.hpp"
 #include "stats/linear_score.hpp"
 #include "stats/logistic_score.hpp"
 #include "stats/survival.hpp"
-#include "support/status.hpp"
 
 namespace ss::stats {
 

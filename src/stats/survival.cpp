@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "support/status.hpp"
+
 namespace ss::stats {
 
 SurvivalData SurvivalData::FromPairs(const std::vector<PhenotypePair>& pairs) {

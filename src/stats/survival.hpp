@@ -11,8 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "support/status.hpp"
-
 namespace ss::stats {
 
 /// One patient's survival phenotype.

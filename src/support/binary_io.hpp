@@ -37,6 +37,7 @@ class BinaryWriter {
 
  private:
   void WriteRaw(const void* data, std::size_t size) {
+    if (size == 0) return;  // data() of an empty container may be null
     const auto* p = static_cast<const std::uint8_t*>(data);
     bytes_.insert(bytes_.end(), p, p + size);
   }
@@ -81,6 +82,7 @@ class BinaryReader {
  private:
   void ReadRaw(void* out, std::size_t size) {
     SS_CHECK(pos_ + size <= bytes_.size());
+    if (size == 0) return;  // `out` may be an empty vector's null data()
     std::memcpy(out, bytes_.data() + pos_, size);
     pos_ += size;
   }

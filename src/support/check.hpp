@@ -1,0 +1,78 @@
+// Debug assertions and thread-safety annotations.
+//
+// SS_CHECK (status.hpp) stays on in every build and guards control-path
+// invariants. SS_DCHECK is its debug sibling for hot paths and for
+// contracts whose violation is a programming error rather than bad
+// input: it compiles to nothing unless SPARKSCORE_DCHECKS is defined,
+// which the build system turns on for Debug and all sanitizer
+// configurations (see the root CMakeLists.txt) — so the sanitizer
+// matrix exercises every contract while release binaries pay zero cost.
+//
+// The SS_GUARDED_BY / SS_REQUIRES / SS_EXCLUDES / SS_ACQUIRE /
+// SS_RELEASE macros expand to Clang's thread-safety-analysis attributes
+// when the compiler supports them and to nothing otherwise (GCC). They
+// are applied to the engine's hot shared structures so a
+// `clang -Wthread-safety` pass — and human readers — can see which
+// mutex protects which field. SS_ASSERT_HELD(m) documents (and, under
+// Clang's analysis, asserts) that `m` is held on entry to a *Locked
+// helper.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SS_THREAD_ANNOTATION
+#define SS_THREAD_ANNOTATION(x)
+#endif
+
+/// Member annotation: the field may only be read or written with `x` held.
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION(guarded_by(x))
+/// Function annotation: the caller must hold `x`.
+#define SS_REQUIRES(x) SS_THREAD_ANNOTATION(requires_capability(x))
+/// Function annotation: the caller must NOT hold `x` (the function locks it).
+#define SS_EXCLUDES(x) SS_THREAD_ANNOTATION(locks_excluded(x))
+/// Function annotation: the function acquires/releases `x`.
+#define SS_ACQUIRE(x) SS_THREAD_ANNOTATION(acquire_capability(x))
+#define SS_RELEASE(x) SS_THREAD_ANNOTATION(release_capability(x))
+
+namespace ss::internal {
+// Defined in status.cpp; prints and aborts.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+
+#if defined(__clang__)
+template <typename Mutex>
+inline void AssertHeldMarker(Mutex& m) __attribute__((assert_capability(m))) {
+  (void)m;
+}
+#else
+template <typename Mutex>
+inline void AssertHeldMarker(Mutex& m) {
+  (void)m;
+}
+#endif
+}  // namespace ss::internal
+
+/// Debug-only invariant check. Active when SPARKSCORE_DCHECKS is defined
+/// (Debug and sanitizer builds); otherwise the condition is not evaluated
+/// but still type-checked, so DCHECK-only expressions cannot rot.
+#if defined(SPARKSCORE_DCHECKS)
+#define SS_DCHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ss::internal::CheckFailed(#expr, __FILE__, __LINE__);  \
+    }                                                          \
+  } while (0)
+#else
+#define SS_DCHECK(expr)                                 \
+  do {                                                  \
+    if (false && static_cast<bool>(expr)) {             \
+      ::ss::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                   \
+  } while (0)
+#endif
+
+/// States that `mutex` is held by the calling thread. Convention marker
+/// for *Locked helpers; checked by Clang's thread-safety analysis.
+#define SS_ASSERT_HELD(mutex) ::ss::internal::AssertHeldMarker(mutex)

@@ -32,7 +32,10 @@ enum class StatusCode : std::uint8_t {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic status: either OK, or a code plus a diagnostic message.
-class Status {
+/// [[nodiscard]] on the type makes silently dropping any Status-returning
+/// call a compiler warning (-Werror in CI); deliberate drops must be
+/// spelled `(void)call();`. Enforced by tools/ss_lint.py.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed status is OK.
   Status() = default;
@@ -95,7 +98,7 @@ class StatusError : public std::runtime_error {
 /// A value or an error. Minimal `expected`-style type (C++23's std::expected
 /// is not yet available with this toolchain's library mode).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {

@@ -1,6 +1,9 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
+#include <memory>
 
 #include "support/status.hpp"
 
@@ -29,7 +32,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      cv_.wait(lock, [this]() SS_REQUIRES(mutex_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (shutdown_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -41,21 +46,39 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
   SS_CHECK(begin <= end);
-  if (begin == end) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    futures.push_back(Submit([&fn, i]() { fn(i); }));
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+
+  // Shared between the claiming tasks; lives on the caller's stack, which
+  // outlives them because the caller blocks on every future below.
+  struct LoopState {
+    std::atomic<std::size_t> next;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;  // Guarded by error_mutex.
+    explicit LoopState(std::size_t begin_index) : next(begin_index) {}
+  };
+  LoopState state(begin);
+
+  const std::size_t num_runners = std::min(workers_.size(), count);
+  std::vector<std::future<void>> runners;
+  runners.reserve(num_runners);
+  for (std::size_t r = 0; r < num_runners; ++r) {
+    runners.push_back(Submit([&state, &fn, end]() {
+      for (;;) {
+        const std::size_t i =
+            state.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state.error_mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+      }
+    }));
   }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  for (auto& runner : runners) runner.get();
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace ss

@@ -4,6 +4,11 @@
 // Design notes (see CppCoreGuidelines CP.*): tasks are type-erased
 // move-only callables; shutdown joins all workers (RAII — the destructor
 // never leaks a thread); `ParallelFor` provides the common blocked loop.
+//
+// Lifetime contract: once the destructor has started, the pool is dead.
+// Calling `Submit` (or `ParallelFor`) after destruction-start is a
+// programming error — the task could never run and its future would never
+// become ready — and is enforced by SS_DCHECK in Debug/sanitizer builds.
 #pragma once
 
 #include <condition_variable>
@@ -15,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/check.hpp"
+
 namespace ss {
 
 class ThreadPool {
@@ -22,8 +29,8 @@ class ThreadPool {
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Drains nothing: pending tasks are abandoned, running tasks complete,
-  /// then workers are joined.
+  /// Drains nothing: pending tasks are abandoned (their futures report
+  /// broken_promise), running tasks complete, then workers are joined.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,6 +39,7 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues `fn`; returns a future for its completion/exception.
+  /// Must not be called once the destructor has started (see above).
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -39,6 +47,7 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      SS_DCHECK(!shutdown_ && "ThreadPool::Submit after shutdown started");
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -46,8 +55,10 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
-  /// iterations finish. Exceptions from any iteration are rethrown (first
-  /// one wins).
+  /// iterations finish. Iterations are claimed from a shared atomic cursor
+  /// by one task per worker; an iteration that throws does not stop the
+  /// others (every index still runs) and the first exception — in claim
+  /// order, aggregated under a mutex — is rethrown on the calling thread.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
@@ -55,10 +66,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_ SS_GUARDED_BY(mutex_);
+  bool shutdown_ SS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ss

@@ -1,0 +1,124 @@
+// Determinism regression: the result of a distributed computation must
+// never depend on the number of physical threads or on task scheduling
+// order. Every replicate statistic is required to be *byte-identical*
+// between a 1-thread and an N-thread run from the same seed — the
+// property the resampling literature this repo reproduces silently
+// assumes, and the one a data race would corrupt first.
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/resampling_methods.hpp"
+#include "engine/context.hpp"
+
+namespace ss::core {
+namespace {
+
+constexpr std::uint64_t kSeed = 20160521;  // Fixed: see file comment.
+
+/// Bit-pattern equality: distinguishes -0.0 from 0.0 and differing NaN
+/// payloads, i.e. strictly stronger than operator== on doubles.
+bool BitEqual(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+simdata::SyntheticDataset FixedDataset() {
+  simdata::GeneratorConfig config;
+  config.num_patients = 60;
+  config.num_snps = 48;
+  config.num_sets = 6;
+  config.seed = kSeed;
+  return simdata::Generate(config);
+}
+
+engine::EngineContext::Options OptionsWithThreads(std::size_t threads) {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(3);
+  options.physical_threads = threads;
+  options.seed = kSeed;
+  return options;
+}
+
+ResamplingResult RunMonteCarlo(std::size_t threads, std::uint64_t replicates,
+                               const simdata::SyntheticDataset& dataset) {
+  engine::EngineContext ctx(OptionsWithThreads(threads));
+  PipelineConfig config;
+  config.seed = kSeed;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  return RunMonteCarloMethod(pipeline, replicates);
+}
+
+ResamplingResult RunPermutation(std::size_t threads, std::uint64_t replicates,
+                                const simdata::SyntheticDataset& dataset) {
+  engine::EngineContext ctx(OptionsWithThreads(threads));
+  PipelineConfig config;
+  config.seed = kSeed;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  return RunPermutationMethod(pipeline, replicates);
+}
+
+void ExpectByteIdentical(const ResamplingResult& a, const ResamplingResult& b) {
+  ASSERT_EQ(a.replicates, b.replicates);
+  ASSERT_EQ(a.observed.size(), b.observed.size());
+  for (const auto& [set_id, score] : a.observed) {
+    ASSERT_TRUE(b.observed.count(set_id)) << "set " << set_id;
+    EXPECT_TRUE(BitEqual(score, b.observed.at(set_id)))
+        << "observed score for set " << set_id << " differs across runs";
+  }
+  ASSERT_EQ(a.exceed.size(), b.exceed.size());
+  for (const auto& [set_id, count] : a.exceed) {
+    ASSERT_TRUE(b.exceed.count(set_id)) << "set " << set_id;
+    EXPECT_EQ(count, b.exceed.at(set_id))
+        << "exceedance counter for set " << set_id << " differs across runs";
+  }
+}
+
+TEST(DeterminismTest, MonteCarloReplicatesIdentical1v4Threads) {
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  ExpectByteIdentical(RunMonteCarlo(1, 20, dataset),
+                      RunMonteCarlo(4, 20, dataset));
+}
+
+TEST(DeterminismTest, MonteCarloRepeatedNThreadRunsIdentical) {
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  ExpectByteIdentical(RunMonteCarlo(4, 20, dataset),
+                      RunMonteCarlo(4, 20, dataset));
+}
+
+TEST(DeterminismTest, PermutationReplicatesIdentical1v4Threads) {
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  ExpectByteIdentical(RunPermutation(1, 10, dataset),
+                      RunPermutation(4, 10, dataset));
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotLeakIntoPValues) {
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  const ResamplingResult serial = RunMonteCarlo(1, 15, dataset);
+  const ResamplingResult wide = RunMonteCarlo(8, 15, dataset);
+  for (const auto& [set_id, score] : serial.observed) {
+    EXPECT_TRUE(BitEqual(serial.PValue(set_id), wide.PValue(set_id)))
+        << "p-value for set " << set_id;
+  }
+}
+
+TEST(DeterminismTest, TaskRngIndependentOfAttemptNumber) {
+  // A retried task must reproduce the same randomness as its first
+  // attempt, or fault injection would silently change the statistics.
+  engine::TaskContext first(7, 3, /*attempt=*/0, 0, 0, kSeed);
+  engine::TaskContext retry(7, 3, /*attempt=*/2, 1, 1, kSeed);
+  Rng a = first.MakeRng(5);
+  Rng b = retry.MakeRng(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64()) << "draw " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ss::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "stats/cox_score.hpp"
 #include "stats/linear_score.hpp"
 #include "stats/logistic_score.hpp"
 #include "stats/score_engine.hpp"

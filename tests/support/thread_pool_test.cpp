@@ -77,6 +77,60 @@ TEST(ThreadPoolTest, ParallelForWaitsForAllEvenOnError) {
   EXPECT_EQ(completed.load(), 19);
 }
 
+TEST(ThreadPoolTest, ParallelForEveryIterationThrowsStillReturnsOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  try {
+    pool.ParallelFor(0, 64, [&](std::size_t) {
+      attempts.fetch_add(1);
+      throw std::runtime_error("all fail");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Exactly one exception escapes even when every iteration threw.
+  EXPECT_EQ(attempts.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotInterfere) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&]() {
+    ThreadPool inner(2);
+    inner.ParallelFor(0, 50, [&](std::size_t) { total.fetch_add(1); });
+  });
+  pool.ParallelFor(0, 50, [&](std::size_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 100);
+}
+
+#if defined(SPARKSCORE_DCHECKS) && defined(GTEST_HAS_DEATH_TEST)
+TEST(ThreadPoolDeathTest, SubmitDuringShutdownIsAProgrammingError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::atomic<ThreadPool*> pool_ptr{nullptr};
+        std::atomic<bool> entered{false};
+        {
+          ThreadPool pool(1);
+          pool_ptr.store(&pool);
+          pool.Submit([&]() {
+            entered.store(true);
+            // Give ~ThreadPool time to start on the driver thread, then
+            // violate the lifetime contract from inside a running task.
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+            pool_ptr.load()->Submit([]() {});
+          });
+          while (!entered.load()) {
+            std::this_thread::yield();
+          }
+          // Destructor begins here while the task is still sleeping.
+        }
+      },
+      "Submit after shutdown");
+}
+#endif
+
 TEST(ThreadPoolTest, DestructorJoinsWithoutRunningPending) {
   std::atomic<int> ran{0};
   {

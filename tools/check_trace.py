@@ -26,12 +26,26 @@ def fail(message):
     sys.exit(1)
 
 
+def load_json(path):
+    """Loads a JSON artifact, failing cleanly on the shapes a crashed or
+    sanitizer-killed producer leaves behind: missing file, empty file, or a
+    partially written (truncated) document."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        fail(f"cannot read {path}: {error} (did the producer crash?)")
+    if not text.strip():
+        fail(f"{path} is empty — producer was likely killed before writing "
+             "(e.g. by a sanitizer abort)")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON (truncated write?): {error}")
+
+
 def check_trace(path):
-    with open(path, encoding="utf-8") as handle:
-        try:
-            doc = json.load(handle)
-        except json.JSONDecodeError as error:
-            fail(f"{path} is not valid JSON: {error}")
+    doc = load_json(path)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail(f"{path} has no traceEvents array")
     events = doc["traceEvents"]
@@ -74,11 +88,7 @@ def check_trace(path):
 
 
 def check_metrics(path):
-    with open(path, encoding="utf-8") as handle:
-        try:
-            doc = json.load(handle)
-        except json.JSONDecodeError as error:
-            fail(f"{path} is not valid JSON: {error}")
+    doc = load_json(path)
     if doc.get("schema") != "sparkscore-run-metrics-v1":
         fail(f"{path} schema is {doc.get('schema')!r}")
     for key in ("totals", "stages", "cache", "broadcast_bytes", "counters"):

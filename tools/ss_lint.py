@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""SparkScore project lint: stdlib-only enforcement of repo invariants.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
+
+  naked-new        `new`/`delete` expressions are confined to src/support/;
+                   everywhere else ownership goes through containers and
+                   make_unique/make_shared. Intentional exceptions (leaked
+                   process-global singletons) carry a suppression comment.
+  nodiscard        `Status` and `Result` must stay declared [[nodiscard]]
+                   so the compiler rejects silently dropped error codes,
+                   and no source line re-introduces `std::rand`-style
+                   fire-and-forget error handling by assigning a Status
+                   to an unused dummy.
+  std-rand         `std::rand`, `srand`, `std::random_device` and the
+                   <random> engines are banned: all randomness must flow
+                   through ss::Rng (support/rng.hpp) so runs stay
+                   deterministic and replayable from one seed.
+  pragma-once      every project header uses `#pragma once` (no #ifndef
+                   guards, no guard/pragma mixes).
+  iwyu-project     a file that includes a project header must actually use
+                   an identifier that header declares, and a .cpp must
+                   include its own header first — include-what-you-use,
+                   scoped to project headers only.
+
+A finding is suppressed by appending `// ss-lint: allow(<rule>) <why>` to
+the offending line. Exit code: 0 clean, 1 findings, 2 usage error.
+
+Usage: ss_lint.py [--root DIR] [--list-rules]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_DIRS = ("src",)
+ALL_CODE_DIRS = ("src", "tests", "tools", "bench", "examples")
+SUPPRESS_RE = re.compile(r"//\s*ss-lint:\s*allow\(([a-z\-,\s]+)\)")
+
+FINDINGS = []
+
+
+def finding(path, line_no, rule, message, line=""):
+    match = SUPPRESS_RE.search(line)
+    if match and rule in [r.strip() for r in match.group(1).split(",")]:
+        return
+    FINDINGS.append(f"{path}:{line_no}: [{rule}] {message}")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines
+    and the suppression comments (kept so per-line allows still match)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            comment = text[i:end]
+            out.append(comment if "ss-lint:" in comment else " " * len(comment))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:end]))
+            i = end
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or
+                                     text[i - 1] == "_"):
+            out.append(c)  # digit separator (1'000'000), not a char literal
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else c)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root, dirs, exts):
+    for base in dirs:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, base)):
+            dirnames[:] = [d for d in dirnames if d != "CMakeFiles"]
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    yield os.path.join(dirpath, name)
+
+
+def rel(root, path):
+    return os.path.relpath(path, root)
+
+
+# --- rule: naked-new -------------------------------------------------------
+
+NEW_RE = re.compile(r"\bnew\b\s*(\(\s*std::nothrow\s*\)\s*)?[A-Za-z_(:<]")
+DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?\s*[A-Za-z_(*]")
+
+
+def check_naked_new(root):
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        if rpath.startswith(os.path.join("src", "support") + os.sep):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            # Suppressions may sit on the line itself or the one above it.
+            context = (raw_lines[no - 2] + "\n" if no >= 2 else "") + raw
+            if NEW_RE.search(line):
+                finding(rpath, no, "naked-new",
+                        "naked `new` outside src/support/ — use make_unique/"
+                        "make_shared or a container", context)
+            if DELETE_RE.search(line) and "= delete" not in line:
+                finding(rpath, no, "naked-new",
+                        "naked `delete` outside src/support/", context)
+
+
+# --- rule: nodiscard -------------------------------------------------------
+
+def check_nodiscard(root):
+    status_hpp = os.path.join(root, "src", "support", "status.hpp")
+    with open(status_hpp, encoding="utf-8") as handle:
+        text = handle.read()
+    if not re.search(r"class\s*\[\[nodiscard\]\]\s*Status\b", text):
+        finding("src/support/status.hpp", 1, "nodiscard",
+                "class Status must be declared [[nodiscard]]")
+    if not re.search(r"class\s*\[\[nodiscard\]\]\s*Result\b", text):
+        finding("src/support/status.hpp", 1, "nodiscard",
+                "class Result must be declared [[nodiscard]]")
+    # A Status assigned to a never-read dummy defeats [[nodiscard]]; the
+    # deliberate-drop idiom is a (void) cast.
+    dummy = re.compile(r"\b(?:ss::)?Status\s+(_|unused|ignored?|dummy)\s*=")
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            if dummy.search(line):
+                finding(rpath, no, "nodiscard",
+                        "Status assigned to a dummy variable — handle it or "
+                        "drop it explicitly with (void)", raw)
+
+
+# --- rule: std-rand --------------------------------------------------------
+
+BANNED_RANDOM = re.compile(
+    r"\bstd::(rand|srand|random_device|mt19937(_64)?|minstd_rand0?|"
+    r"default_random_engine|uniform_(int|real)_distribution|"
+    r"normal_distribution|bernoulli_distribution)\b|(?<![\w:])s?rand\s*\(")
+
+
+def check_std_rand(root):
+    for path in iter_files(root, ALL_CODE_DIRS, {".cpp", ".hpp", ".cc", ".h"}):
+        rpath = rel(root, path)
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            match = BANNED_RANDOM.search(line)
+            if match:
+                finding(rpath, no, "std-rand",
+                        f"banned randomness source `{match.group(0).strip()}` "
+                        "— use ss::Rng (support/rng.hpp)", raw)
+
+
+# --- rule: pragma-once -----------------------------------------------------
+
+def check_pragma_once(root):
+    for path in iter_files(root, SRC_DIRS, {".hpp", ".h"}):
+        rpath = rel(root, path)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        if "#pragma once" not in text:
+            finding(rpath, 1, "pragma-once",
+                    "header lacks `#pragma once` (repo convention; no "
+                    "#ifndef guards)")
+        stripped = strip_comments_and_strings(text)
+        guard = re.search(r"#ifndef\s+\w+_(H|HPP|H_|HPP_)\b", stripped)
+        if guard:
+            line_no = stripped[:guard.start()].count("\n") + 1
+            finding(rpath, line_no, "pragma-once",
+                    "#ifndef include guard mixed with the pragma-once "
+                    "convention")
+
+
+# --- rule: iwyu-project ----------------------------------------------------
+
+DECL_RES = (
+    re.compile(r"\b(?:class|struct)\s+(?:\[\[nodiscard\]\]\s*)?(\w+)"),
+    re.compile(r"\benum\s+(?:class\s+)?(\w+)"),
+    re.compile(r"#define\s+(\w+)"),
+    re.compile(r"\busing\s+(\w+)\s*="),
+    re.compile(r"^[\w:<>,&*\s]+?\b(\w+)\s*\(", re.M),
+    re.compile(r"\bconstexpr\s+[\w:<>]+\s+(\w+)"),
+    re.compile(r"\binline\s+[\w:<>]+\s+(\w+)\s*[;{=]"),
+)
+GENERIC_NAMES = {"main", "operator", "if", "for", "while", "switch", "do",
+                 "return", "sizeof", "decltype", "static_assert"}
+
+
+def header_symbols(text):
+    """Identifiers a header plausibly declares, for usage matching."""
+    stripped = strip_comments_and_strings(text)
+    symbols = set()
+    for regex in DECL_RES:
+        for match in regex.finditer(stripped):
+            name = match.group(1)
+            if name not in GENERIC_NAMES and len(name) > 2:
+                symbols.add(name)
+    return symbols
+
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"', re.M)
+
+
+def check_iwyu(root):
+    symbol_cache = {}
+
+    def symbols_for(header_rel):
+        if header_rel not in symbol_cache:
+            path = os.path.join(root, "src", header_rel)
+            if not os.path.isfile(path):
+                symbol_cache[header_rel] = None
+            else:
+                with open(path, encoding="utf-8") as handle:
+                    symbol_cache[header_rel] = header_symbols(handle.read())
+        return symbol_cache[header_rel]
+
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        stripped = strip_comments_and_strings(text)
+        includes = INCLUDE_RE.findall(text)
+
+        # A .cpp must pair with its header as the first project include.
+        if rpath.endswith(".cpp"):
+            own = rel(os.path.join(root, "src"),
+                      os.path.join(root, rpath))[: -len(".cpp")] + ".hpp"
+            own = own.replace(os.sep, "/")
+            if os.path.isfile(os.path.join(root, "src", own)):
+                if not includes or includes[0] != own:
+                    finding(rpath, 1, "iwyu-project",
+                            f'first project include must be own header '
+                            f'"{own}"')
+
+        seen = set()
+        for inc in includes:
+            inc_line = text[: text.index(f'"{inc}"')].count("\n") + 1
+            raw_line = text.splitlines()[inc_line - 1]
+            if inc in seen:
+                finding(rpath, inc_line, "iwyu-project",
+                        f'duplicate include "{inc}"', raw_line)
+                continue
+            seen.add(inc)
+            if "IWYU pragma:" in raw_line:
+                continue  # export/keep: umbrella headers re-exporting an API
+            symbols = symbols_for(inc)
+            if symbols is None or not symbols:
+                continue  # not a project header / nothing extractable
+            own_header = rpath.endswith(".cpp") and includes and inc == includes[0]
+            if own_header:
+                continue  # the own-header pairing rule, not usage, applies
+            body = stripped.replace(f'"{inc}"', "")
+            used = any(re.search(rf"\b{re.escape(sym)}\b", body)
+                       for sym in symbols)
+            if not used:
+                finding(rpath, inc_line, "iwyu-project",
+                        f'include "{inc}" appears unused (no identifier it '
+                        "declares is referenced)", raw_line)
+
+
+RULES = {
+    "naked-new": check_naked_new,
+    "nodiscard": check_nodiscard,
+    "std-rand": check_std_rand,
+    "pragma-once": check_pragma_once,
+    "iwyu-project": check_iwyu,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only the named rule(s)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"ss_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    for name in args.rule or sorted(RULES):
+        RULES[name](root)
+
+    for entry in sorted(FINDINGS):
+        print(entry)
+    if FINDINGS:
+        print(f"ss_lint: {len(FINDINGS)} finding(s)", file=sys.stderr)
+        return 1
+    print("ss_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 # Invoked as:
 #   cmake -DSPARKSCORE=<bin> -DPYTHON=<python3> -DCHECK=<check_trace.py>
 #         -DOUT_DIR=<dir> -P trace_smoke.cmake
+file(MAKE_DIRECTORY "${OUT_DIR}")
 set(trace_file "${OUT_DIR}/trace_smoke.trace.json")
 set(metrics_file "${OUT_DIR}/trace_smoke.metrics.json")
 
