@@ -1,44 +1,13 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
 #include "engine/trace.hpp"
 #include "support/log.hpp"
-#include "support/string_util.hpp"
 
 namespace ss::bench {
-
-Args::Args(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string::npos) continue;
-    values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-  }
-}
-
-std::uint64_t Args::GetU64(const std::string& key,
-                           std::uint64_t fallback) const {
-  auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  std::int64_t parsed = 0;
-  if (!ParseI64(it->second, &parsed) || parsed < 0) return fallback;
-  return static_cast<std::uint64_t>(parsed);
-}
-
-double Args::GetDouble(const std::string& key, double fallback) const {
-  auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  double parsed = 0;
-  return ParseDouble(it->second, &parsed) ? parsed : fallback;
-}
-
-std::string Args::GetStr(const std::string& key,
-                         const std::string& fallback) const {
-  auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
-}
 
 void ConfigureObservability(const Args& args) {
   const std::string loglevel = args.GetStr("loglevel", "");
@@ -53,6 +22,9 @@ void ConfigureObservability(const Args& args) {
   if (!args.GetStr("trace", "").empty()) {
     engine::Tracer::Global().Enable();
   }
+  // Registers the key for unknown-key diagnostics even in benches that
+  // only write artifacts conditionally.
+  args.GetStr("metrics", "");
 }
 
 void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx) {
@@ -170,6 +142,10 @@ Workload DefaultWorkload(const Args& args, std::uint64_t snps_default,
       static_cast<std::uint32_t>(args.GetU64("partitions", 8));
   workload.pipeline.num_reducers =
       static_cast<std::uint32_t>(args.GetU64("reducers", 8));
+  // Monte Carlo replicates per engine pass; results are bitwise invariant
+  // to this knob (batch=1 recovers per-replicate scheduling).
+  workload.pipeline.resampling_batch_size = std::max<std::uint64_t>(
+      1, args.GetU64("batch", workload.pipeline.resampling_batch_size));
 
   workload.engine.topology =
       cluster::EmrCluster(static_cast<int>(args.GetU64("nodes", 6)));

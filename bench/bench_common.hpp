@@ -9,31 +9,23 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "baseline/serial_skat.hpp"
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
+#include "support/option_map.hpp"
 #include "support/stopwatch.hpp"
 #include "support/summary.hpp"
 #include "support/table.hpp"
 
 namespace ss::bench {
 
-/// key=value command-line arguments with typed getters.
-class Args {
- public:
-  Args(int argc, char** argv);
-
-  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const;
-  double GetDouble(const std::string& key, double fallback) const;
-  std::string GetStr(const std::string& key, const std::string& fallback) const;
-
- private:
-  std::map<std::string, std::string> values_;
-};
+/// key=value command-line arguments with typed getters and unknown-key
+/// diagnostics; shared with the CLI. Benches should finish with
+/// `args.WarnUnknownKeys(<bench name>)` so typos are not silently ignored.
+using Args = support::OptionMap;
 
 /// Applies the shared observability keys every bench accepts:
 /// trace=<file> enables the engine tracer (the file is written by

@@ -29,11 +29,13 @@ int Run(int argc, char** argv) {
 
   char scale[256];
   std::snprintf(scale, sizeof(scale),
-                "patients=%u snps=%u sets=%u nodes=%d reps=%d (paper: "
-                "1000/100000/1000/6/5)",
+                "patients=%u snps=%u sets=%u nodes=%d reps=%d batch=%llu "
+                "(paper: 1000/100000/1000/6/5)",
                 workload.generator.num_patients, workload.generator.num_snps,
                 workload.generator.num_sets,
-                workload.engine.topology.num_nodes, reps);
+                workload.engine.topology.num_nodes, reps,
+                static_cast<unsigned long long>(
+                    workload.pipeline.resampling_batch_size));
   PrintBanner("bench_experiment_a",
               "Figure 2 + Tables II & III (MC vs permutation scalability)",
               scale);
@@ -123,6 +125,7 @@ int Run(int argc, char** argv) {
                 mc_at_max < Mean(perm16) ? "BEATS" : "does NOT beat",
                 mc_at_max, Mean(perm16));
   }
+  args.WarnUnknownKeys("bench_experiment_a");
   return 0;
 }
 

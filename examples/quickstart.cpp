@@ -50,9 +50,16 @@ int main() {
     return 1;
   }
 
-  // 5. Monte Carlo resampling (Algorithm 3), 500 replicates.
+  // 5. Monte Carlo resampling (Algorithm 3), 500 replicates. Replicates
+  // run in batches of 100: each batch is ONE engine pass over the cached
+  // U RDD; results are bitwise identical for any batch size (batch 1
+  // recovers one-pass-per-replicate scheduling).
+  core::ResamplingRequest request;
+  request.method = core::ResamplingMethod::kMonteCarlo;
+  request.replicates = 500;
+  request.batch_size = 100;
   const core::ResamplingResult result =
-      core::RunMonteCarloMethod(pipeline.value(), 500);
+      core::RunResampling(pipeline.value(), request).scores;
 
   // 6. Report.
   std::printf("\n%s\n", core::SummarizeResult(result).c_str());

@@ -1,5 +1,6 @@
 #include "baseline/serial_skat.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "stats/pvalue.hpp"
@@ -49,6 +50,29 @@ std::vector<double> MarginalScores(const SkatInputs& inputs,
   return scores;
 }
 
+/// Observed per-patient contributions U_ij (by SNP) plus the marginal
+/// scores U_j — the Algorithm 3 state computed once and reused by every
+/// replicate (what caching makes cheap in the distributed version).
+struct ObservedContributions {
+  std::vector<std::vector<double>> by_snp;
+  std::vector<double> scores;
+};
+
+ObservedContributions ComputeObservedContributions(
+    const SkatInputs& inputs, const stats::ScoreEngine& engine) {
+  const std::uint32_t m = inputs.genotypes->num_snps();
+  ObservedContributions observed;
+  observed.by_snp.resize(m);
+  observed.scores.resize(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    observed.by_snp[j] = engine.Contributions(inputs.genotypes->by_snp[j]);
+    double total = 0.0;
+    for (double u : observed.by_snp[j]) total += u;
+    observed.scores[j] = total;
+  }
+  return observed;
+}
+
 }  // namespace
 
 double SkatAnalysis::PValue(std::size_t k) const {
@@ -87,22 +111,12 @@ SkatAnalysis SerialMonteCarlo(const SkatInputs& inputs, std::uint64_t seed,
                               std::uint64_t replicates) {
   CheckInputs(inputs);
   stats::ScoreEngine engine(*inputs.phenotype);
-
-  // Observed contributions, computed once and reused by all replicates —
-  // the Algorithm 3 trick that caching makes cheap in the distributed
-  // version.
   const std::uint32_t m = inputs.genotypes->num_snps();
-  std::vector<std::vector<double>> contributions(m);
-  std::vector<double> observed_scores(m);
-  for (std::uint32_t j = 0; j < m; ++j) {
-    contributions[j] = engine.Contributions(inputs.genotypes->by_snp[j]);
-    double total = 0.0;
-    for (double u : contributions[j]) total += u;
-    observed_scores[j] = total;
-  }
+  const ObservedContributions observed =
+      ComputeObservedContributions(inputs, engine);
 
   SkatAnalysis analysis;
-  analysis.observed = SkatFromScores(inputs, observed_scores);
+  analysis.observed = SkatFromScores(inputs, observed.scores);
   analysis.exceed_count.assign(inputs.sets->size(), 0);
   analysis.replicates = replicates;
 
@@ -112,12 +126,77 @@ SkatAnalysis SerialMonteCarlo(const SkatInputs& inputs, std::uint64_t seed,
     const std::vector<double>& z = mc.Get(b);
     for (std::uint32_t j = 0; j < m; ++j) {
       replicate_scores[j] =
-          stats::MonteCarloReplicateScore(contributions[j], z);
+          stats::MonteCarloReplicateScore(observed.by_snp[j], z);
     }
     const std::vector<double> statistics =
         SkatFromScores(inputs, replicate_scores);
     for (std::size_t k = 0; k < statistics.size(); ++k) {
       if (statistics[k] >= analysis.observed[k]) ++analysis.exceed_count[k];
+    }
+  }
+  return analysis;
+}
+
+std::vector<std::vector<double>> SerialMonteCarloReplicateStatistics(
+    const SkatInputs& inputs, std::uint64_t seed, std::uint64_t replicates) {
+  CheckInputs(inputs);
+  stats::ScoreEngine engine(*inputs.phenotype);
+  const std::uint32_t m = inputs.genotypes->num_snps();
+  const ObservedContributions observed =
+      ComputeObservedContributions(inputs, engine);
+
+  const stats::MonteCarloWeights mc(seed, inputs.phenotype->n(), replicates);
+  std::vector<std::vector<double>> statistics;
+  statistics.reserve(replicates);
+  std::vector<double> replicate_scores(m);
+  for (std::uint64_t b = 0; b < replicates; ++b) {
+    const std::vector<double>& z = mc.Get(b);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      replicate_scores[j] =
+          stats::MonteCarloReplicateScore(observed.by_snp[j], z);
+    }
+    statistics.push_back(SkatFromScores(inputs, replicate_scores));
+  }
+  return statistics;
+}
+
+SkatAnalysis SerialMonteCarloBatched(const SkatInputs& inputs,
+                                     std::uint64_t seed,
+                                     std::uint64_t replicates,
+                                     std::uint64_t batch_size) {
+  CheckInputs(inputs);
+  stats::ScoreEngine engine(*inputs.phenotype);
+  const std::uint32_t m = inputs.genotypes->num_snps();
+  const ObservedContributions observed =
+      ComputeObservedContributions(inputs, engine);
+
+  SkatAnalysis analysis;
+  analysis.observed = SkatFromScores(inputs, observed.scores);
+  analysis.exceed_count.assign(inputs.sets->size(), 0);
+  analysis.replicates = replicates;
+
+  const std::uint64_t batch = std::max<std::uint64_t>(1, batch_size);
+  const std::size_t n = inputs.phenotype->n();
+  std::vector<std::vector<double>> block_scores(m);  // [snp][replicate]
+  std::vector<double> replicate_scores(m);
+  for (std::uint64_t begin = 0; begin < replicates; begin += batch) {
+    const std::size_t count =
+        static_cast<std::size_t>(std::min(replicates, begin + batch) - begin);
+    const std::vector<double> zblock =
+        stats::MonteCarloZBlock(seed, n, begin, count);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      stats::BatchedReplicateScores(observed.by_snp[j], zblock.data(), count,
+                                    &block_scores[j]);
+    }
+    for (std::size_t r = 0; r < count; ++r) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        replicate_scores[j] = block_scores[j][r];
+      }
+      const std::vector<double> statistics =
+          SkatFromScores(inputs, replicate_scores);
+      for (std::size_t k = 0; k < statistics.size(); ++k) {
+        if (statistics[k] >= analysis.observed[k]) ++analysis.exceed_count[k];
+      }
     }
   }
   return analysis;

@@ -50,4 +50,22 @@ SkatAnalysis SerialPermutation(const SkatInputs& inputs, std::uint64_t seed,
 SkatAnalysis SerialMonteCarlo(const SkatInputs& inputs, std::uint64_t seed,
                               std::uint64_t replicates);
 
+/// Per-replicate per-set Monte Carlo statistics S_k^b; result[b][k]
+/// corresponds to (replicate b, (*inputs.sets)[k]). The bit-for-bit
+/// oracle for the batched distributed driver's per-replicate stream
+/// (core::ProgressSink::OnReplicateScores).
+std::vector<std::vector<double>> SerialMonteCarloReplicateStatistics(
+    const SkatInputs& inputs, std::uint64_t seed, std::uint64_t replicates);
+
+/// SerialMonteCarlo evaluated through the batched machinery — Z blocks of
+/// `batch_size` replicates (stats::MonteCarloZBlock) and the blocked
+/// stats::BatchedReplicateScores kernel — instead of per-replicate dot
+/// products. Must be bitwise equal to SerialMonteCarlo for every batch
+/// size; this is the serial half of the batching-invariance argument the
+/// distributed driver relies on (cross-checked in tests).
+SkatAnalysis SerialMonteCarloBatched(const SkatInputs& inputs,
+                                     std::uint64_t seed,
+                                     std::uint64_t replicates,
+                                     std::uint64_t batch_size);
+
 }  // namespace ss::baseline

@@ -5,6 +5,7 @@
 #include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
 #include "engine/dataset_ops.hpp"
 #include "engine/trace.hpp"
+#include "stats/resampling.hpp"
 #include "support/log.hpp"
 
 namespace ss::core {
@@ -325,6 +326,51 @@ SkatPipeline::ComputeMonteCarloSkatBurdenReplicate(
         return std::pair<std::uint32_t, double>(record.first, total);
       });
   return SkatBurdenFromScores(scores);
+}
+
+std::unordered_map<std::uint32_t, std::vector<double>>
+SkatPipeline::ComputeMonteCarloScoreBlock(const std::vector<double>& zblock,
+                                          std::size_t count) {
+  SS_CHECK(u_built_);  // ComputeObserved must run first (Algorithm 3 step 1)
+  SS_CHECK(zblock.size() == count * n());
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "monte-carlo score block",
+                         {engine::Arg("replicates", count)});
+  auto z = engine::MakeBroadcast(*ctx_, zblock);
+  auto scored = u_observed_.MapPartitions(
+      [z, count](std::uint32_t,
+                 const std::vector<std::pair<std::uint32_t,
+                                             std::vector<double>>>& records) {
+        std::vector<std::pair<std::uint32_t, std::vector<double>>> out;
+        out.reserve(records.size());
+        std::vector<double> scores;
+        for (const auto& record : records) {
+          stats::BatchedReplicateScores(record.second, z->data(), count,
+                                        &scores);
+          out.push_back({record.first, scores});
+        }
+        return out;
+      });
+  return engine::CollectAsMap(scored, "collect-score-block");
+}
+
+std::unordered_map<std::uint32_t, double> SkatPipeline::CollectObservedScores() {
+  EnsureUBuilt();
+  auto scores = u_observed_.Map(
+      [](const std::pair<std::uint32_t, std::vector<double>>& record) {
+        double total = 0.0;
+        for (double contribution : record.second) total += contribution;
+        return std::pair<std::uint32_t, double>(record.first, total);
+      });
+  return engine::CollectAsMap(scores, "collect-observed-scores");
+}
+
+const std::unordered_map<std::uint32_t, double>& SkatPipeline::DriverWeights() {
+  if (!driver_weights_built_) {
+    driver_weights_ = engine::CollectAsMap(weights_, "collect-weights");
+    driver_weights_built_ = true;
+  }
+  return driver_weights_;
 }
 
 SetScores SkatPipeline::ComputeMonteCarloReplicate(

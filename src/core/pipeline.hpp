@@ -65,6 +65,14 @@ struct PipelineConfig {
 
   /// Seed for the resampling plans layered on top (Algorithms 2/3).
   std::uint64_t seed = 2016;
+
+  /// Monte Carlo replicates per engine pass (Algorithm 3): each batch
+  /// broadcasts an n×R Z block and computes all R replicate scores in one
+  /// blocked kernel over the cached U partitions, amortizing the
+  /// per-pass scheduling cost. Results are bitwise invariant to this
+  /// knob; 1 recovers one-pass-per-replicate scheduling (the ablation
+  /// baseline). 0 is treated as 1.
+  std::uint64_t resampling_batch_size = 64;
 };
 
 class SkatPipeline {
@@ -106,6 +114,25 @@ class SkatPipeline {
   /// The same pair under Monte Carlo multipliers (cached U reuse).
   std::unordered_map<std::uint32_t, std::pair<double, double>>
   ComputeMonteCarloSkatBurdenReplicate(const std::vector<double>& multipliers);
+
+  /// Algorithm 3's modified step 8 for a whole batch: per SNP, the signed
+  /// replicate scores Ũ_jb = Σ_i Z_ib U_ij for all `count` replicates of a
+  /// replicate-major Z block (stats::MonteCarloZBlock layout), computed in
+  /// ONE engine pass over the cached U partitions with the blocked
+  /// stats::BatchedReplicateScores kernel. The per-set folds (steps 9-12)
+  /// happen driver-side in the resampling driver, in the serial oracle's
+  /// canonical accumulation order — see core/resampling_methods.hpp.
+  std::unordered_map<std::uint32_t, std::vector<double>>
+  ComputeMonteCarloScoreBlock(const std::vector<double>& zblock,
+                              std::size_t count);
+
+  /// Observed per-SNP marginal scores U_j = Σ_i U_ij collected to the
+  /// driver (one double per filtered SNP), for the batched drivers'
+  /// canonical observed fold. Materializes the U RDD like ComputeObserved.
+  std::unordered_map<std::uint32_t, double> CollectObservedScores();
+
+  /// Driver-resident unsquared weights ω_j, collected once and memoized.
+  const std::unordered_map<std::uint32_t, double>& DriverWeights();
 
   /// Steps 6-12 from scratch under a permuted phenotype (Algorithm 2).
   SetScores ComputePermutationReplicate(const std::vector<std::uint32_t>& perm);
@@ -161,6 +188,10 @@ class SkatPipeline {
   /// Observed-phenotype U RDD, kept so Algorithm 3 reuses it.
   engine::Dataset<std::pair<std::uint32_t, std::vector<double>>> u_observed_;
   bool u_built_ = false;
+
+  /// Memoized DriverWeights() result.
+  std::unordered_map<std::uint32_t, double> driver_weights_;
+  bool driver_weights_built_ = false;
 };
 
 }  // namespace ss::core

@@ -1,6 +1,9 @@
 #include "core/resampling_methods.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <string>
 
 #include "engine/trace.hpp"
 #include "stats/burden.hpp"
@@ -26,6 +29,320 @@ void InitCounters(const SetScores& observed,
   for (const auto& [set_id, score] : observed) (*exceed)[set_id] = 0;
 }
 
+std::uint64_t EffectiveBatchSize(const SkatPipeline& pipeline,
+                                 const ResamplingRequest& request) {
+  const std::uint64_t batch = request.batch_size != 0
+                                  ? request.batch_size
+                                  : pipeline.config().resampling_batch_size;
+  return std::max<std::uint64_t>(1, batch);
+}
+
+/// The shared driver loop: splits 0..B into [begin, end) ranges of at
+/// most `batch_size` replicates and hands each to `body`, wrapped in the
+/// batch-level telemetry (trace span, counters, accumulated wall time)
+/// and the sink's batch boundaries.
+template <typename Body>
+void RunBatches(const char* algorithm, std::uint64_t replicates,
+                std::uint64_t batch_size, ProgressSink* sink,
+                const Body& body) {
+  static std::atomic<std::uint64_t>& batches =
+      engine::CounterRegistry::Global().Get("resampling.batches");
+  static std::atomic<std::uint64_t>& replicate_count =
+      engine::CounterRegistry::Global().Get("resampling.replicates");
+  static std::atomic<std::uint64_t>& batch_nanos =
+      engine::CounterRegistry::Global().Get("resampling.batch_nanos");
+  std::uint64_t batch_index = 0;
+  for (std::uint64_t begin = 0; begin < replicates;
+       begin += batch_size, ++batch_index) {
+    const std::uint64_t end = std::min(replicates, begin + batch_size);
+    if (sink != nullptr) sink->OnBatchBegin(batch_index, begin, end);
+    {
+      engine::TraceSpan span(
+          engine::Tracer::Global(), "batch",
+          std::string(algorithm) + " batch " + std::to_string(batch_index),
+          {engine::Arg("algorithm", algorithm), engine::Arg("b_begin", begin),
+           engine::Arg("b_end", end)});
+      engine::ScopedCounterTimer timer(batch_nanos);
+      body(begin, end);
+    }
+    batches.fetch_add(1, std::memory_order_relaxed);
+    replicate_count.fetch_add(end - begin, std::memory_order_relaxed);
+    if (sink != nullptr) sink->OnBatchEnd(batch_index, begin, end);
+  }
+}
+
+/// Steps 9-12 on the driver: per-set SKAT fold of per-SNP marginal
+/// scores, in exactly stats::SkatStatistic's accumulation order (set
+/// members in declaration order, `w * w * squared` per SNP) — the serial
+/// oracle's order, independent of partitioning, shuffle order, thread
+/// count, and batch size.
+SetScores FoldObservedScores(
+    const std::vector<stats::SnpSet>& sets,
+    const std::unordered_map<std::uint32_t, double>& snp_scores,
+    const std::unordered_map<std::uint32_t, double>& weights) {
+  SetScores out;
+  out.reserve(sets.size());
+  for (const stats::SnpSet& set : sets) {
+    double statistic = 0.0;
+    for (std::uint32_t snp : set.snps) {
+      auto score_it = snp_scores.find(snp);
+      if (score_it == snp_scores.end()) continue;  // SNP filtered out
+      auto weight_it = weights.find(snp);
+      const double w = weight_it == weights.end() ? 1.0 : weight_it->second;
+      const double squared = score_it->second * score_it->second;
+      statistic += w * w * squared;
+    }
+    out[set.id] = statistic;
+  }
+  return out;
+}
+
+/// The batched form of FoldObservedScores: folds all `count` replicates
+/// of a score block in one sweep over the sets. Each replicate's
+/// accumulator follows the same canonical order, so element r is bitwise
+/// equal to folding replicate r alone.
+std::vector<SetScores> FoldReplicateScores(
+    const std::vector<stats::SnpSet>& sets,
+    const std::unordered_map<std::uint32_t, std::vector<double>>& block,
+    const std::unordered_map<std::uint32_t, double>& weights,
+    std::size_t count) {
+  std::vector<SetScores> out(count);
+  std::vector<double> acc(count);
+  for (const stats::SnpSet& set : sets) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::uint32_t snp : set.snps) {
+      auto score_it = block.find(snp);
+      if (score_it == block.end()) continue;  // SNP filtered out
+      auto weight_it = weights.find(snp);
+      const double w = weight_it == weights.end() ? 1.0 : weight_it->second;
+      const std::vector<double>& scores = score_it->second;
+      for (std::size_t r = 0; r < count; ++r) {
+        const double squared = scores[r] * scores[r];
+        acc[r] += w * w * squared;
+      }
+    }
+    for (std::size_t r = 0; r < count; ++r) out[r][set.id] = acc[r];
+  }
+  return out;
+}
+
+/// Per-set (SKAT, burden) pairs for all replicates of a score block, in
+/// the same canonical order; burden = (Σ_j ω_j Ũ_jb)² on the driver.
+std::vector<std::unordered_map<std::uint32_t, std::pair<double, double>>>
+FoldSkatBurdenScores(
+    const std::vector<stats::SnpSet>& sets,
+    const std::unordered_map<std::uint32_t, std::vector<double>>& block,
+    const std::unordered_map<std::uint32_t, double>& weights,
+    std::size_t count) {
+  std::vector<std::unordered_map<std::uint32_t, std::pair<double, double>>>
+      out(count);
+  std::vector<double> skat(count);
+  std::vector<double> burden_sum(count);
+  for (const stats::SnpSet& set : sets) {
+    std::fill(skat.begin(), skat.end(), 0.0);
+    std::fill(burden_sum.begin(), burden_sum.end(), 0.0);
+    for (std::uint32_t snp : set.snps) {
+      auto score_it = block.find(snp);
+      if (score_it == block.end()) continue;  // SNP filtered out
+      auto weight_it = weights.find(snp);
+      const double w = weight_it == weights.end() ? 1.0 : weight_it->second;
+      const std::vector<double>& scores = score_it->second;
+      for (std::size_t r = 0; r < count; ++r) {
+        const double s = scores[r];
+        const double squared = s * s;
+        skat[r] += w * w * squared;
+        burden_sum[r] += w * s;
+      }
+    }
+    for (std::size_t r = 0; r < count; ++r) {
+      out[r][set.id] = {skat[r], burden_sum[r] * burden_sum[r]};
+    }
+  }
+  return out;
+}
+
+/// FNV-1a over (B, sorted set ids, observed bit patterns, counters).
+/// Folded into the order-independent `resampling.result_hash` counter so
+/// two processes can assert bitwise-identical results by comparing their
+/// run-metrics JSON (the bench_smoke batch-invariance gate).
+std::uint64_t HashResamplingResult(const ResamplingResult& result) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(result.replicates);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(result.observed.size());
+  for (const auto& [set_id, score] : result.observed) ids.push_back(set_id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t set_id : ids) {
+    const double observed = result.observed.at(set_id);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &observed, sizeof(bits));
+    mix(set_id);
+    mix(bits);
+    auto it = result.exceed.find(set_id);
+    mix(it == result.exceed.end() ? 0 : it->second);
+  }
+  return hash;
+}
+
+void RecordResultHash(const ResamplingResult& result) {
+  engine::CounterRegistry::Global().Add("resampling.result_hash",
+                                        HashResamplingResult(result));
+}
+
+/// Algorithm 3, batched: one engine pass per batch over the cached U RDD,
+/// canonical driver-side folds. The observed statistics are folded in the
+/// same canonical order, so the whole ResamplingResult — not only the
+/// counters — is bitwise equal to baseline::SerialMonteCarlo's analysis
+/// from the same seed, for every batch size and thread count.
+ResamplingResult RunBatchedMonteCarlo(SkatPipeline& pipeline,
+                                      const ResamplingRequest& request) {
+  ResamplingResult result;
+  result.replicates = request.replicates;
+  const std::unordered_map<std::uint32_t, double> observed_scores = [&] {
+    engine::TraceSpan span(engine::Tracer::Global(), "algo", "observed skat");
+    return pipeline.CollectObservedScores();
+  }();
+  const std::unordered_map<std::uint32_t, double>& weights =
+      pipeline.DriverWeights();
+  result.observed =
+      FoldObservedScores(pipeline.sets(), observed_scores, weights);
+  InitCounters(result.observed, &result.exceed);
+
+  const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
+  RunBatches(
+      "monte-carlo", request.replicates, EffectiveBatchSize(pipeline, request),
+      request.sink, [&](std::uint64_t begin, std::uint64_t end) {
+        const std::size_t count = end - begin;
+        // Algorithm 3 step 3, per batch: (end-begin) × n multipliers from
+        // the per-replicate streams (bitwise invariant to batching).
+        const std::vector<double> zblock =
+            stats::MonteCarloZBlock(seed, pipeline.n(), begin, count);
+        const auto block = pipeline.ComputeMonteCarloScoreBlock(zblock, count);
+        const std::vector<SetScores> replicate_scores =
+            FoldReplicateScores(pipeline.sets(), block, weights, count);
+        for (std::size_t r = 0; r < count; ++r) {
+          CountExceedances(result.observed, replicate_scores[r],
+                           &result.exceed);
+          if (request.sink != nullptr) {
+            request.sink->OnReplicateScores(begin + r, replicate_scores[r]);
+            request.sink->OnReplicate(begin + r);
+          }
+        }
+      });
+  RecordResultHash(result);
+  return result;
+}
+
+/// Algorithm 2: every replicate re-executes the full pipeline, so a batch
+/// is a scheduling/telemetry unit rather than a fused engine pass. The
+/// observed statistics keep the engine's fold (replicates flow through
+/// the same path, keeping the exceedance comparisons aligned).
+ResamplingResult RunBatchedPermutation(SkatPipeline& pipeline,
+                                       const ResamplingRequest& request) {
+  ResamplingResult result;
+  result.observed = pipeline.ComputeObserved();
+  result.replicates = request.replicates;
+  InitCounters(result.observed, &result.exceed);
+
+  const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
+  // Algorithm 2 step 2: all B shufflings are derived from the seed up
+  // front, so replicate b is reproducible in isolation.
+  const stats::PermutationPlan plan(seed, pipeline.n(), request.replicates);
+  RunBatches(
+      "permutation", request.replicates, EffectiveBatchSize(pipeline, request),
+      request.sink, [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t b = begin; b < end; ++b) {
+          engine::TraceSpan span(engine::Tracer::Global(), "replicate",
+                                 "permutation b=" + std::to_string(b),
+                                 {engine::Arg("algorithm", "permutation"),
+                                  engine::Arg("b", b)});
+          const SetScores replicate =
+              pipeline.ComputePermutationReplicate(plan.Get(b));
+          CountExceedances(result.observed, replicate, &result.exceed);
+          if (request.sink != nullptr) {
+            request.sink->OnReplicateScores(b, replicate);
+            request.sink->OnReplicate(b);
+          }
+        }
+      });
+  RecordResultHash(result);
+  return result;
+}
+
+/// SKAT-O over the batched Monte Carlo replicate pool: each batch reuses
+/// the same score block as the plain Monte Carlo method and folds per-set
+/// (SKAT, burden) pairs canonically on the driver.
+SkatOResult RunBatchedSkatO(SkatPipeline& pipeline,
+                            const ResamplingRequest& request) {
+  const std::vector<double> rho_grid = stats::SkatORhoGrid();
+
+  // Observed (SKAT, burden) pair and grid per set.
+  const auto observed = pipeline.ComputeObservedSkatBurden();
+  std::unordered_map<std::uint32_t, std::vector<double>> observed_grids;
+  SkatOResult result;
+  result.replicates = request.replicates;
+  for (const auto& [set_id, pair] : observed) {
+    SkatOResult::PerSet per_set;
+    per_set.skat = pair.first;
+    per_set.burden = pair.second;
+    result.by_set[set_id] = per_set;
+    observed_grids[set_id] =
+        stats::SkatOGridStatistics(pair.second, pair.first, rho_grid);
+  }
+
+  const std::unordered_map<std::uint32_t, double>& weights =
+      pipeline.DriverWeights();
+  const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
+  std::unordered_map<std::uint32_t, std::vector<std::vector<double>>>
+      replicate_grids;
+  RunBatches(
+      "skat-o", request.replicates, EffectiveBatchSize(pipeline, request),
+      request.sink, [&](std::uint64_t begin, std::uint64_t end) {
+        const std::size_t count = end - begin;
+        const std::vector<double> zblock =
+            stats::MonteCarloZBlock(seed, pipeline.n(), begin, count);
+        const auto block = pipeline.ComputeMonteCarloScoreBlock(zblock, count);
+        const auto pairs =
+            FoldSkatBurdenScores(pipeline.sets(), block, weights, count);
+        for (std::size_t r = 0; r < count; ++r) {
+          for (const auto& [set_id, pair] : pairs[r]) {
+            replicate_grids[set_id].push_back(
+                stats::SkatOGridStatistics(pair.second, pair.first, rho_grid));
+          }
+          if (request.sink != nullptr) request.sink->OnReplicate(begin + r);
+        }
+      });
+
+  // Min-p combination per set.
+  for (auto& [set_id, per_set] : result.by_set) {
+    auto grids_it = replicate_grids.find(set_id);
+    if (grids_it == replicate_grids.end()) continue;
+    per_set.pvalue =
+        stats::SkatOPValue(observed_grids.at(set_id), grids_it->second);
+  }
+  return result;
+}
+
+/// Adapts the legacy per-replicate callback to the ProgressSink interface.
+class CallbackSink final : public ProgressSink {
+ public:
+  explicit CallbackSink(const ReplicateCallback& callback)
+      : callback_(callback) {}
+
+  void OnReplicate(std::uint64_t b) override {
+    if (callback_) callback_(b);
+  }
+
+ private:
+  const ReplicateCallback& callback_;
+};
+
 }  // namespace
 
 double ResamplingResult::PValue(std::uint32_t set_id) const {
@@ -49,31 +366,6 @@ std::vector<std::pair<std::uint32_t, double>> ResamplingResult::RankedPValues()
   return ranked;
 }
 
-ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
-                                      std::uint64_t replicates,
-                                      const ReplicateCallback& on_replicate) {
-  ResamplingResult result;
-  result.observed = pipeline.ComputeObserved();
-  result.replicates = replicates;
-  InitCounters(result.observed, &result.exceed);
-
-  // Algorithm 2 step 2: all B shufflings are derived from the seed up
-  // front, so replicate b is reproducible in isolation.
-  const stats::PermutationPlan plan(pipeline.config().seed, pipeline.n(),
-                                    replicates);
-  for (std::uint64_t b = 0; b < replicates; ++b) {
-    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
-                           "permutation b=" + std::to_string(b),
-                           {engine::Arg("algorithm", "permutation"),
-                            engine::Arg("b", b)});
-    const SetScores replicate =
-        pipeline.ComputePermutationReplicate(plan.Get(b));
-    CountExceedances(result.observed, replicate, &result.exceed);
-    if (on_replicate) on_replicate(b);
-  }
-  return result;
-}
-
 std::vector<std::pair<std::uint32_t, double>> SkatOResult::RankedPValues()
     const {
   std::vector<std::pair<std::uint32_t, double>> ranked;
@@ -87,75 +379,54 @@ std::vector<std::pair<std::uint32_t, double>> SkatOResult::RankedPValues()
   return ranked;
 }
 
-SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
-                           const ReplicateCallback& on_replicate) {
-  const std::vector<double> rho_grid = stats::SkatORhoGrid();
-
-  // Observed (SKAT, burden) pair and grid per set.
-  const auto observed = pipeline.ComputeObservedSkatBurden();
-  std::unordered_map<std::uint32_t, std::vector<double>> observed_grids;
-  SkatOResult result;
-  result.replicates = replicates;
-  for (const auto& [set_id, pair] : observed) {
-    SkatOResult::PerSet per_set;
-    per_set.skat = pair.first;
-    per_set.burden = pair.second;
-    result.by_set[set_id] = per_set;
-    observed_grids[set_id] =
-        stats::SkatOGridStatistics(pair.second, pair.first, rho_grid);
+ResamplingRun RunResampling(SkatPipeline& pipeline,
+                            const ResamplingRequest& request) {
+  ResamplingRun run;
+  run.method = request.method;
+  switch (request.method) {
+    case ResamplingMethod::kPermutation:
+      run.scores = RunBatchedPermutation(pipeline, request);
+      break;
+    case ResamplingMethod::kMonteCarlo:
+      run.scores = RunBatchedMonteCarlo(pipeline, request);
+      break;
+    case ResamplingMethod::kSkatO:
+      run.skato = RunBatchedSkatO(pipeline, request);
+      break;
   }
+  return run;
+}
 
-  // Replicate grids, from the cached U RDD.
-  std::unordered_map<std::uint32_t, std::vector<std::vector<double>>>
-      replicate_grids;
-  const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
-                                         replicates);
-  for (std::uint64_t b = 0; b < replicates; ++b) {
-    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
-                           "skat-o b=" + std::to_string(b),
-                           {engine::Arg("algorithm", "skat-o"),
-                            engine::Arg("b", b)});
-    const auto replicate =
-        pipeline.ComputeMonteCarloSkatBurdenReplicate(weights.Get(b));
-    for (const auto& [set_id, pair] : replicate) {
-      replicate_grids[set_id].push_back(
-          stats::SkatOGridStatistics(pair.second, pair.first, rho_grid));
-    }
-    if (on_replicate) on_replicate(b);
-  }
-
-  // Min-p combination per set.
-  for (auto& [set_id, per_set] : result.by_set) {
-    auto grids_it = replicate_grids.find(set_id);
-    if (grids_it == replicate_grids.end()) continue;
-    per_set.pvalue =
-        stats::SkatOPValue(observed_grids.at(set_id), grids_it->second);
-  }
-  return result;
+ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
+                                      std::uint64_t replicates,
+                                      const ReplicateCallback& on_replicate) {
+  CallbackSink sink(on_replicate);
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kPermutation;
+  request.replicates = replicates;
+  request.sink = &sink;
+  return RunResampling(pipeline, request).scores;
 }
 
 ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
                                      std::uint64_t replicates,
                                      const ReplicateCallback& on_replicate) {
-  ResamplingResult result;
-  result.observed = pipeline.ComputeObserved();
-  result.replicates = replicates;
-  InitCounters(result.observed, &result.exceed);
+  CallbackSink sink(on_replicate);
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = replicates;
+  request.sink = &sink;
+  return RunResampling(pipeline, request).scores;
+}
 
-  // Algorithm 3 step 3: B x n multipliers from the seed.
-  const stats::MonteCarloWeights weights(pipeline.config().seed, pipeline.n(),
-                                         replicates);
-  for (std::uint64_t b = 0; b < replicates; ++b) {
-    engine::TraceSpan span(engine::Tracer::Global(), "replicate",
-                           "monte-carlo b=" + std::to_string(b),
-                           {engine::Arg("algorithm", "monte-carlo"),
-                            engine::Arg("b", b)});
-    const SetScores replicate =
-        pipeline.ComputeMonteCarloReplicate(weights.Get(b));
-    CountExceedances(result.observed, replicate, &result.exceed);
-    if (on_replicate) on_replicate(b);
-  }
-  return result;
+SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
+                           const ReplicateCallback& on_replicate) {
+  CallbackSink sink(on_replicate);
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kSkatO;
+  request.replicates = replicates;
+  request.sink = &sink;
+  return RunResampling(pipeline, request).skato;
 }
 
 }  // namespace ss::core

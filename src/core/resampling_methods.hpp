@@ -4,14 +4,30 @@
 // count, per SNP-set, how many replicate statistics S_k^b meet or exceed
 // S_k⁰ (the paper's counter_k). The empirical p-value follows directly.
 //
-//   * PermutationMethod — Algorithm 2: each replicate shuffles the
-//     phenotype pairs and re-executes the full pipeline (steps 6-12).
-//   * MonteCarloMethod — Algorithm 3: replicates reuse the cached observed
+//   * kPermutation — Algorithm 2: each replicate shuffles the phenotype
+//     pairs and re-executes the full pipeline (steps 6-12).
+//   * kMonteCarlo — Algorithm 3: replicates reuse the cached observed
 //     U RDD with fresh N(0,1) multipliers; only steps 8-12 re-execute.
+//   * kSkatO — the SKAT-O combination assessed over the same Monte Carlo
+//     replicate pool.
+//
+// All methods share one batched driver loop: replicates are scheduled in
+// batches of `ResamplingRequest::batch_size`. For the Monte Carlo methods
+// a batch is ONE engine pass — an n×R Z block is broadcast and a blocked
+// multiply-accumulate kernel computes every replicate's per-SNP scores
+// over the cached U partitions (stats::BatchedReplicateScores); the
+// per-set folds then run driver-side in the serial oracle's canonical
+// accumulation order. Results are bitwise invariant to the batch size,
+// the thread count, and the partitioning, and the Monte Carlo
+// ResamplingResult is bitwise equal to baseline::SerialMonteCarlo from
+// the same seed. Permutation re-executes the full pipeline per replicate
+// (its cost model is the point of Experiment A), so for it a batch is a
+// scheduling/telemetry unit only.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,21 +48,6 @@ struct ResamplingResult {
   std::vector<std::pair<std::uint32_t, double>> RankedPValues() const;
 };
 
-/// Progress hook invoked after each replicate (benches time sub-ranges).
-using ReplicateCallback = std::function<void(std::uint64_t b)>;
-
-/// Algorithm 2. `replicates` == 0 computes only the observed statistics.
-ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
-                                      std::uint64_t replicates,
-                                      const ReplicateCallback& on_replicate = {});
-
-/// Algorithm 3. Requires pipeline.config().cache_contributions for the
-/// cached-U fast path; without it the U lineage is recomputed per
-/// replicate (the paper's "w/o caching" configuration in Experiment B).
-ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
-                                     std::uint64_t replicates,
-                                     const ReplicateCallback& on_replicate = {});
-
 /// SKAT-O extension (Lee et al., the paper's [17]): per set, the optimal
 /// ρ-combination of the SKAT and burden statistics, with the min-p
 /// combination assessed over the same Monte Carlo replicate pool.
@@ -64,9 +65,90 @@ struct SkatOResult {
   std::vector<std::pair<std::uint32_t, double>> RankedPValues() const;
 };
 
-/// Runs the SKAT-O analysis with B Monte Carlo replicates. Note the
-/// min-p evaluation is O(B²·|grid|) per set on the driver, so B in the
-/// hundreds is the practical range (as in the SKAT-O literature).
+/// Observer of a resampling run. Batching breaks the old assumption that
+/// one replicate is one engine pass, so progress is reported at both
+/// granularities: batch boundaries delimit engine work, replicate events
+/// fire once per counted replicate. All callbacks run on the driver
+/// thread; default implementations ignore the event.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+
+  /// Batch `batch_index` covering replicates [begin, end) is about to
+  /// execute (one engine pass for the Monte Carlo methods).
+  virtual void OnBatchBegin(std::uint64_t /*batch_index*/,
+                            std::uint64_t /*begin*/, std::uint64_t /*end*/) {}
+
+  /// Replicate b's per-set statistics S_k^b, emitted just before
+  /// OnReplicate(b). Permutation and Monte Carlo only (SKAT-O replicates
+  /// carry ρ-grids, not a single statistic per set).
+  virtual void OnReplicateScores(std::uint64_t /*b*/,
+                                 const SetScores& /*scores*/) {}
+
+  /// Replicate b has been folded into the exceedance counters.
+  virtual void OnReplicate(std::uint64_t /*b*/) {}
+
+  virtual void OnBatchEnd(std::uint64_t /*batch_index*/,
+                          std::uint64_t /*begin*/, std::uint64_t /*end*/) {}
+};
+
+enum class ResamplingMethod {
+  kPermutation,  ///< Algorithm 2.
+  kMonteCarlo,   ///< Algorithm 3 (Lin 2005).
+  kSkatO,        ///< SKAT-O over the Monte Carlo replicate pool.
+};
+
+/// One resampling run, fully specified. The unified replacement for the
+/// former RunPermutationMethod/RunMonteCarloMethod/RunSkatOMethod trio.
+struct ResamplingRequest {
+  ResamplingMethod method = ResamplingMethod::kMonteCarlo;
+
+  /// B. 0 computes only the observed statistics.
+  std::uint64_t replicates = 0;
+
+  /// Replicates per scheduled batch; 0 defers to the pipeline's
+  /// PipelineConfig::resampling_batch_size. Bitwise-irrelevant to the
+  /// results; 1 recovers one-engine-pass-per-replicate scheduling.
+  std::uint64_t batch_size = 0;
+
+  /// Seed for the resampling plans; unset defers to PipelineConfig::seed.
+  std::optional<std::uint64_t> seed;
+
+  /// Optional progress observer; not owned, may be null.
+  ProgressSink* sink = nullptr;
+};
+
+/// Outcome of RunResampling: `scores` is populated for kPermutation and
+/// kMonteCarlo, `skato` for kSkatO.
+struct ResamplingRun {
+  ResamplingMethod method = ResamplingMethod::kMonteCarlo;
+  ResamplingResult scores;
+  SkatOResult skato;
+};
+
+/// Unified entry point for all resampling methods. Note the SKAT-O min-p
+/// evaluation is O(B²·|grid|) per set on the driver, so B in the hundreds
+/// is the practical range for kSkatO (as in the SKAT-O literature).
+ResamplingRun RunResampling(SkatPipeline& pipeline,
+                            const ResamplingRequest& request);
+
+/// Deprecated per-replicate progress hook, superseded by ProgressSink.
+using ReplicateCallback = std::function<void(std::uint64_t b)>;
+
+/// Deprecated: thin wrapper over RunResampling(kPermutation).
+ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
+                                      std::uint64_t replicates,
+                                      const ReplicateCallback& on_replicate = {});
+
+/// Deprecated: thin wrapper over RunResampling(kMonteCarlo). Requires
+/// pipeline.config().cache_contributions for the cached-U fast path;
+/// without it the U lineage is recomputed per batch (the paper's "w/o
+/// caching" configuration in Experiment B).
+ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
+                                     std::uint64_t replicates,
+                                     const ReplicateCallback& on_replicate = {});
+
+/// Deprecated: thin wrapper over RunResampling(kSkatO).
 SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
                            const ReplicateCallback& on_replicate = {});
 

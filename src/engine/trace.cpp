@@ -215,4 +215,15 @@ void CounterRegistry::ResetAll() {
   }
 }
 
+ScopedCounterTimer::ScopedCounterTimer(std::atomic<std::uint64_t>& counter)
+    : counter_(counter), start_ns_(NowNs()) {}
+
+ScopedCounterTimer::~ScopedCounterTimer() {
+  const std::int64_t elapsed = NowNs() - start_ns_;
+  if (elapsed > 0) {
+    counter_.fetch_add(static_cast<std::uint64_t>(elapsed),
+                       std::memory_order_relaxed);
+  }
+}
+
 }  // namespace ss::engine

@@ -196,6 +196,26 @@ class CounterRegistry {
       SS_GUARDED_BY(mutex_);
 };
 
+/// RAII timer accumulating elapsed wall-clock nanoseconds into a counter.
+/// The always-on complement to TraceSpan for driver loops whose unit of
+/// work is coarser than one logical item — e.g. a resampling batch that
+/// serves many replicates in one engine pass: `resampling.batch_nanos /
+/// resampling.replicates` then recovers honest per-replicate timing even
+/// with tracing disabled.
+class ScopedCounterTimer {
+ public:
+  explicit ScopedCounterTimer(std::atomic<std::uint64_t>& counter);
+
+  ScopedCounterTimer(const ScopedCounterTimer&) = delete;
+  ScopedCounterTimer& operator=(const ScopedCounterTimer&) = delete;
+
+  ~ScopedCounterTimer();
+
+ private:
+  std::atomic<std::uint64_t>& counter_;
+  std::int64_t start_ns_;
+};
+
 /// Escapes a string for embedding in a JSON string literal (no quotes).
 std::string JsonEscape(const std::string& raw);
 

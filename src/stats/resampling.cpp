@@ -37,4 +37,55 @@ double MonteCarloReplicateScore(const std::vector<double>& contributions,
   return score;
 }
 
+std::vector<double> MonteCarloZBlock(std::uint64_t seed, std::size_t n,
+                                     std::uint64_t first, std::size_t count) {
+  std::vector<double> block;
+  block.reserve(n * count);
+  Rng root(seed);
+  for (std::size_t r = 0; r < count; ++r) {
+    Rng rng = root.Split(first + r + 1);
+    const std::vector<double> row = SampleNormalVector(rng, n);
+    block.insert(block.end(), row.begin(), row.end());
+  }
+  return block;
+}
+
+void BatchedReplicateScores(const std::vector<double>& contributions,
+                            const double* zblock, std::size_t count,
+                            std::vector<double>* out) {
+  const std::size_t n = contributions.size();
+  out->assign(count, 0.0);
+  std::size_t r = 0;
+  // Four replicates per pass: each contribution is loaded once and feeds
+  // four independent accumulators, which also hides the FP add latency
+  // the single-accumulator dot product serializes on.
+  for (; r + 4 <= count; r += 4) {
+    const double* z0 = zblock + (r + 0) * n;
+    const double* z1 = zblock + (r + 1) * n;
+    const double* z2 = zblock + (r + 2) * n;
+    const double* z3 = zblock + (r + 3) * n;
+    double acc0 = 0.0;
+    double acc1 = 0.0;
+    double acc2 = 0.0;
+    double acc3 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = contributions[i];
+      acc0 += z0[i] * u;
+      acc1 += z1[i] * u;
+      acc2 += z2[i] * u;
+      acc3 += z3[i] * u;
+    }
+    (*out)[r + 0] = acc0;
+    (*out)[r + 1] = acc1;
+    (*out)[r + 2] = acc2;
+    (*out)[r + 3] = acc3;
+  }
+  for (; r < count; ++r) {
+    const double* z = zblock + r * n;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += z[i] * contributions[i];
+    (*out)[r] = acc;
+  }
+}
+
 }  // namespace ss::stats

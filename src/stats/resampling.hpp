@@ -52,4 +52,24 @@ class MonteCarloWeights {
 double MonteCarloReplicateScore(const std::vector<double>& contributions,
                                 const std::vector<double>& multipliers);
 
+/// Contiguous replicate-major block of standard-normal multipliers for
+/// replicates [first, first+count): row r (global replicate first+r)
+/// occupies [r*n, (r+1)*n). Each row is drawn from the same splittable
+/// per-replicate stream as MonteCarloWeights — Rng(seed).Split(b+1) — so
+/// replicate b's multipliers are bitwise identical for every partitioning
+/// of the replicate range into batches.
+std::vector<double> MonteCarloZBlock(std::uint64_t seed, std::size_t n,
+                                     std::uint64_t first, std::size_t count);
+
+/// The batched form of MonteCarloReplicateScore: one pass over the
+/// contributions computes Ũ_jb for all `count` replicates of a Z block
+/// (MonteCarloZBlock layout), writing out[r] = Σ_i Z[r*n+i] · U_i. The
+/// kernel is blocked over replicates so each contribution load feeds
+/// several accumulators, but every accumulator still sums over i in
+/// ascending order — out[r] is bitwise equal to
+/// MonteCarloReplicateScore(contributions, row r).
+void BatchedReplicateScores(const std::vector<double>& contributions,
+                            const double* zblock, std::size_t count,
+                            std::vector<double>* out);
+
 }  // namespace ss::stats

@@ -1,0 +1,121 @@
+#include "support/option_map.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/string_util.hpp"
+
+namespace ss::support {
+namespace {
+
+/// Levenshtein distance, small-string use only (key suggestion).
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+OptionMap::OptionMap(int argc, char** argv, int begin) {
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      positional_.push_back(arg);
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool OptionMap::Has(const std::string& key) const {
+  known_.insert(key);
+  return values_.count(key) != 0;
+}
+
+std::uint64_t OptionMap::GetU64(const std::string& key,
+                                std::uint64_t fallback) const {
+  known_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t parsed = 0;
+  if (!ParseI64(it->second, &parsed) || parsed < 0) {
+    malformed_[key] = "'" + it->second + "' is not a non-negative integer";
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double OptionMap::GetDouble(const std::string& key, double fallback) const {
+  known_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double parsed = 0;
+  if (!ParseDouble(it->second, &parsed)) {
+    malformed_[key] = "'" + it->second + "' is not a number";
+    return fallback;
+  }
+  return parsed;
+}
+
+std::string OptionMap::GetStr(const std::string& key,
+                              const std::string& fallback) const {
+  known_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool OptionMap::GetBool(const std::string& key, bool fallback) const {
+  return GetU64(key, fallback ? 1 : 0) != 0;
+}
+
+void OptionMap::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> OptionMap::UnknownKeys() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (known_.count(key) == 0) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+std::size_t OptionMap::WarnUnknownKeys(const std::string& program) const {
+  std::size_t diagnostics = 0;
+  for (const std::string& key : UnknownKeys()) {
+    std::string suggestion;
+    std::size_t best = key.size();  // only suggest meaningfully close keys
+    for (const std::string& candidate : known_) {
+      const std::size_t distance = EditDistance(key, candidate);
+      if (distance < best && distance <= 2) {
+        best = distance;
+        suggestion = candidate;
+      }
+    }
+    std::string hint;
+    if (!suggestion.empty()) hint = " (did you mean '" + suggestion + "'?)";
+    std::fprintf(stderr, "%s: unknown key '%s' ignored%s\n", program.c_str(),
+                 key.c_str(), hint.c_str());
+    ++diagnostics;
+  }
+  for (const auto& [key, problem] : malformed_) {
+    std::fprintf(stderr, "%s: malformed value for '%s': %s (fallback used)\n",
+                 program.c_str(), key.c_str(), problem.c_str());
+    ++diagnostics;
+  }
+  return diagnostics;
+}
+
+}  // namespace ss::support

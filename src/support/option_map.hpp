@@ -1,0 +1,63 @@
+// Shared `key=value` command-line option parsing for the CLI and the
+// benches (previously each had its own copy).
+//
+// Tokens containing '=' become options; everything else is collected as a
+// positional token for the caller. Typed getters return a fallback on a
+// missing key; a present-but-malformed value also falls back, but is
+// remembered and reported by WarnUnknownKeys. Every getter registers its
+// key as known, so after a tool has read its configuration,
+// WarnUnknownKeys can diagnose unrecognized keys (usually typos like
+// `snsp=100`, which key=value interfaces otherwise ignore silently).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ss::support {
+
+class OptionMap {
+ public:
+  OptionMap() = default;
+
+  /// Parses argv[begin..argc). Tolerates (0, nullptr).
+  OptionMap(int argc, char** argv, int begin = 1);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; `fallback` on a missing or malformed value. Negative
+  /// numbers are malformed for GetU64. GetBool accepts 0/1.
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetStr(const std::string& key, const std::string& fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Inserts or overwrites an option (programmatic defaults, sub-runs).
+  void Set(const std::string& key, const std::string& value);
+
+  /// Tokens without '=' in argv order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys present on the command line that no getter (or Has) has looked
+  /// up. Meaningful only after the caller finished reading its options.
+  std::vector<std::string> UnknownKeys() const;
+
+  /// Prints one stderr diagnostic per unknown key (with a nearest-known
+  /// suggestion when one is close) and per malformed value; returns the
+  /// number of diagnostics. Call after all getters ran.
+  std::size_t WarnUnknownKeys(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  /// Keys the program looked up — its supported vocabulary. Mutable so
+  /// const getters can register; diagnostics-only state.
+  mutable std::set<std::string> known_;
+  /// key -> problem description for values that failed a typed parse.
+  mutable std::map<std::string, std::string> malformed_;
+};
+
+}  // namespace ss::support

@@ -101,6 +101,40 @@ TEST(SerialMonteCarloTest, FirstReplicateMatchesDirectComputation) {
   EXPECT_EQ(analysis.exceed_count[2], expected_count);
 }
 
+TEST(SerialMonteCarloTest, BatchedEqualsPerReplicateForEveryBatchSize) {
+  // The batched serial path uses the same Z-block + blocked-MAC machinery
+  // as the distributed driver; it must be bitwise equal to the
+  // per-replicate loop regardless of how the replicates are blocked.
+  Fixture f;
+  const SkatAnalysis reference = SerialMonteCarlo(f.inputs, 5, 23);
+  for (std::uint64_t batch : {1u, 4u, 7u, 23u, 64u}) {
+    const SkatAnalysis batched =
+        SerialMonteCarloBatched(f.inputs, 5, 23, batch);
+    EXPECT_EQ(batched.observed, reference.observed) << "batch " << batch;
+    EXPECT_EQ(batched.exceed_count, reference.exceed_count)
+        << "batch " << batch;
+    EXPECT_EQ(batched.replicates, reference.replicates);
+  }
+}
+
+TEST(SerialMonteCarloTest, ReplicateStatisticsMatchExceedCounts) {
+  // The per-replicate statistic stream must reproduce the exceedance
+  // counters when folded by hand (it is the oracle for ProgressSink).
+  Fixture f;
+  const SkatAnalysis analysis = SerialMonteCarlo(f.inputs, 9, 14);
+  const std::vector<std::vector<double>> stream =
+      SerialMonteCarloReplicateStatistics(f.inputs, 9, 14);
+  ASSERT_EQ(stream.size(), 14u);
+  std::vector<std::uint64_t> counts(analysis.observed.size(), 0);
+  for (const std::vector<double>& statistics : stream) {
+    ASSERT_EQ(statistics.size(), analysis.observed.size());
+    for (std::size_t k = 0; k < statistics.size(); ++k) {
+      if (statistics[k] >= analysis.observed[k]) ++counts[k];
+    }
+  }
+  EXPECT_EQ(counts, analysis.exceed_count);
+}
+
 TEST(SerialAnalysisTest, PValuesUseAddOneEstimator) {
   Fixture f;
   SkatAnalysis analysis = SerialMonteCarlo(f.inputs, 5, 9);

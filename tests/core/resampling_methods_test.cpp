@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "baseline/serial_skat.hpp"
 #include "core/record_traits.hpp"
 
@@ -123,6 +125,201 @@ TEST(ResamplingMethodsTest, RankedPValuesSortedAscending) {
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_LE(ranked[i - 1].second, ranked[i].second);
   }
+}
+
+bool BitEqual(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+void ExpectByteIdentical(const ResamplingResult& a, const ResamplingResult& b) {
+  ASSERT_EQ(a.replicates, b.replicates);
+  ASSERT_EQ(a.observed.size(), b.observed.size());
+  for (const auto& [set_id, score] : a.observed) {
+    ASSERT_TRUE(b.observed.count(set_id)) << "set " << set_id;
+    EXPECT_TRUE(BitEqual(score, b.observed.at(set_id)))
+        << "observed score for set " << set_id << " differs";
+  }
+  ASSERT_EQ(a.exceed.size(), b.exceed.size());
+  for (const auto& [set_id, count] : a.exceed) {
+    EXPECT_EQ(count, b.exceed.at(set_id)) << "set " << set_id;
+  }
+}
+
+/// Fresh context + pipeline per run so no cached state leaks between the
+/// configurations under comparison.
+ResamplingResult RunWithRequest(const simdata::SyntheticDataset& dataset,
+                                const ResamplingRequest& request,
+                                std::uint64_t batch_size, std::uint64_t threads,
+                                std::uint64_t config_seed = 77) {
+  engine::EngineContext::Options options = LocalOptions();
+  options.physical_threads = threads;
+  engine::EngineContext ctx(options);
+  PipelineConfig config;
+  config.seed = config_seed;
+  config.resampling_batch_size = batch_size;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  return RunResampling(pipeline, request).scores;
+}
+
+TEST(ResamplingMethodsTest, MonteCarloBitwiseInvariantToBatchSize) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = 25;
+  const ResamplingResult one = RunWithRequest(dataset, request, 1, 4);
+  const ResamplingResult seven = RunWithRequest(dataset, request, 7, 4);
+  const ResamplingResult big = RunWithRequest(dataset, request, 64, 4);
+  ExpectByteIdentical(one, seven);
+  ExpectByteIdentical(one, big);
+}
+
+TEST(ResamplingMethodsTest, MonteCarloBitwiseInvariantToThreadCount) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = 20;
+  request.batch_size = 5;
+  ExpectByteIdentical(RunWithRequest(dataset, request, 0, 1),
+                      RunWithRequest(dataset, request, 0, 4));
+}
+
+TEST(ResamplingMethodsTest, BatchedMonteCarloBitwiseEqualsSerialBaseline) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  const stats::Phenotype phenotype = stats::Phenotype::Cox(dataset.survival);
+  baseline::SkatInputs inputs{&dataset.genotypes, &phenotype, &dataset.weights,
+                              &dataset.sets};
+  const baseline::SkatAnalysis serial =
+      baseline::SerialMonteCarlo(inputs, 77, 25);
+
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = 25;
+  const ResamplingResult distributed = RunWithRequest(dataset, request, 8, 4);
+  for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
+    const std::uint32_t id = dataset.sets[k].id;
+    EXPECT_TRUE(BitEqual(distributed.observed.at(id), serial.observed[k]))
+        << "set " << k;
+    EXPECT_EQ(distributed.exceed.at(id), serial.exceed_count[k]) << "set " << k;
+  }
+}
+
+TEST(ResamplingMethodsTest, ReplicateScoreStreamMatchesSerialOracle) {
+  // OnReplicateScores must deliver every replicate's statistics, in order,
+  // bit-for-bit equal to the serial oracle — regardless of batching.
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  const stats::Phenotype phenotype = stats::Phenotype::Cox(dataset.survival);
+  baseline::SkatInputs inputs{&dataset.genotypes, &phenotype, &dataset.weights,
+                              &dataset.sets};
+  const std::vector<std::vector<double>> serial =
+      baseline::SerialMonteCarloReplicateStatistics(inputs, 77, 11);
+
+  struct Recorder final : ProgressSink {
+    std::vector<std::pair<std::uint64_t, SetScores>> stream;
+    void OnReplicateScores(std::uint64_t b, const SetScores& scores) override {
+      stream.push_back({b, scores});
+    }
+  } recorder;
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = 11;
+  request.batch_size = 4;
+  request.sink = &recorder;
+  RunWithRequest(dataset, request, 0, 4);
+
+  ASSERT_EQ(recorder.stream.size(), 11u);
+  for (std::uint64_t b = 0; b < 11; ++b) {
+    EXPECT_EQ(recorder.stream[b].first, b);
+    for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
+      const std::uint32_t id = dataset.sets[k].id;
+      EXPECT_TRUE(BitEqual(recorder.stream[b].second.at(id), serial[b][k]))
+          << "replicate " << b << " set " << k;
+    }
+  }
+}
+
+TEST(ResamplingMethodsTest, SinkReportsBatchBoundaries) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  struct Recorder final : ProgressSink {
+    std::vector<std::vector<std::uint64_t>> begins;
+    std::vector<std::vector<std::uint64_t>> ends;
+    std::vector<std::uint64_t> replicates;
+    void OnBatchBegin(std::uint64_t index, std::uint64_t begin,
+                      std::uint64_t end) override {
+      begins.push_back({index, begin, end});
+    }
+    void OnReplicate(std::uint64_t b) override { replicates.push_back(b); }
+    void OnBatchEnd(std::uint64_t index, std::uint64_t begin,
+                    std::uint64_t end) override {
+      ends.push_back({index, begin, end});
+    }
+  } recorder;
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kMonteCarlo;
+  request.replicates = 10;
+  request.batch_size = 4;
+  request.sink = &recorder;
+  RunWithRequest(dataset, request, 0, 4);
+
+  const std::vector<std::vector<std::uint64_t>> expected = {
+      {0, 0, 4}, {1, 4, 8}, {2, 8, 10}};
+  EXPECT_EQ(recorder.begins, expected);
+  EXPECT_EQ(recorder.ends, expected);
+  EXPECT_EQ(recorder.replicates,
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(ResamplingMethodsTest, UnifiedPermutationMatchesLegacyWrapper) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  ResamplingRequest request;
+  request.method = ResamplingMethod::kPermutation;
+  request.replicates = 12;
+  const ResamplingResult unified = RunWithRequest(dataset, request, 3, 4, 78);
+
+  engine::EngineContext ctx(LocalOptions());
+  PipelineConfig config;
+  config.seed = 78;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  ExpectByteIdentical(unified, RunPermutationMethod(pipeline, 12));
+}
+
+TEST(ResamplingMethodsTest, SkatOBitwiseInvariantToBatchSize) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  auto run = [&dataset](std::uint64_t batch) {
+    engine::EngineContext ctx(LocalOptions());
+    PipelineConfig config;
+    config.seed = 77;
+    config.resampling_batch_size = batch;
+    SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+    ResamplingRequest request;
+    request.method = ResamplingMethod::kSkatO;
+    request.replicates = 15;
+    return RunResampling(pipeline, request).skato;
+  };
+  const SkatOResult one = run(1);
+  const SkatOResult big = run(64);
+  ASSERT_EQ(one.by_set.size(), big.by_set.size());
+  for (const auto& [set_id, per_set] : one.by_set) {
+    const auto& other = big.by_set.at(set_id);
+    EXPECT_TRUE(BitEqual(per_set.skat, other.skat)) << "set " << set_id;
+    EXPECT_TRUE(BitEqual(per_set.burden, other.burden)) << "set " << set_id;
+    EXPECT_TRUE(BitEqual(per_set.pvalue, other.pvalue)) << "set " << set_id;
+  }
+}
+
+TEST(ResamplingMethodsTest, RequestSeedOverridesPipelineSeed) {
+  const simdata::SyntheticDataset dataset = SmallDataset();
+  ResamplingRequest plain;
+  plain.method = ResamplingMethod::kMonteCarlo;
+  plain.replicates = 9;
+  ResamplingRequest overridden = plain;
+  overridden.seed = 123;
+  // config.seed=123 with no override ≡ config.seed=77 with seed=123.
+  ExpectByteIdentical(RunWithRequest(dataset, overridden, 4, 4, 77),
+                      RunWithRequest(dataset, plain, 4, 4, 123));
 }
 
 TEST(ResamplingMethodsTest, MoreReplicatesRefinePValueFloor) {

@@ -75,6 +75,47 @@ TEST(MonteCarloReplicateScoreTest, ZeroContributionsGiveZero) {
       0.0);
 }
 
+TEST(MonteCarloZBlockTest, RowsBitwiseEqualPerReplicateDraws) {
+  // The batched draw must reproduce the per-replicate streams exactly —
+  // this is what makes batching invisible to results.
+  const std::uint64_t seed = 91;
+  const std::size_t n = 37;
+  const MonteCarloWeights reference(seed, n, 10);
+  // Two blocks split at an arbitrary boundary cover the whole range.
+  const std::vector<double> head = MonteCarloZBlock(seed, n, 0, 3);
+  const std::vector<double> tail = MonteCarloZBlock(seed, n, 3, 7);
+  ASSERT_EQ(head.size(), 3 * n);
+  ASSERT_EQ(tail.size(), 7 * n);
+  for (std::size_t b = 0; b < 10; ++b) {
+    const double* row =
+        b < 3 ? head.data() + b * n : tail.data() + (b - 3) * n;
+    const std::vector<double>& z = reference.Get(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(row[i], z[i]) << "replicate " << b << " element " << i;
+    }
+  }
+}
+
+TEST(BatchedReplicateScoresTest, BitwiseEqualPerReplicateDotProducts) {
+  // Counts straddle the 4-wide unroll boundary (tail of 0..3 replicates).
+  std::vector<double> u(53);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = std::sin(static_cast<double>(i)) * (i % 7 == 0 ? -3.0 : 1.0);
+  }
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u}) {
+    const std::vector<double> zblock = MonteCarloZBlock(13, u.size(), 0, count);
+    std::vector<double> batched;
+    BatchedReplicateScores(u, zblock.data(), count, &batched);
+    ASSERT_EQ(batched.size(), count);
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::vector<double> z(zblock.begin() + r * u.size(),
+                                  zblock.begin() + (r + 1) * u.size());
+      EXPECT_EQ(batched[r], MonteCarloReplicateScore(u, z))
+          << "count " << count << " replicate " << r;
+    }
+  }
+}
+
 TEST(MonteCarloReplicateScoreTest, ReplicatesHaveCorrectVariance) {
   // For fixed contributions u, Ũ = Σ Z_i u_i has mean 0 and variance Σu².
   std::vector<double> u(200);

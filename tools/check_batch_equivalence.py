@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Asserts two sparkscore run-metrics JSON files reached identical results.
+
+Used by the bench_smoke ctest: the same workload is run at two different
+resampling batch sizes, each writing a metrics artifact; the resampling
+drivers fold an FNV-1a hash of every ResamplingResult (observed statistic
+bits + exceedance counts) into the `resampling.result_hash` counter, so
+equal counters mean bitwise-identical p-values regardless of how the
+replicates were scheduled.
+
+Usage: check_batch_equivalence.py <metrics_a.json> <metrics_b.json>
+
+Stdlib-only; exits non-zero with a diagnostic on the first discrepancy.
+"""
+
+import json
+import sys
+
+REQUIRED_COUNTERS = ("resampling.result_hash", "resampling.replicates")
+
+
+def load_counters(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise SystemExit(f"{path}: no 'counters' object in metrics JSON")
+    for key in REQUIRED_COUNTERS:
+        if key not in counters:
+            raise SystemExit(f"{path}: counter '{key}' missing "
+                             "(did the run execute any resampling?)")
+    return counters
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(__doc__)
+    a_path, b_path = argv[1], argv[2]
+    a, b = load_counters(a_path), load_counters(b_path)
+
+    if a["resampling.replicates"] <= 0:
+        raise SystemExit(f"{a_path}: resampling.replicates is 0 — the "
+                         "equivalence check would be vacuous")
+    for key in REQUIRED_COUNTERS:
+        if a[key] != b[key]:
+            raise SystemExit(
+                f"counter '{key}' differs: {a[key]} ({a_path}) vs "
+                f"{b[key]} ({b_path}) — batched resampling is no longer "
+                "bitwise invariant to the batch size")
+    print(f"batch equivalence OK: {a['resampling.replicates']} replicates, "
+          f"result hash {a['resampling.result_hash']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

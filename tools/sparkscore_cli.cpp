@@ -23,17 +23,17 @@
 //   loglevel=debug|info|warn|error
 //                    stderr log verbosity (default error; the
 //                    SS_LOG_LEVEL environment variable also works)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <string>
 
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
 #include "engine/trace.hpp"
 #include "support/log.hpp"
+#include "support/option_map.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
@@ -41,19 +41,9 @@ namespace {
 using ss::Result;
 using ss::Status;
 
-struct CliArgs {
-  std::map<std::string, std::string> values;
-
-  std::uint64_t U64(const std::string& key, std::uint64_t fallback) const {
-    auto it = values.find(key);
-    if (it == values.end()) return fallback;
-    return std::strtoull(it->second.c_str(), nullptr, 10);
-  }
-  std::string Str(const std::string& key, const std::string& fallback) const {
-    auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
-  }
-};
+/// Shared key=value option parsing (same class the benches use), with
+/// typed getters and unknown-key diagnostics printed after each command.
+using CliArgs = ss::support::OptionMap;
 
 struct Study {
   std::unique_ptr<ss::dfs::MiniDfs> dfs;
@@ -66,20 +56,20 @@ Study OpenStudy(const CliArgs& args) {
   Study study;
   ss::simdata::GeneratorConfig generator;
   generator.num_patients =
-      static_cast<std::uint32_t>(args.U64("patients", 300));
-  generator.num_snps = static_cast<std::uint32_t>(args.U64("snps", 2000));
-  generator.num_sets = static_cast<std::uint32_t>(args.U64("sets", 100));
-  generator.seed = args.U64("seed", 2016);
+      static_cast<std::uint32_t>(args.GetU64("patients", 300));
+  generator.num_snps = static_cast<std::uint32_t>(args.GetU64("snps", 2000));
+  generator.num_sets = static_cast<std::uint32_t>(args.GetU64("sets", 100));
+  generator.seed = args.GetU64("seed", 2016);
   generator.ld_block_size =
-      static_cast<std::uint32_t>(args.U64("ld_block", 1));
+      static_cast<std::uint32_t>(args.GetU64("ld_block", 1));
 
-  const int nodes = static_cast<int>(args.U64("nodes", 6));
+  const int nodes = static_cast<int>(args.GetU64("nodes", 6));
   study.dfs = std::make_unique<ss::dfs::MiniDfs>(ss::dfs::DfsOptions{
       .num_nodes = std::max(2, nodes),
       .replication = 2,
       .block_lines = std::max<std::uint32_t>(
           1, generator.num_snps /
-                 static_cast<std::uint32_t>(args.U64("partitions", 8)))});
+                 static_cast<std::uint32_t>(args.GetU64("partitions", 8)))});
 
   ss::engine::EngineContext::Options options;
   options.topology = ss::cluster::EmrCluster(nodes);
@@ -95,8 +85,12 @@ Study OpenStudy(const CliArgs& args) {
   ss::core::PipelineConfig config;
   config.seed = generator.seed;
   config.num_partitions =
-      static_cast<std::uint32_t>(args.U64("partitions", 8));
-  config.num_reducers = static_cast<std::uint32_t>(args.U64("reducers", 8));
+      static_cast<std::uint32_t>(args.GetU64("partitions", 8));
+  config.num_reducers = static_cast<std::uint32_t>(args.GetU64("reducers", 8));
+  // Monte Carlo replicates per engine pass; results are bitwise invariant
+  // to this knob (batch=1 recovers per-replicate scheduling).
+  config.resampling_batch_size = std::max<std::uint64_t>(
+      1, args.GetU64("batch", config.resampling_batch_size));
   auto pipeline = ss::core::SkatPipeline::Open(*study.ctx, paths, config);
   if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
   study.pipeline =
@@ -109,7 +103,7 @@ Study OpenStudy(const CliArgs& args) {
 }
 
 void MaybePrintStages(const CliArgs& args, ss::engine::EngineContext& ctx) {
-  if (args.U64("stages", 0) != 0) {
+  if (args.GetU64("stages", 0) != 0) {
     std::fputs(ss::engine::FormatRunReport(ctx.metrics().stages(),
                                            ctx.cache().stats(),
                                            ctx.metrics().broadcast_bytes())
@@ -122,7 +116,7 @@ void MaybePrintStages(const CliArgs& args, ss::engine::EngineContext& ctx) {
 /// process-global and accumulates across sub-runs (selftest), so each
 /// call rewrites the file with the cumulative trace.
 void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
-  const std::string trace_path = args.Str("trace", "");
+  const std::string trace_path = args.GetStr("trace", "");
   if (!trace_path.empty()) {
     if (ss::engine::Tracer::Global().WriteChromeTraceJson(trace_path)) {
       std::printf("trace written to %s\n", trace_path.c_str());
@@ -131,7 +125,7 @@ void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
                    trace_path.c_str());
     }
   }
-  const std::string metrics_path = args.Str("metrics", "");
+  const std::string metrics_path = args.GetStr("metrics", "");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     out << ctx.RunMetricsJson();
@@ -146,16 +140,19 @@ void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
 
 int RunSkat(const CliArgs& args, bool skato) {
   Study study = OpenStudy(args);
-  const std::uint64_t reps = args.U64("reps", skato ? 99 : 499);
+  ss::core::ResamplingRequest request;
+  request.replicates = args.GetU64("reps", skato ? 99 : 499);
+  const std::uint64_t reps = request.replicates;
   ss::Stopwatch stopwatch;
   if (skato) {
+    request.method = ss::core::ResamplingMethod::kSkatO;
     const ss::core::SkatOResult result =
-        ss::core::RunSkatOMethod(*study.pipeline, reps);
+        ss::core::RunResampling(*study.pipeline, request).skato;
     std::printf("SKAT-O with B=%llu finished in %.2fs\n",
                 static_cast<unsigned long long>(reps),
                 stopwatch.ElapsedSeconds());
     const auto ranked = result.RankedPValues();
-    const std::size_t top = std::min<std::size_t>(args.U64("top", 10),
+    const std::size_t top = std::min<std::size_t>(args.GetU64("top", 10),
                                                   ranked.size());
     for (std::size_t r = 0; r < top; ++r) {
       const auto& per_set = result.by_set.at(ranked[r].first);
@@ -164,20 +161,20 @@ int RunSkat(const CliArgs& args, bool skato) {
                   ranked[r].second);
     }
   } else {
-    const std::string method = args.Str("method", "mc");
+    const std::string method = args.GetStr("method", "mc");
+    request.method = method == "perm" ? ss::core::ResamplingMethod::kPermutation
+                                      : ss::core::ResamplingMethod::kMonteCarlo;
     const ss::core::ResamplingResult result =
-        method == "perm"
-            ? ss::core::RunPermutationMethod(*study.pipeline, reps)
-            : ss::core::RunMonteCarloMethod(*study.pipeline, reps);
+        ss::core::RunResampling(*study.pipeline, request).scores;
     std::printf("%s with B=%llu finished in %.2fs\n",
                 method == "perm" ? "Permutation" : "Monte Carlo",
                 static_cast<unsigned long long>(reps),
                 stopwatch.ElapsedSeconds());
     std::fputs(ss::core::FormatTopHits(
-                   result, static_cast<std::size_t>(args.U64("top", 10)))
+                   result, static_cast<std::size_t>(args.GetU64("top", 10)))
                    .c_str(),
                stdout);
-    const std::string export_path = args.Str("export", "");
+    const std::string export_path = args.GetStr("export", "");
     if (!export_path.empty()) {
       const Status written =
           ss::core::WriteResultToDfs(result, *study.dfs, export_path);
@@ -201,8 +198,8 @@ int RunSkat(const CliArgs& args, bool skato) {
 int RunScan(const CliArgs& args) {
   Study study = OpenStudy(args);
   ss::core::VariantScanConfig config;
-  config.replicates = args.U64("reps", 199);
-  config.seed = args.U64("seed", 2016);
+  config.replicates = args.GetU64("reps", 199);
+  config.seed = args.GetU64("seed", 2016);
   std::vector<ss::simdata::SnpRecord> records;
   for (std::uint32_t j = 0; j < study.dataset.genotypes.num_snps(); ++j) {
     records.push_back({j, study.dataset.genotypes.by_snp[j]});
@@ -212,14 +209,14 @@ int RunScan(const CliArgs& args) {
       *study.ctx,
       ss::engine::Parallelize(
           *study.ctx, records,
-          static_cast<std::uint32_t>(args.U64("partitions", 8))),
+          static_cast<std::uint32_t>(args.GetU64("partitions", 8))),
       ss::stats::Phenotype::Cox(study.dataset.survival), config);
   std::printf("variant scan with B=%llu finished in %.2fs\n",
               static_cast<unsigned long long>(config.replicates),
               stopwatch.ElapsedSeconds());
   const auto ranked = result.RankedByAsymptoticP();
   const std::size_t top =
-      std::min<std::size_t>(args.U64("top", 10), ranked.size());
+      std::min<std::size_t>(args.GetU64("top", 10), ranked.size());
   std::printf("  %-8s %-12s %-12s %-12s %-12s\n", "snp", "score",
               "asym p", "emp p", "maxT p");
   for (std::size_t r = 0; r < top; ++r) {
@@ -238,14 +235,14 @@ int RunSelfTest(const CliArgs& outer) {
   // Observability keys pass through so `selftest trace=...` exercises the
   // full artifact path (used by the trace_smoke ctest).
   for (const char* key : {"trace", "metrics", "stages"}) {
-    const std::string value = outer.Str(key, "");
-    if (!value.empty()) args.values[key] = value;
+    const std::string value = outer.GetStr(key, "");
+    if (!value.empty()) args.Set(key, value);
   }
-  args.values["patients"] = "60";
-  args.values["snps"] = "80";
-  args.values["sets"] = "8";
-  args.values["reps"] = "19";
-  args.values["top"] = "3";
+  args.Set("patients", "60");
+  args.Set("snps", "80");
+  args.Set("sets", "8");
+  args.Set("reps", "19");
+  args.Set("top", "3");
   std::printf("== selftest: skat ==\n");
   if (RunSkat(args, false) != 0) return 1;
   std::printf("== selftest: skato ==\n");
@@ -260,7 +257,8 @@ void PrintUsage() {
   std::fputs(
       "usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n"
       "keys: patients snps sets reps seed nodes partitions reducers top\n"
-      "      method=mc|perm ld_block stages=1 export=<dfs path>\n"
+      "      method=mc|perm batch=<replicates per engine pass> ld_block\n"
+      "      stages=1 export=<dfs path>\n"
       "      trace=<file> metrics=<file> loglevel=debug|info|warn|error\n",
       stderr);
 }
@@ -272,15 +270,8 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  CliArgs args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::size_t eq = arg.find('=');
-    if (eq != std::string::npos) {
-      args.values[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
-  }
-  const std::string loglevel = args.Str("loglevel", "");
+  CliArgs args(argc, argv, /*begin=*/2);
+  const std::string loglevel = args.GetStr("loglevel", "");
   if (!loglevel.empty()) {
     if (std::optional<ss::LogLevel> level = ss::ParseLogLevel(loglevel)) {
       ss::SetLogLevel(*level);
@@ -293,15 +284,25 @@ int main(int argc, char** argv) {
     // Keep CLI output clean by default, but let SS_LOG_LEVEL override.
     ss::SetLogLevel(ss::LogLevel::kError);
   }
-  if (!args.Str("trace", "").empty()) {
+  if (!args.GetStr("trace", "").empty()) {
     ss::engine::Tracer::Global().Enable();
   }
   try {
     const std::string command = argv[1];
-    if (command == "skat") return RunSkat(args, false);
-    if (command == "skato") return RunSkat(args, true);
-    if (command == "scan") return RunScan(args);
-    if (command == "selftest") return RunSelfTest(args);
+    int code = -1;
+    if (command == "skat") {
+      code = RunSkat(args, false);
+    } else if (command == "skato") {
+      code = RunSkat(args, true);
+    } else if (command == "scan") {
+      code = RunScan(args);
+    } else if (command == "selftest") {
+      code = RunSelfTest(args);
+    }
+    if (code >= 0) {
+      args.WarnUnknownKeys("sparkscore");
+      return code;
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
