@@ -69,6 +69,93 @@ void RunSweep(const char* figure, const Workload& base,
               uncached_at_cutoff);
 }
 
+/// Constrained-budget mode: a cache budget small enough to force eviction
+/// of the cached U partitions, run three ways at the same iteration count:
+///   unlimited     — every U partition stays resident (reference);
+///   tight+spill   — evicted partitions move to the spill tier, misses
+///                   reload + decode them;
+///   tight w/o spill — evictions discard, misses replay the lineage.
+/// In the paper-faithful cost regime a U partition costs O(n²) per SNP to
+/// recompute but only O(bytes) to reload, so the spill tier must win; the
+/// shape check (and tools/check_spill_benefit.py in the smoke suite)
+/// asserts exactly that. `datapoint=<file>` records the result as JSON.
+void RunConstrainedBudget(const Workload& base, int reps, const Args& args) {
+  // Default budget: ~a quarter of the U RDD footprint (one row of n
+  // doubles per SNP), forcing evictions while keeping some partitions.
+  const std::uint64_t u_bytes =
+      static_cast<std::uint64_t>(base.generator.num_snps) *
+      (static_cast<std::uint64_t>(base.generator.num_patients) * 8 + 48);
+  const std::uint64_t budget =
+      args.GetU64("budget", std::max<std::uint64_t>(1, u_bytes / 4));
+  const std::uint64_t iters = args.GetU64("budget_iters", 100);
+
+  Workload unlimited = base;
+  unlimited.pipeline.cache_contributions = true;
+  Workload tight = unlimited;
+  tight.engine.cache_capacity_bytes = budget;
+  tight.pipeline.cache_budget_bytes = budget;
+  Workload no_spill = tight;
+  no_spill.engine.cache_spill = false;
+
+  const auto mc = [iters](core::SkatPipeline& pipeline) {
+    core::RunMonteCarloMethod(pipeline, iters);
+  };
+  const double t_unlimited = Mean(TimeAnalysisRuns(unlimited, reps, mc));
+  const double t_recompute = Mean(TimeAnalysisRuns(no_spill, reps, mc));
+  auto& spills_counter = engine::CounterRegistry::Global().Get("cache.spills");
+  auto& reloads_counter =
+      engine::CounterRegistry::Global().Get("cache.reloads");
+  const std::uint64_t spills_before = spills_counter.load();
+  const std::uint64_t reloads_before = reloads_counter.load();
+  // Runs last with args so metrics=/trace= artifacts capture a run whose
+  // cache stats include nonzero spills and reloads.
+  const double t_spill = Mean(TimeAnalysisRuns(tight, reps, mc, &args));
+  const std::uint64_t spills = spills_counter.load() - spills_before;
+  const std::uint64_t reloads = reloads_counter.load() - reloads_before;
+
+  Table table("Constrained budget — MC @ " + std::to_string(iters) +
+                  " iters, budget=" + std::to_string(budget) + " bytes",
+              {"configuration", "seconds"});
+  table.AddRow({"unlimited memory", Table::Num(t_unlimited, 3)});
+  table.AddRow({"tight + spill tier", Table::Num(t_spill, 3)});
+  table.AddRow({"tight, lineage recompute", Table::Num(t_recompute, 3)});
+  table.Print();
+  std::printf("  spill traffic: %llu spills, %llu reloads\n",
+              static_cast<unsigned long long>(spills),
+              static_cast<unsigned long long>(reloads));
+  std::printf("  shape check: reload-from-spill (%.3fs) %s lineage "
+              "recompute (%.3fs) under budget=%llu\n\n",
+              t_spill, t_spill < t_recompute ? "BEATS" : "does NOT beat",
+              t_recompute, static_cast<unsigned long long>(budget));
+
+  const std::string datapoint_path = args.GetStr("datapoint", "");
+  if (!datapoint_path.empty()) {
+    std::FILE* out = std::fopen(datapoint_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(
+          out,
+          "{\"bench\":\"bench_caching\",\"mode\":\"constrained_budget\","
+          "\"patients\":%u,\"snps\":%u,\"iters\":%llu,\"budget_bytes\":%llu,"
+          "\"faithful\":%s,"
+          "\"seconds\":{\"unlimited\":%.6f,\"tight_spill\":%.6f,"
+          "\"tight_recompute\":%.6f},"
+          "\"spills\":%llu,\"reloads\":%llu}\n",
+          base.generator.num_patients, base.generator.num_snps,
+          static_cast<unsigned long long>(iters),
+          static_cast<unsigned long long>(budget),
+          base.pipeline.paper_faithful_scores ? "true" : "false",
+          t_unlimited, t_spill, t_recompute,
+          static_cast<unsigned long long>(spills),
+          static_cast<unsigned long long>(reloads));
+      std::fclose(out);
+      std::printf("datapoint written to %s\n", datapoint_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write datapoint to %s\n",
+                   datapoint_path.c_str());
+    }
+  }
+}
+
 int Run(int argc, char** argv) {
   const Args args(argc, argv);
   ConfigureObservability(args);
@@ -95,17 +182,26 @@ int Run(int argc, char** argv) {
               scale);
 
   small.engine.topology = cluster::EmrCluster(18);
-  // Fig 4's x-axis (10, 100, ..., 10000) scaled down by ~10.
-  RunSweep("Figure 4 / Table V — small genotype matrix (seconds)", small,
-           {0, 10, 50, 100, 200, 500, 1000},
-           /*uncached_max=*/100, reps, &args);
+  // `mode=budget` skips the figure sweeps and runs only the constrained-
+  // budget comparison (used by the bench_smoke spill-benefit check).
+  const bool sweeps = args.GetStr("mode", "all") != "budget";
+  if (sweeps) {
+    // Fig 4's x-axis (10, 100, ..., 10000) scaled down by ~10.
+    RunSweep("Figure 4 / Table V — small genotype matrix (seconds)", small,
+             {0, 10, 50, 100, 200, 500, 1000},
+             /*uncached_max=*/100, reps, &args);
 
-  Workload large = small;
-  large.generator.num_snps = static_cast<std::uint32_t>(snps_large);
-  large.generator.num_sets = static_cast<std::uint32_t>(snps_large / 10);
-  // Fig 5's x-axis (10..1000) scaled down by ~10.
-  RunSweep("Figure 5 — large genotype matrix (seconds)", large,
-           {0, 10, 50, 100}, /*uncached_max=*/10, reps, &args);
+    Workload large = small;
+    large.generator.num_snps = static_cast<std::uint32_t>(snps_large);
+    large.generator.num_sets = static_cast<std::uint32_t>(snps_large / 10);
+    // Fig 5's x-axis (10..1000) scaled down by ~10.
+    RunSweep("Figure 5 — large genotype matrix (seconds)", large,
+             {0, 10, 50, 100}, /*uncached_max=*/10, reps, &args);
+  }
+
+  // Beyond the paper: what a budget too small for the U RDD costs, with
+  // and without the spill tier (budget= budget_iters= datapoint= keys).
+  RunConstrainedBudget(small, reps, args);
 
   // Per-replicate cost, amortized over every batch the sweeps ran — the
   // honest per-replicate figure now that one engine pass serves a whole

@@ -151,6 +151,11 @@ Workload DefaultWorkload(const Args& args, std::uint64_t snps_default,
       cluster::EmrCluster(static_cast<int>(args.GetU64("nodes", 6)));
   workload.engine.physical_threads = args.GetU64("threads", 4);
   workload.engine.seed = workload.generator.seed;
+  // Constrained-memory runs: cache_budget= caps the partition cache (bytes,
+  // 0 = unlimited) and spill_dir= redirects spill frames to real files.
+  workload.engine.cache_capacity_bytes = args.GetU64("cache_budget", 0);
+  workload.pipeline.cache_budget_bytes = workload.engine.cache_capacity_bytes;
+  workload.engine.spill_dir = args.GetStr("spill_dir", "");
   return workload;
 }
 

@@ -80,6 +80,10 @@ SkatPipeline::SkatPipeline(engine::EngineContext& ctx,
       sets_(std::move(sets)) {
   SS_CHECK(!sets_.empty());
 
+  if (config_.cache_budget_bytes != 0) {
+    ctx.cache().SetCapacityBytes(config_.cache_budget_bytes);
+  }
+
   // Step 4: filter the genotype matrix to the union of all SNP-sets. The
   // membership bitmap is broadcast (it is tiny relative to genotypes).
   auto membership = engine::MakeBroadcast(ctx, BuildMembership(sets_));

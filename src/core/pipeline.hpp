@@ -50,6 +50,13 @@ struct PipelineConfig {
   /// Cache the U RDD (prerequisite of Algorithm 3; Experiment B ablates it).
   bool cache_contributions = true;
 
+  /// Memory budget for the engine's partition cache, applied to the
+  /// context when the pipeline is built; 0 keeps the context's own
+  /// setting. A budget small enough to force eviction makes cached U
+  /// partitions spill to the second tier (see engine/cache_manager.hpp);
+  /// the constrained-memory benches set this.
+  std::uint64_t cache_budget_bytes = 0;
+
   /// Evaluate Cox contributions with the paper's per-patient formulation
   /// (O(n²) per SNP) instead of this library's O(n) risk-set path. Same
   /// values; reproduces the paper's cost regime. The timing benches set

@@ -1,9 +1,11 @@
 #include "engine/cache_manager.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "engine/trace.hpp"
 #include "support/log.hpp"
+#include "support/stopwatch.hpp"
 
 namespace ss::engine {
 
@@ -20,31 +22,103 @@ std::shared_ptr<void> CacheManager::Lookup(const CacheKey& key) {
   static std::atomic<std::uint64_t>& misses = CacheCounter("cache.misses");
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    misses.fetch_add(1, std::memory_order_relaxed);
-    Tracer::Global().Instant("cache", "miss",
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    Tracer::Global().Instant("cache", "hit",
                              {Arg("dataset", key.node_id),
                               Arg("partition", key.partition)});
-    return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front
+    return it->second.value;
   }
-  ++stats_.hits;
-  hits.fetch_add(1, std::memory_order_relaxed);
-  Tracer::Global().Instant("cache", "hit",
+  if (std::shared_ptr<void> reloaded = ReloadFromSpillLocked(key)) {
+    // Reloads count as hits: the caller gets the partition without a
+    // lineage recompute, which is the property hit rates measure.
+    ++stats_.hits;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return reloaded;
+  }
+  ++stats_.misses;
+  misses.fetch_add(1, std::memory_order_relaxed);
+  Tracer::Global().Instant("cache", "miss",
                            {Arg("dataset", key.node_id),
                             Arg("partition", key.partition)});
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front
-  return it->second.value;
+  return nullptr;
+}
+
+std::shared_ptr<void> CacheManager::ReloadFromSpillLocked(const CacheKey& key) {
+  SS_ASSERT_HELD(mutex_);
+  static std::atomic<std::uint64_t>& reloads = CacheCounter("cache.reloads");
+  static std::atomic<std::uint64_t>& reload_nanos =
+      CacheCounter("cache.reload_nanos");
+  static std::atomic<std::uint64_t>& corrupt =
+      CacheCounter("cache.spill_corrupt");
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return nullptr;
+
+  Stopwatch stopwatch;
+  Result<std::vector<std::uint8_t>> payload = spill_.Get(key);
+  if (!payload.ok()) {
+    // Corrupt or missing frame: degrade to a plain miss so the caller
+    // recomputes from lineage. Results never depend on the spill tier.
+    ++stats_.spill_corrupt;
+    corrupt.fetch_add(1, std::memory_order_relaxed);
+    Tracer::Global().Instant("spill", "corrupt",
+                             {Arg("dataset", key.node_id),
+                              Arg("partition", key.partition),
+                              Arg("error", payload.status().ToString())});
+    SS_LOG(kWarn, "spill") << "spill reload failed, falling back to lineage: "
+                           << payload.status().ToString();
+    spilled_.erase(it);
+    return nullptr;
+  }
+
+  SpilledEntry spilled = std::move(it->second);
+  std::shared_ptr<void> value = spilled.codec.decode(payload.value());
+  const std::uint64_t nanos =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, stopwatch.ElapsedNanos()));
+  spilled_.erase(it);
+
+  // Re-admit to the memory tier as MRU; the frame stays valid so a
+  // re-eviction skips the encode + write.
+  lru_.push_front(key);
+  entries_[key] =
+      Entry{value,       spilled.bytes,           spilled.node,
+            spilled.compute_seconds, std::move(spilled.codec),
+            /*spill_valid=*/true,    lru_.begin()};
+  stats_.bytes_cached += spilled.bytes;
+  ++stats_.reloads;
+  stats_.reload_nanos += nanos;
+  reloads.fetch_add(1, std::memory_order_relaxed);
+  reload_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  const double per_byte = (static_cast<double>(nanos) / 1e9) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              1, spilled.bytes));
+  reload_seconds_per_byte_ =
+      0.7 * reload_seconds_per_byte_ + 0.3 * per_byte;
+  Tracer::Global().Instant("spill", "reload",
+                           {Arg("dataset", key.node_id),
+                            Arg("partition", key.partition),
+                            Arg("bytes", stats_.bytes_cached),
+                            Arg("nanos", nanos)});
+  EvictIfNeededLocked();  // re-admission may push memory over budget
+  return value;
 }
 
 void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
-                          std::uint64_t bytes, int node) {
+                          std::uint64_t bytes, int node,
+                          double compute_seconds, SpillCodec codec) {
   static std::atomic<std::uint64_t>& insertions =
       CacheCounter("cache.insertions");
   std::lock_guard<std::mutex> lock(mutex_);
-  EraseLocked(key);  // refresh semantics
+  EraseLocked(key);         // refresh semantics...
+  DropSpilledLocked(key);   // ...including any stale spill copy
   lru_.push_front(key);
-  entries_[key] = Entry{std::move(value), bytes, node, lru_.begin()};
+  entries_[key] = Entry{std::move(value),  bytes,
+                        node,              compute_seconds,
+                        std::move(codec),  /*spill_valid=*/false,
+                        lru_.begin()};
   stats_.bytes_cached += bytes;
   ++stats_.insertions;
   insertions.fetch_add(1, std::memory_order_relaxed);
@@ -55,20 +129,85 @@ void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
   EvictIfNeededLocked();
 }
 
+double CacheManager::RestoreCostPerByteLocked(const Entry& entry) const {
+  SS_ASSERT_HELD(mutex_);
+  // If the entry can live in the spill tier, evicting it costs a reload;
+  // otherwise the only way back is a lineage recompute.
+  const double restore_seconds =
+      spill_enabled() && entry.codec.usable()
+          ? reload_seconds_per_byte_ * static_cast<double>(entry.bytes)
+          : entry.compute_seconds;
+  return restore_seconds /
+         static_cast<double>(std::max<std::uint64_t>(1, entry.bytes));
+}
+
 void CacheManager::EvictIfNeededLocked() {
+  SS_ASSERT_HELD(mutex_);
+  if (capacity_bytes_ == 0) return;
+  while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
+    EvictOneLocked();
+  }
+}
+
+void CacheManager::EvictOneLocked() {
   SS_ASSERT_HELD(mutex_);
   static std::atomic<std::uint64_t>& evictions =
       CacheCounter("cache.evictions");
-  if (capacity_bytes_ == 0) return;
-  while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
-    const CacheKey victim = lru_.back();
-    Tracer::Global().Instant("cache", "evict",
-                             {Arg("dataset", victim.node_id),
-                              Arg("partition", victim.partition)});
-    EraseLocked(victim);
-    ++stats_.evictions;
-    evictions.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic<std::uint64_t>& spills = CacheCounter("cache.spills");
+  static std::atomic<std::uint64_t>& spill_bytes =
+      CacheCounter("cache.spill_bytes");
+
+  // Victim = cheapest restore cost per byte; ties fall to the least
+  // recently used. The MRU front entry (just inserted or reloaded) is
+  // exempt, preserving the old "never evict the only entry" guarantee.
+  auto victim_it = lru_.end();
+  double victim_cost = 0.0;
+  for (auto it = std::next(lru_.begin()); it != lru_.end(); ++it) {
+    const double cost = RestoreCostPerByteLocked(entries_.at(*it));
+    if (victim_it == lru_.end() || cost <= victim_cost) {
+      victim_it = it;
+      victim_cost = cost;
+    }
   }
+  SS_CHECK(victim_it != lru_.end());
+  const CacheKey victim = *victim_it;
+  Entry& entry = entries_.at(victim);
+
+  if (spill_enabled() && entry.codec.usable()) {
+    bool frame_ok = entry.spill_valid;
+    std::uint64_t payload_bytes = 0;
+    if (!frame_ok) {
+      const std::vector<std::uint8_t> payload = entry.codec.encode(entry.value);
+      payload_bytes = payload.size();
+      const Status put = spill_.Put(victim, payload);
+      frame_ok = put.ok();
+      if (!frame_ok) {
+        SS_LOG(kWarn, "spill") << "spill write failed, discarding instead: "
+                               << put.ToString();
+      }
+    }
+    if (frame_ok) {
+      if (payload_bytes > 0) {
+        ++stats_.spills;
+        stats_.spill_bytes += payload_bytes;
+        spills.fetch_add(1, std::memory_order_relaxed);
+        spill_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+      }
+      Tracer::Global().Instant("spill", "spill",
+                               {Arg("dataset", victim.node_id),
+                                Arg("partition", victim.partition),
+                                Arg("bytes", payload_bytes)});
+      spilled_[victim] = SpilledEntry{entry.bytes, entry.node,
+                                      entry.compute_seconds,
+                                      std::move(entry.codec)};
+    }
+  }
+  Tracer::Global().Instant("cache", "evict",
+                           {Arg("dataset", victim.node_id),
+                            Arg("partition", victim.partition)});
+  EraseLocked(victim);
+  ++stats_.evictions;
+  evictions.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CacheManager::EraseLocked(const CacheKey& key) {
@@ -80,6 +219,14 @@ void CacheManager::EraseLocked(const CacheKey& key) {
   entries_.erase(it);
 }
 
+void CacheManager::DropSpilledLocked(const CacheKey& key) {
+  SS_ASSERT_HELD(mutex_);
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  spilled_.erase(it);
+  spill_.Erase(key);
+}
+
 void CacheManager::DropDataset(std::uint64_t node_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<CacheKey> victims;
@@ -87,6 +234,11 @@ void CacheManager::DropDataset(std::uint64_t node_id) {
     if (key.node_id == node_id) victims.push_back(key);
   }
   for (const CacheKey& key : victims) EraseLocked(key);
+  victims.clear();
+  for (const auto& [key, entry] : spilled_) {
+    if (key.node_id == node_id) victims.push_back(key);
+  }
+  for (const CacheKey& key : victims) DropSpilledLocked(key);
 }
 
 int CacheManager::DropNode(int node) {
@@ -97,7 +249,18 @@ int CacheManager::DropNode(int node) {
   for (const auto& [key, entry] : entries_) {
     if (entry.node == node) victims.push_back(key);
   }
-  for (const CacheKey& key : victims) EraseLocked(key);
+  for (const CacheKey& key : victims) {
+    // The memory copy dies with the node, but a valid spill frame models
+    // reliable storage and survives: the next miss reloads instead of
+    // recomputing, exactly like Spark disk blocks outliving an executor.
+    Entry& entry = entries_.at(key);
+    if (spill_enabled() && entry.spill_valid && entry.codec.usable()) {
+      spilled_[key] = SpilledEntry{entry.bytes, entry.node,
+                                   entry.compute_seconds,
+                                   std::move(entry.codec)};
+    }
+    EraseLocked(key);
+  }
   stats_.dropped_by_failure += victims.size();
   dropped.fetch_add(victims.size(), std::memory_order_relaxed);
   if (!victims.empty()) {
@@ -111,17 +274,46 @@ void CacheManager::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+  spilled_.clear();
+  spill_.Clear();
   stats_.bytes_cached = 0;
+}
+
+void CacheManager::SetCapacityBytes(std::uint64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = capacity_bytes;
+  EvictIfNeededLocked();
+}
+
+int CacheManager::InjureSpill(bool drop) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int injured = drop ? spill_.DropAll() : spill_.CorruptAll();
+  // Frames belonging to memory-resident entries are garbage now; force a
+  // fresh encode + write if those entries are evicted again.
+  for (auto& [key, entry] : entries_) entry.spill_valid = false;
+  Tracer::Global().Instant("spill", drop ? "injected loss" : "injected corruption",
+                           {Arg("frames", injured)});
+  SS_LOG(kInfo, "spill") << "injected spill "
+                         << (drop ? "loss" : "corruption") << " of "
+                         << injured << " frames";
+  return injured;
 }
 
 CacheStats CacheManager::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats stats = stats_;
+  stats.bytes_spilled = spill_.bytes_stored();
+  return stats;
 }
 
 std::size_t CacheManager::entry_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+std::size_t CacheManager::spilled_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spilled_.size();
 }
 
 }  // namespace ss::engine

@@ -1,37 +1,40 @@
-// In-memory partition cache with LRU eviction — the engine's equivalent of
-// Spark's BlockManager MEMORY_ONLY storage level.
+// Tiered partition cache — the engine's equivalent of Spark's BlockManager
+// MEMORY_AND_DISK storage level.
 //
-// Entries are type-erased (`shared_ptr<void>` owning a `vector<T>`); the
-// typed layer in node.hpp does the casts. Each entry records the simulated
-// node where the computing task ran so that an injected node failure drops
-// exactly that node's cached partitions, forcing lineage recomputation —
-// the fault-tolerance property Spark's RDD paper centres on and that
-// SparkScore's Algorithm 3 relies on for its cached U RDD.
+// Tier 1 is memory: type-erased entries (`shared_ptr<void>` owning a
+// `vector<T>`; the typed layer in node.hpp does the casts). Tier 2 is the
+// spill store (spill_tier.hpp): when the memory budget forces an eviction
+// and the entry carries a SpillCodec, its encoded bytes move to the spill
+// tier instead of being discarded, and a later miss reloads + decodes them
+// — far cheaper than replaying the lineage for expensive partitions (the
+// cached U RDD of SparkScore's Algorithm 3 pays the score computation B
+// times without it). A corrupt or missing spill frame simply degrades the
+// miss to a lineage recompute, so results never depend on the spill tier.
+//
+// Eviction is cost-based rather than pure LRU: each resident entry knows
+// what it would cost to bring back — its decode/reload estimate when a
+// valid spill copy exists or it can be spilled, else its recorded compute
+// time — and the victim is the entry with the cheapest restore cost per
+// byte (ties fall to least-recently-used). Each entry also records the
+// simulated node where the computing task ran so that an injected node
+// failure drops exactly that node's memory-resident partitions (spill
+// frames model reliable storage and survive), forcing lineage
+// recomputation — the fault-tolerance property the RDD paper centres on.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
+#include "engine/cache_key.hpp"
+#include "engine/spill_tier.hpp"
 #include "support/check.hpp"
 
 namespace ss::engine {
-
-/// Identifies a cached partition: (dataset node id, partition index).
-struct CacheKey {
-  std::uint64_t node_id = 0;
-  std::uint32_t partition = 0;
-  bool operator==(const CacheKey&) const = default;
-};
-
-struct CacheKeyHash {
-  std::size_t operator()(const CacheKey& key) const {
-    return static_cast<std::size_t>(key.node_id * 0x9e3779b97f4a7c15ULL) ^
-           key.partition;
-  }
-};
 
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -39,52 +42,145 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t dropped_by_failure = 0;
-  std::uint64_t bytes_cached = 0;  ///< Current occupancy.
+  std::uint64_t bytes_cached = 0;  ///< Current memory-tier occupancy.
+  // Spill tier (see docs/OBSERVABILITY.md):
+  std::uint64_t spills = 0;         ///< Frames written on eviction.
+  std::uint64_t spill_bytes = 0;    ///< Cumulative framed bytes written.
+  std::uint64_t reloads = 0;        ///< Misses served from spill.
+  std::uint64_t reload_nanos = 0;   ///< Wall time inside reload+decode.
+  std::uint64_t spill_corrupt = 0;  ///< Corrupt/missing frames detected.
+  std::uint64_t bytes_spilled = 0;  ///< Current spill-tier occupancy.
+};
+
+/// Serialize/deserialize hooks a typed caller attaches at Insert time so
+/// the type-erased manager can move the entry across tiers. Both must be
+/// thread-safe and must round-trip bitwise (Codec<T> is; see codec.hpp).
+/// Default-constructed (empty) means the entry is not spillable and is
+/// discarded on eviction exactly as the memory-only cache did.
+struct SpillCodec {
+  std::function<std::vector<std::uint8_t>(const std::shared_ptr<void>&)>
+      encode;
+  std::function<std::shared_ptr<void>(const std::vector<std::uint8_t>&)>
+      decode;
+
+  bool usable() const { return encode != nullptr && decode != nullptr; }
+};
+
+/// Cache construction knobs (EngineContext::Options mirrors these).
+struct CacheOptions {
+  /// Memory-tier budget in bytes; 0 means unlimited (nothing ever spills).
+  std::uint64_t capacity_bytes = 0;
+
+  /// Master switch for the spill tier; off restores the memory-only
+  /// evict-means-discard behaviour (the differential-test baseline).
+  bool spill_enabled = true;
+
+  /// Where spill frames live: empty keeps them in an in-memory
+  /// dfs::BlockStore, a path writes real files under that directory.
+  std::string spill_dir;
 };
 
 class CacheManager {
  public:
-  /// `capacity_bytes` caps total occupancy; 0 means unlimited.
-  explicit CacheManager(std::uint64_t capacity_bytes = 0)
-      : capacity_bytes_(capacity_bytes) {}
+  explicit CacheManager(CacheOptions options)
+      : options_(std::move(options)), spill_(options_.spill_dir) {}
 
-  /// Returns the cached partition or nullptr (counting a hit/miss).
+  /// `capacity_bytes` caps the memory tier; 0 means unlimited.
+  explicit CacheManager(std::uint64_t capacity_bytes = 0)
+      : CacheManager(CacheOptions{capacity_bytes, true, std::string()}) {}
+
+  /// Returns the cached partition or nullptr (counting a hit/miss). A
+  /// memory miss consults the spill tier first: a valid frame is decoded,
+  /// re-admitted to memory, and returned (a "reload"); a corrupt or
+  /// missing frame counts `spill_corrupt` and falls through to nullptr so
+  /// the caller recomputes from lineage.
   std::shared_ptr<void> Lookup(const CacheKey& key);
 
-  /// Inserts (or refreshes) an entry, evicting LRU entries if over budget.
+  /// Inserts (or refreshes) an entry, rebalancing against the budget.
   /// Oversized single entries (larger than the whole budget) are admitted
   /// and the cache simply holds only them; matching Spark, the computation
   /// must still succeed even if caching is ineffective.
+  ///
+  /// `compute_seconds` is the lineage cost of this partition (what a
+  /// recompute would pay, from the task stopwatch) and `codec` the
+  /// optional cross-tier serializer; both feed the eviction policy.
   void Insert(const CacheKey& key, std::shared_ptr<void> value,
-              std::uint64_t bytes, int node);
+              std::uint64_t bytes, int node, double compute_seconds = 0.0,
+              SpillCodec codec = {});
 
-  /// Removes all partitions of a dataset (Dataset::Unpersist).
+  /// Removes all partitions of a dataset from both tiers
+  /// (Dataset::Unpersist).
   void DropDataset(std::uint64_t node_id);
 
-  /// Removes everything cached on a simulated node (node failure).
+  /// Removes everything cached in memory on a simulated node (node
+  /// failure). Spill frames survive — they model reliable local storage,
+  /// like Spark blocks persisted to disk surviving an executor OOM.
   /// Returns the number of partitions dropped.
   int DropNode(int node);
 
-  /// Drops everything.
+  /// Drops everything in both tiers.
   void Clear();
 
+  /// Re-applies the memory budget (0 = unlimited), spilling/evicting down
+  /// to the new value. Lets PipelineConfig::cache_budget_bytes constrain a
+  /// context after construction.
+  void SetCapacityBytes(std::uint64_t capacity_bytes);
+
+  /// Fault-injection hook: corrupts (`drop` false) or deletes (`drop`
+  /// true) every spill frame. Subsequent reload attempts detect the loss,
+  /// count `spill_corrupt`, and fall back to lineage recompute. Returns
+  /// the number of frames injured.
+  int InjureSpill(bool drop);
+
   CacheStats stats() const;
-  std::size_t entry_count() const;
+  std::size_t entry_count() const;        ///< Memory-tier entries.
+  std::size_t spilled_count() const;      ///< Spill-tier-only entries.
+  const CacheOptions& options() const { return options_; }
 
  private:
   struct Entry {
     std::shared_ptr<void> value;
     std::uint64_t bytes = 0;
     int node = 0;
+    double compute_seconds = 0.0;  ///< Lineage cost (recompute estimate).
+    SpillCodec codec;
+    /// True while the spill tier holds a current frame for this entry
+    /// (set on reload); re-evicting it skips the encode + write.
+    bool spill_valid = false;
     std::list<CacheKey>::iterator lru_it;
   };
 
-  void EvictIfNeededLocked() SS_REQUIRES(mutex_);
-  void EraseLocked(const CacheKey& key) SS_REQUIRES(mutex_);
+  /// An entry whose only copy lives in the spill tier.
+  struct SpilledEntry {
+    std::uint64_t bytes = 0;  ///< Decoded (memory) size, for re-admission.
+    int node = 0;
+    double compute_seconds = 0.0;
+    SpillCodec codec;
+  };
 
-  const std::uint64_t capacity_bytes_;
+  bool spill_enabled() const { return options_.spill_enabled; }
+  /// Restore-cost-per-byte the eviction policy minimizes.
+  double RestoreCostPerByteLocked(const Entry& entry) const
+      SS_REQUIRES(mutex_);
+  void EvictIfNeededLocked() SS_REQUIRES(mutex_);
+  void EvictOneLocked() SS_REQUIRES(mutex_);
+  void EraseLocked(const CacheKey& key) SS_REQUIRES(mutex_);
+  void DropSpilledLocked(const CacheKey& key) SS_REQUIRES(mutex_);
+  std::shared_ptr<void> ReloadFromSpillLocked(const CacheKey& key)
+      SS_REQUIRES(mutex_);
+
+  const CacheOptions options_;
+  SpillTier spill_;
   mutable std::mutex mutex_;
+  std::uint64_t capacity_bytes_ SS_GUARDED_BY(mutex_) =
+      options_.capacity_bytes;
+  /// Mean observed reload cost per byte, EWMA over completed reloads;
+  /// prices the restore cost of spillable entries before any reload has
+  /// been measured (seeded at ~1 GB/s).
+  double reload_seconds_per_byte_ SS_GUARDED_BY(mutex_) = 1e-9;
   std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_
+      SS_GUARDED_BY(mutex_);
+  std::unordered_map<CacheKey, SpilledEntry, CacheKeyHash> spilled_
       SS_GUARDED_BY(mutex_);
   std::list<CacheKey> lru_ SS_GUARDED_BY(mutex_);  ///< Front = MRU.
   CacheStats stats_ SS_GUARDED_BY(mutex_);

@@ -27,7 +27,8 @@ EngineContext::EngineContext(Options options, dfs::MiniDfs* dfs,
     : options_(std::move(options)),
       dfs_(dfs),
       faults_(faults),
-      cache_(options_.cache_capacity_bytes) {
+      cache_(CacheOptions{options_.cache_capacity_bytes,
+                          options_.cache_spill, options_.spill_dir}) {
   std::size_t threads = options_.physical_threads;
   if (threads == 0) {
     threads = std::max(2u, std::thread::hardware_concurrency());
@@ -35,13 +36,17 @@ EngineContext::EngineContext(Options options, dfs::MiniDfs* dfs,
   pool_ = std::make_unique<ThreadPool>(threads);
   if (faults_ != nullptr) {
     faults_->SetOnNodeFailure([this](int node) { FailNode(node); });
+    faults_->SetOnSpillFault([this](bool drop) { cache_.InjureSpill(drop); });
   }
   SS_LOG(kInfo, "engine") << "context up: " << options_.topology.ToString()
                           << ", " << threads << " physical threads";
 }
 
 EngineContext::~EngineContext() {
-  if (faults_ != nullptr) faults_->SetOnNodeFailure(nullptr);
+  if (faults_ != nullptr) {
+    faults_->SetOnNodeFailure(nullptr);
+    faults_->SetOnSpillFault(nullptr);
+  }
 }
 
 std::uint64_t EngineContext::RunTasks(

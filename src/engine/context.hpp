@@ -45,6 +45,14 @@ class EngineContext {
     /// Cache budget in bytes; 0 = unlimited.
     std::uint64_t cache_capacity_bytes = 0;
 
+    /// Spill tier switch: when true (default), evicted spillable
+    /// partitions move to the spill store instead of being discarded.
+    bool cache_spill = true;
+
+    /// Spill frame location: empty = in-memory block store, else a
+    /// directory real spill files are written under.
+    std::string spill_dir;
+
     /// Attempts per task before the job fails (Spark's spark.task.maxFailures
     /// defaults to 4 attempts = 3 retries).
     int max_task_attempts = 4;

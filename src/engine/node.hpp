@@ -8,6 +8,7 @@
 // map stage from the driver before any reduce task starts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -16,11 +17,32 @@
 
 #include "engine/approx_bytes.hpp"
 #include "engine/cache_manager.hpp"
+#include "engine/codec.hpp"
 #include "engine/context.hpp"
 #include "engine/task.hpp"
+#include "engine/trace.hpp"
 #include "support/status.hpp"
+#include "support/stopwatch.hpp"
 
 namespace ss::engine {
+
+/// Cross-tier serializer for a `vector<T>` partition, built on Codec<T>.
+/// Empty (entry not spillable) when T has no codec.
+template <typename T>
+SpillCodec MakeSpillCodec() {
+  if constexpr (kSpillable<T>) {
+    return SpillCodec{
+        [](const std::shared_ptr<void>& value) {
+          return EncodePartition<T>(
+              *std::static_pointer_cast<const std::vector<T>>(value));
+        },
+        [](const std::vector<std::uint8_t>& bytes) -> std::shared_ptr<void> {
+          return std::make_shared<std::vector<T>>(DecodePartition<T>(bytes));
+        }};
+  } else {
+    return {};
+  }
+}
 
 /// Untyped base: identity, arity, lineage edges, persistence flag.
 class NodeBase {
@@ -120,10 +142,20 @@ class Node : public NodeBase {
       if (std::shared_ptr<void> hit = ctx_->cache().Lookup(key)) {
         return std::static_pointer_cast<const std::vector<T>>(hit);
       }
+      static std::atomic<std::uint64_t>& computes =
+          CounterRegistry::Global().Get("cache.computes");
+      static std::atomic<std::uint64_t>& compute_nanos =
+          CounterRegistry::Global().Get("cache.compute_nanos");
+      Stopwatch compute_watch;
       auto computed =
           std::make_shared<std::vector<T>>(ComputePartition(index, task));
+      const double compute_seconds = compute_watch.ElapsedSeconds();
+      computes.fetch_add(1, std::memory_order_relaxed);
+      compute_nanos.fetch_add(
+          static_cast<std::uint64_t>(compute_seconds * 1e9),
+          std::memory_order_relaxed);
       ctx_->cache().Insert(key, computed, ApproxBytesOfPartition(*computed),
-                           task.node());
+                           task.node(), compute_seconds, MakeSpillCodec<T>());
       return computed;
     }
     return std::make_shared<const std::vector<T>>(

@@ -1,0 +1,218 @@
+#include "engine/spill_tier.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "support/binary_io.hpp"
+#include "support/log.hpp"
+
+namespace ss::engine {
+
+namespace {
+
+/// Frame layout (little-endian, built with BinaryWriter):
+///   u64 magic | u64 FNV-1a checksum of payload | u64 payload size | payload
+constexpr std::uint64_t kSpillMagic = 0x53'53'50'49'4c'4c'30'31ULL;  // "SSPILL01"
+constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+
+std::vector<std::uint8_t> BuildFrame(const std::vector<std::uint8_t>& payload) {
+  BinaryWriter writer;
+  writer.WriteU64(kSpillMagic);
+  writer.WriteU64(Checksum(payload));
+  writer.WriteU64(payload.size());
+  std::vector<std::uint8_t> frame = writer.TakeBytes();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+/// Manual header parse (no BinaryReader: its bounds checks SS_CHECK-abort,
+/// and a corrupt frame must surface as a Status, not a crash).
+std::uint64_t HeaderField(const std::vector<std::uint8_t>& frame,
+                          std::size_t index) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, frame.data() + index * sizeof(std::uint64_t),
+              sizeof(value));
+  return value;
+}
+
+Result<std::vector<std::uint8_t>> ParseFrame(std::vector<std::uint8_t> frame,
+                                             const std::string& what) {
+  if (frame.size() < kHeaderBytes) {
+    return Status::DataLoss("spill frame truncated: " + what);
+  }
+  if (HeaderField(frame, 0) != kSpillMagic) {
+    return Status::DataLoss("spill frame has bad magic: " + what);
+  }
+  const std::uint64_t checksum = HeaderField(frame, 1);
+  const std::uint64_t size = HeaderField(frame, 2);
+  if (frame.size() != kHeaderBytes + size) {
+    return Status::DataLoss("spill frame has bad length: " + what);
+  }
+  std::vector<std::uint8_t> payload(frame.begin() + kHeaderBytes, frame.end());
+  if (Checksum(payload) != checksum) {
+    return Status::DataLoss("spill frame failed checksum: " + what);
+  }
+  return payload;
+}
+
+dfs::BlockId BlockIdFor(const CacheKey& key) {
+  return dfs::BlockId{key.node_id, key.partition};
+}
+
+std::string KeyName(const CacheKey& key) {
+  return "spill-" + std::to_string(key.node_id) + "-" +
+         std::to_string(key.partition) + ".bin";
+}
+
+}  // namespace
+
+SpillTier::SpillTier(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      SS_LOG(kWarn, "spill") << "cannot create spill_dir " << dir_ << ": "
+                             << ec.message() << " (spill writes will fail "
+                             << "and misses fall back to lineage)";
+    }
+  }
+}
+
+std::string SpillTier::FilePathFor(const CacheKey& key) const {
+  return dir_ + "/" + KeyName(key);
+}
+
+void SpillTier::WriteFrameLocked(const CacheKey& key,
+                                 const std::vector<std::uint8_t>& frame) {
+  SS_ASSERT_HELD(mutex_);
+  if (dir_.empty()) {
+    store_.Put(BlockIdFor(key), frame);
+    return;
+  }
+  std::ofstream out(FilePathFor(key), std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+}
+
+std::vector<std::uint8_t> SpillTier::ReadFrameLocked(const CacheKey& key) {
+  SS_ASSERT_HELD(mutex_);
+  if (dir_.empty()) {
+    Result<std::vector<std::uint8_t>> block = store_.Get(BlockIdFor(key));
+    return block.ok() ? std::move(block).value()
+                      : std::vector<std::uint8_t>{};
+  }
+  std::ifstream in(FilePathFor(key), std::ios::binary);
+  if (!in) return {};
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void SpillTier::EraseLocked(const CacheKey& key) {
+  SS_ASSERT_HELD(mutex_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) return;
+  bytes_stored_ -= it->second;
+  frames_.erase(it);
+  if (dir_.empty()) {
+    store_.Erase(BlockIdFor(key));
+  } else {
+    std::error_code ec;
+    std::filesystem::remove(FilePathFor(key), ec);
+  }
+}
+
+Status SpillTier::Put(const CacheKey& key,
+                      const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame = BuildFrame(payload);
+  const std::uint64_t frame_bytes = frame.size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  EraseLocked(key);  // refresh semantics
+  WriteFrameLocked(key, frame);
+  if (!dir_.empty()) {
+    // Verify the write landed (full disk, unwritable dir, ...); a frame we
+    // cannot read back must not be advertised.
+    if (ReadFrameLocked(key).size() != frame_bytes) {
+      std::error_code ec;
+      std::filesystem::remove(FilePathFor(key), ec);
+      return Status::Unavailable("spill write failed: " + FilePathFor(key));
+    }
+  }
+  frames_[key] = frame_bytes;
+  bytes_stored_ += frame_bytes;
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> SpillTier::Get(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    return Status::NotFound("no spill frame for " + KeyName(key));
+  }
+  std::vector<std::uint8_t> frame = ReadFrameLocked(key);
+  if (frame.empty()) {
+    // Backend lost the frame (injected deletion, spill_dir wiped).
+    EraseLocked(key);
+    return Status::DataLoss("spill frame missing: " + KeyName(key));
+  }
+  Result<std::vector<std::uint8_t>> payload =
+      ParseFrame(std::move(frame), KeyName(key));
+  if (!payload.ok()) EraseLocked(key);  // do not re-detect the same loss
+  return payload;
+}
+
+void SpillTier::Erase(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EraseLocked(key);
+}
+
+void SpillTier::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CacheKey> keys;
+  keys.reserve(frames_.size());
+  for (const auto& [key, bytes] : frames_) keys.push_back(key);
+  for (const CacheKey& key : keys) EraseLocked(key);
+}
+
+int SpillTier::CorruptAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int touched = 0;
+  for (const auto& [key, bytes] : frames_) {
+    std::vector<std::uint8_t> frame = ReadFrameLocked(key);
+    if (frame.size() <= kHeaderBytes) continue;  // nothing to flip
+    // Flip one payload byte so the checksum — not the framing — trips.
+    frame[kHeaderBytes + (frame.size() - kHeaderBytes) / 2] ^= 0xFF;
+    WriteFrameLocked(key, frame);
+    ++touched;
+  }
+  return touched;
+}
+
+int SpillTier::DropAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int dropped = 0;
+  for (const auto& [key, bytes] : frames_) {
+    // Delete the backing frame but keep the index entry: the next Get must
+    // observe the loss (and count it) rather than silently skip spill.
+    if (dir_.empty()) {
+      store_.Erase(BlockIdFor(key));
+    } else {
+      std::error_code ec;
+      std::filesystem::remove(FilePathFor(key), ec);
+    }
+    ++dropped;
+  }
+  return dropped;
+}
+
+std::size_t SpillTier::frame_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+std::uint64_t SpillTier::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_stored_;
+}
+
+}  // namespace ss::engine

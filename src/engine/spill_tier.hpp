@@ -1,0 +1,72 @@
+// Second storage tier of the partition cache: checksummed spill frames,
+// kept either in a dfs::BlockStore (the default — the same container that
+// backs the mini-DFS DataNodes) or as real files under a spill directory.
+//
+// The CacheManager writes a frame here when it evicts a spillable entry
+// and reads it back on a miss, so a budget-constrained cache degrades to
+// "reload from local reliable storage" instead of "recompute the lineage"
+// — Spark's MEMORY_AND_DISK storage level. Frames are framed with the
+// binary_io writer and carry an FNV-1a checksum over the payload; a
+// corrupt or missing frame surfaces as a non-OK Get, which the cache
+// turns into a plain miss (lineage recomputes). The fault injector uses
+// CorruptAll/DropAll to exercise exactly that path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/block_store.hpp"
+#include "engine/cache_key.hpp"
+#include "support/check.hpp"
+#include "support/status.hpp"
+
+namespace ss::engine {
+
+class SpillTier {
+ public:
+  /// `dir` empty keeps frames in an in-memory BlockStore; otherwise each
+  /// frame is written to `<dir>/spill-<node>-<partition>.bin`.
+  explicit SpillTier(std::string dir = "");
+
+  /// Frames `payload` (magic + payload checksum + length + bytes) and
+  /// stores it under `key`, overwriting any previous frame.
+  Status Put(const CacheKey& key, const std::vector<std::uint8_t>& payload);
+
+  /// Returns the payload, or NotFound (no frame) / DataLoss (frame fails
+  /// its magic, length, or checksum validation). A failed frame is
+  /// dropped so later lookups go straight to lineage recompute.
+  Result<std::vector<std::uint8_t>> Get(const CacheKey& key);
+
+  void Erase(const CacheKey& key);
+  void Clear();
+
+  /// Fault-injection hooks: flip one payload byte in (or delete) every
+  /// stored frame. Return the number of frames touched.
+  int CorruptAll();
+  int DropAll();
+
+  std::size_t frame_count() const;
+  std::uint64_t bytes_stored() const;  ///< Framed bytes currently held.
+
+ private:
+  std::vector<std::uint8_t> ReadFrameLocked(const CacheKey& key)
+      SS_REQUIRES(mutex_);
+  void WriteFrameLocked(const CacheKey& key,
+                        const std::vector<std::uint8_t>& frame)
+      SS_REQUIRES(mutex_);
+  void EraseLocked(const CacheKey& key) SS_REQUIRES(mutex_);
+  std::string FilePathFor(const CacheKey& key) const;
+
+  const std::string dir_;  ///< Empty = in-memory BlockStore backend.
+  mutable std::mutex mutex_;
+  dfs::BlockStore store_;  ///< Backend when dir_ is empty.
+  /// key -> framed size; the iteration index the BlockStore lacks.
+  std::unordered_map<CacheKey, std::uint64_t, CacheKeyHash> frames_
+      SS_GUARDED_BY(mutex_);
+  std::uint64_t bytes_stored_ SS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ss::engine

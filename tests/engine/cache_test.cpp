@@ -1,19 +1,31 @@
 // CacheManager unit tests plus Dataset::Cache() integration: hit counting,
-// LRU eviction, node-tagged drops, and the guarantee that eviction never
+// cost-based eviction, the spill tier (evict -> reload, corruption
+// fallback), node-tagged drops, and the guarantee that eviction never
 // changes results (lineage recomputes).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <numeric>
 
 #include "engine/cache_manager.hpp"
 #include "engine/dataset.hpp"
+#include "engine/node.hpp"
 
 namespace ss::engine {
 namespace {
 
 std::shared_ptr<void> Payload(int v) {
   return std::make_shared<int>(v);
+}
+
+/// A spillable payload: the vector<int> partitions Node<T> caches.
+std::shared_ptr<void> VecPayload(std::vector<int> v) {
+  return std::make_shared<std::vector<int>>(std::move(v));
+}
+
+const std::vector<int>& VecOf(const std::shared_ptr<void>& value) {
+  return *std::static_pointer_cast<std::vector<int>>(value);
 }
 
 TEST(CacheManagerTest, LookupMissThenHit) {
@@ -95,6 +107,153 @@ TEST(CacheManagerTest, ClearResetsOccupancy) {
   cache.Clear();
   EXPECT_EQ(cache.entry_count(), 0u);
   EXPECT_EQ(cache.stats().bytes_cached, 0u);
+}
+
+// -- Spill tier --------------------------------------------------------------
+
+TEST(CacheSpillTest, EvictionSpillsAndMissReloads) {
+  CacheManager cache(/*capacity=*/250);
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_NE(cache.Lookup({1, 0}), nullptr);  // make {1,1} the victim
+  cache.Insert({1, 2}, VecPayload({4, 5}), 100, 0, 0.0, MakeSpillCodec<int>());
+
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.spilled_count(), 1u);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.spills, 1u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_GT(stats.bytes_spilled, 0u);
+
+  auto reloaded = cache.Lookup({1, 1});
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(VecOf(reloaded), (std::vector<int>{2, 3}));
+  stats = cache.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.spill_corrupt, 0u);
+}
+
+TEST(CacheSpillTest, CostBasedEvictionPrefersSpillableEntry) {
+  CacheManager cache(/*capacity=*/250);
+  // Both entries record an expensive lineage recompute, but only {1,1}
+  // carries a codec: its restore is a cheap reload, so it is the rational
+  // victim even though {1,0} is least recently used.
+  cache.Insert({1, 0}, Payload(0), 100, 0, /*compute_seconds=*/10.0);
+  cache.Insert({1, 1}, VecPayload({1, 2, 3}), 100, 0, /*compute_seconds=*/10.0,
+               MakeSpillCodec<int>());
+  cache.Insert({1, 2}, Payload(2), 100, 0, /*compute_seconds=*/10.0);
+
+  EXPECT_EQ(cache.spilled_count(), 1u);
+  EXPECT_EQ(cache.stats().spills, 1u);
+  EXPECT_NE(cache.Lookup({1, 0}), nullptr);  // the LRU entry survived
+  auto reloaded = cache.Lookup({1, 1});
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(VecOf(reloaded), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(cache.stats().reloads, 1u);
+}
+
+TEST(CacheSpillTest, CorruptFrameFallsBackToMiss) {
+  CacheManager cache(/*capacity=*/150);
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_EQ(cache.spilled_count(), 1u);
+
+  EXPECT_EQ(cache.InjureSpill(/*drop=*/false), 1);
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);  // checksum trips -> miss
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.spill_corrupt, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(cache.spilled_count(), 0u);  // loss is detected exactly once
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().spill_corrupt, 1u);
+}
+
+TEST(CacheSpillTest, DroppedFramesFallBackToMiss) {
+  CacheManager cache(/*capacity=*/150);
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_EQ(cache.spilled_count(), 1u);
+
+  EXPECT_EQ(cache.InjureSpill(/*drop=*/true), 1);
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().spill_corrupt, 1u);
+}
+
+TEST(CacheSpillTest, SpillDisabledDiscardsOnEviction) {
+  CacheManager cache(CacheOptions{/*capacity_bytes=*/150,
+                                  /*spill_enabled=*/false, ""});
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, 0, 0.0, MakeSpillCodec<int>());
+  EXPECT_EQ(cache.spilled_count(), 0u);
+  EXPECT_EQ(cache.stats().spills, 0u);
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);  // discarded, not spilled
+}
+
+TEST(CacheSpillTest, SpillDirWritesRealFiles) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "ss_spill_dir_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  CacheManager cache(CacheOptions{/*capacity_bytes=*/150,
+                                  /*spill_enabled=*/true, dir});
+  cache.Insert({1, 0}, VecPayload({7, 8}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({9}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_EQ(cache.spilled_count(), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(std::filesystem::path(dir) / "spill-1-0.bin"));
+
+  auto reloaded = cache.Lookup({1, 0});
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(VecOf(reloaded), (std::vector<int>{7, 8}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheSpillTest, DropDatasetClearsBothTiers) {
+  CacheManager cache(/*capacity=*/150);
+  cache.Insert({1, 0}, VecPayload({0}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_EQ(cache.spilled_count(), 1u);
+  cache.DropDataset(1);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.spilled_count(), 0u);
+  EXPECT_EQ(cache.Lookup({1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().spill_corrupt, 0u);  // a drop, not a loss
+}
+
+TEST(CacheSpillTest, SetCapacityBytesSpillsDown) {
+  CacheManager cache;  // unlimited
+  cache.Insert({1, 0}, VecPayload({0}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 2}, VecPayload({2}), 100, 0, 0.0, MakeSpillCodec<int>());
+  EXPECT_EQ(cache.spilled_count(), 0u);
+  cache.SetCapacityBytes(100);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.spilled_count(), 2u);
+  EXPECT_EQ(cache.stats().bytes_cached, 100u);
+  // Everything is still reachable, just via the spill tier.
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_NE(cache.Lookup({1, p}), nullptr) << "partition " << p;
+  }
+}
+
+TEST(CacheSpillTest, NodeFailureKeepsSpillFrames) {
+  CacheManager cache(/*capacity=*/150);
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, /*node=*/0, 0.0,
+               MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, /*node=*/0, 0.0,
+               MakeSpillCodec<int>());
+  ASSERT_EQ(cache.spilled_count(), 1u);  // {1,0} spilled
+  // Reload {1,0}: it is memory-resident again with a still-valid frame.
+  ASSERT_NE(cache.Lookup({1, 0}), nullptr);
+
+  cache.DropNode(0);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // The reloaded entry's frame models reliable storage: it survives the
+  // node failure and serves the next miss without a recompute.
+  auto survivor = cache.Lookup({1, 0});
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(VecOf(survivor), (std::vector<int>{0, 1}));
 }
 
 // -- Dataset::Cache() integration -------------------------------------------

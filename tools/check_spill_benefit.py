@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Asserts that the spill tier actually paid off in a bench_caching
+constrained-budget run (`mode=budget`), from its two artifacts:
+
+  * the run-metrics JSON (metrics=<file>) — the tight+spill configuration
+    runs last, so its cache section must show nonzero `spills` and
+    `reloads` (otherwise the budget never forced the second tier and the
+    comparison is vacuous);
+  * the captured stdout — the shape-check line must read
+    "reload-from-spill (...) BEATS lineage recompute (...)", i.e. in the
+    paper-faithful cost regime reloading an evicted U partition is
+    strictly faster than replaying its lineage.
+
+Exit code 0 with a one-line summary on success; 1 with a diagnostic on
+the first violation. Used by the `bench_smoke` ctest; stdlib only.
+
+Usage: check_spill_benefit.py <metrics.json> <bench_stdout.txt>
+"""
+import json
+import re
+import sys
+
+
+def fail(message):
+    print(f"check_spill_benefit: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    metrics_path, stdout_path = argv[1], argv[2]
+
+    try:
+        with open(metrics_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {metrics_path}: {error}")
+    cache = doc.get("cache", {})
+    spills = cache.get("spills", 0)
+    reloads = cache.get("reloads", 0)
+    if spills <= 0:
+        fail(f"{metrics_path}: cache.spills={spills} — the budget never "
+             "forced an eviction into the spill tier (vacuous run)")
+    if reloads <= 0:
+        fail(f"{metrics_path}: cache.reloads={reloads} — nothing was ever "
+             "read back from the spill tier (vacuous run)")
+    if cache.get("spill_corrupt", 0) != 0:
+        fail(f"{metrics_path}: cache.spill_corrupt="
+             f"{cache['spill_corrupt']} in a run with no injected faults")
+
+    try:
+        with open(stdout_path, encoding="utf-8") as handle:
+            stdout = handle.read()
+    except OSError as error:
+        fail(f"cannot read {stdout_path}: {error}")
+    shape = re.search(
+        r"reload-from-spill \(([0-9.]+)s\) (BEATS|does NOT beat) "
+        r"lineage recompute \(([0-9.]+)s\)",
+        stdout,
+    )
+    if shape is None:
+        fail(f"{stdout_path} has no constrained-budget shape-check line")
+    if shape.group(2) != "BEATS":
+        fail(
+            f"reload-from-spill ({shape.group(1)}s) did not beat lineage "
+            f"recompute ({shape.group(3)}s) — the spill tier is not paying "
+            "for itself in the paper-faithful cost regime"
+        )
+
+    print(
+        f"check_spill_benefit: OK: {spills} spills, {reloads} reloads; "
+        f"reload {shape.group(1)}s < recompute {shape.group(3)}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

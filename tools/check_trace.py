@@ -4,11 +4,14 @@ JSON) produced by `sparkscore ... trace=<file> metrics=<file>`.
 
 Checks, stdlib only:
   * the trace parses as JSON and has the trace_event envelope;
-  * every event carries name/ph/ts/pid/tid, with a known phase;
+  * every event carries name/ph/ts/pid/tid, with a known phase and a known
+    category (`cat`) — an unknown category means a producer emitted a new
+    event family without registering it here and in docs/OBSERVABILITY.md;
   * B/E spans balance per thread and nest (LIFO) with matching names;
   * timestamps are non-decreasing (events are driver-sorted);
-  * the metrics JSON (if given) matches schema sparkscore-run-metrics-v1
-    and its per-stage histogram counts sum to the stage's task count.
+  * the metrics JSON (if given) matches schema sparkscore-run-metrics-v1,
+    its per-stage histogram counts sum to the stage's task count, and its
+    cache object carries the full two-tier key set (memory + spill).
 
 Exit code 0 and a one-line summary on success; 1 with a diagnostic on the
 first violation. Used by the `trace_smoke` ctest; see docs/OBSERVABILITY.md.
@@ -19,6 +22,21 @@ import json
 import sys
 
 KNOWN_PHASES = {"B", "E", "i"}
+
+# Every event family the engine emits; see docs/OBSERVABILITY.md. `spill`
+# covers the cache's second tier (spill/reload/corrupt instants).
+KNOWN_CATEGORIES = {
+    "stage", "task", "algo", "batch", "replicate",
+    "cache", "dfs", "broadcast", "fault", "spill",
+}
+
+# The cache section of sparkscore-run-metrics-v1: memory-tier keys plus
+# the spill-tier extension. Consumers key on these names.
+CACHE_KEYS = (
+    "hits", "misses", "insertions", "evictions", "dropped_by_failure",
+    "bytes_cached", "spills", "spill_bytes", "reloads", "reload_nanos",
+    "spill_corrupt", "bytes_spilled",
+)
 
 
 def fail(message):
@@ -62,6 +80,9 @@ def check_trace(path):
         phase = event["ph"]
         if phase not in KNOWN_PHASES:
             fail(f"event #{n} has unknown phase '{phase}'")
+        category = event.get("cat")
+        if category not in KNOWN_CATEGORIES:
+            fail(f"event #{n} has unknown category '{category}'")
         counts[phase] += 1
         ts = event["ts"]
         if last_ts is not None and ts < last_ts:
@@ -94,6 +115,9 @@ def check_metrics(path):
     for key in ("totals", "stages", "cache", "broadcast_bytes", "counters"):
         if key not in doc:
             fail(f"{path} is missing '{key}'")
+    for key in CACHE_KEYS:
+        if key not in doc["cache"]:
+            fail(f"{path} cache section is missing '{key}'")
     total_tasks = 0
     for stage in doc["stages"]:
         hist = stage["task_seconds_hist"]

@@ -74,6 +74,11 @@ Study OpenStudy(const CliArgs& args) {
   ss::engine::EngineContext::Options options;
   options.topology = ss::cluster::EmrCluster(nodes);
   options.seed = generator.seed;
+  // Constrained-memory runs: cache_budget= caps the partition cache
+  // (bytes, 0 = unlimited; evicted partitions spill to the second tier)
+  // and spill_dir= redirects spill frames to real files.
+  options.cache_capacity_bytes = args.GetU64("cache_budget", 0);
+  options.spill_dir = args.GetStr("spill_dir", "");
   study.ctx = std::make_unique<ss::engine::EngineContext>(options,
                                                           study.dfs.get());
 
@@ -91,6 +96,7 @@ Study OpenStudy(const CliArgs& args) {
   // to this knob (batch=1 recovers per-replicate scheduling).
   config.resampling_batch_size = std::max<std::uint64_t>(
       1, args.GetU64("batch", config.resampling_batch_size));
+  config.cache_budget_bytes = args.GetU64("cache_budget", 0);
   auto pipeline = ss::core::SkatPipeline::Open(*study.ctx, paths, config);
   if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
   study.pipeline =
@@ -258,6 +264,7 @@ void PrintUsage() {
       "usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n"
       "keys: patients snps sets reps seed nodes partitions reducers top\n"
       "      method=mc|perm batch=<replicates per engine pass> ld_block\n"
+      "      cache_budget=<bytes, 0=unlimited> spill_dir=<dir>\n"
       "      stages=1 export=<dfs path>\n"
       "      trace=<file> metrics=<file> loglevel=debug|info|warn|error\n",
       stderr);
