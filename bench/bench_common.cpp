@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "engine/trace.hpp"
+#include "stats/kernels/kernels.hpp"
 #include "support/log.hpp"
 
 namespace ss::bench {
@@ -21,6 +22,19 @@ void ConfigureObservability(const Args& args) {
   }
   if (!args.GetStr("trace", "").empty()) {
     engine::Tracer::Global().Enable();
+  }
+  // kernel=scalar|sse2|avx2 forces the SIMD dispatch level process-wide
+  // (same as SS_KERNEL; unsupported requests clamp down with a warning).
+  const std::string kernel = args.GetStr("kernel", "");
+  if (!kernel.empty()) {
+    Result<stats::kernels::DispatchLevel> level =
+        stats::kernels::ParseDispatchLevel(kernel);
+    if (level.ok()) {
+      stats::kernels::SetDispatchLevel(level.value());
+    } else {
+      std::fprintf(stderr, "%s; ignored\n",
+                   level.status().ToString().c_str());
+    }
   }
   // Registers the key for unknown-key diagnostics even in benches that
   // only write artifacts conditionally.
@@ -156,6 +170,9 @@ Workload DefaultWorkload(const Args& args, std::uint64_t snps_default,
   workload.engine.cache_capacity_bytes = args.GetU64("cache_budget", 0);
   workload.pipeline.cache_budget_bytes = workload.engine.cache_capacity_bytes;
   workload.engine.spill_dir = args.GetStr("spill_dir", "");
+  // pack=0 ablates 2-bit packed genotype storage (bitwise-identical
+  // results; only cache/spill bytes change).
+  workload.pipeline.pack_genotypes = args.GetU64("pack", 1) != 0;
   return workload;
 }
 

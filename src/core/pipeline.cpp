@@ -1,10 +1,12 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
 #include "engine/dataset_ops.hpp"
 #include "engine/trace.hpp"
+#include "stats/kernels/kernels.hpp"
 #include "stats/resampling.hpp"
 #include "support/log.hpp"
 
@@ -84,12 +86,48 @@ SkatPipeline::SkatPipeline(engine::EngineContext& ctx,
     ctx.cache().SetCapacityBytes(config_.cache_budget_bytes);
   }
 
+  // Every run reports which kernel tier it executed with (the gauge
+  // lands in the metrics JSON "kernel" section).
+  engine::CounterRegistry::Global()
+      .Get("kernel.dispatch")
+      .store(static_cast<std::uint64_t>(stats::kernels::ActiveDispatchLevel()),
+             std::memory_order_relaxed);
+
   // Step 4: filter the genotype matrix to the union of all SNP-sets. The
   // membership bitmap is broadcast (it is tiny relative to genotypes).
   auto membership = engine::MakeBroadcast(ctx, BuildMembership(sets_));
   fgm_ = genotypes.Filter([membership](const SnpRecord& record) {
     return record.snp < membership->size() && (*membership)[record.snp] != 0;
   });
+
+  if (config_.pack_genotypes) {
+    // The genotype partitions that live in the cache (and spill under a
+    // budget) are the 2-bit packed form — 4x fewer bytes. The byte
+    // counters track both representations so the run report can show
+    // the savings; lineage recomputation re-adds to both, preserving
+    // the packed/unpacked ratio.
+    auto& registry = engine::CounterRegistry::Global();
+    std::atomic<std::uint64_t>* packed_bytes =
+        &registry.Get("genotype.packed_bytes");
+    std::atomic<std::uint64_t>* unpacked_bytes =
+        &registry.Get("genotype.unpacked_bytes");
+    fgm_packed_ = fgm_.Map(
+        [packed_bytes, unpacked_bytes](const SnpRecord& record) {
+          stats::PackedSnpRecord packed{
+              record.snp, stats::PackedGenotypeBlock::Pack(record.genotypes)};
+          unpacked_bytes->fetch_add(record.genotypes.size(),
+                                    std::memory_order_relaxed);
+          packed_bytes->fetch_add(packed.genotypes.payload().size(),
+                                  std::memory_order_relaxed);
+          return packed;
+        });
+    if (config_.cache_contributions) {
+      // Permutation replicates rebuild U from genotypes every pass;
+      // caching the packed form keeps that rebuild off the parse chain
+      // at a quarter of the unpacked footprint.
+      fgm_packed_.Cache();
+    }
+  }
 
   // Step 2 result, from driver-side weights (in-memory construction path).
   std::vector<std::pair<std::uint32_t, double>> weight_sq_pairs;
@@ -172,6 +210,14 @@ SkatPipeline SkatPipeline::FromMemory(engine::EngineContext& ctx,
 Dataset<std::pair<std::uint32_t, std::vector<double>>> SkatPipeline::BuildU(
     const engine::Broadcast<stats::ScoreEngine>& engine) const {
   // Steps 6-7: per-SNP contributions under the broadcast phenotype.
+  if (config_.pack_genotypes) {
+    // Decode the 2-bit block back to dosages at the point of use; the
+    // roundtrip is lossless so scores are bitwise unchanged.
+    return fgm_packed_.Map([engine](const stats::PackedSnpRecord& record) {
+      return std::pair<std::uint32_t, std::vector<double>>(
+          record.snp, engine->Contributions(record.genotypes.Unpack()));
+    });
+  }
   return fgm_.Map([engine](const SnpRecord& record) {
     return std::pair<std::uint32_t, std::vector<double>>(
         record.snp, engine->Contributions(record.genotypes));

@@ -23,11 +23,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/record_traits.hpp"  // IWYU pragma: keep (codec/byte-size traits)
 #include "engine/broadcast.hpp"
 #include "engine/dataset.hpp"
 #include "simdata/dfs_writer.hpp"
 #include "simdata/generator.hpp"
 #include "simdata/text_format.hpp"
+#include "stats/kernels/packed_genotype.hpp"
 #include "stats/score_engine.hpp"
 #include "stats/skat.hpp"
 #include "support/status.hpp"
@@ -56,6 +58,13 @@ struct PipelineConfig {
   /// partitions spill to the second tier (see engine/cache_manager.hpp);
   /// the constrained-memory benches set this.
   std::uint64_t cache_budget_bytes = 0;
+
+  /// Store filtered genotypes as 2-bit packed blocks
+  /// (stats::PackedGenotypeBlock): ~4x fewer bytes per cached/spilled
+  /// genotype partition under `cache_budget=`, decoded to dosages just
+  /// before scoring. Packing is lossless, so results are bitwise
+  /// identical either way; `pack=0` in the CLI/benches is the ablation.
+  bool pack_genotypes = true;
 
   /// Evaluate Cox contributions with the paper's per-patient formulation
   /// (O(n²) per SNP) instead of this library's O(n) risk-set path. Same
@@ -124,7 +133,7 @@ class SkatPipeline {
 
   /// Algorithm 3's modified step 8 for a whole batch: per SNP, the signed
   /// replicate scores Ũ_jb = Σ_i Z_ib U_ij for all `count` replicates of a
-  /// replicate-major Z block (stats::MonteCarloZBlock layout), computed in
+  /// patient-major Z block (stats::MonteCarloZBlock layout), computed in
   /// ONE engine pass over the cached U partitions with the blocked
   /// stats::BatchedReplicateScores kernel. The per-set folds (steps 9-12)
   /// happen driver-side in the resampling driver, in the serial oracle's
@@ -183,6 +192,10 @@ class SkatPipeline {
   PipelineConfig config_;
 
   engine::Dataset<simdata::SnpRecord> fgm_;  ///< Filtered genotype RDD (step 4).
+
+  /// 2-bit packed form of fgm_ (the cached/spilled genotype format when
+  /// `pack_genotypes` is set); all U builds decode from this instead.
+  engine::Dataset<stats::PackedSnpRecord> fgm_packed_;
   engine::Dataset<std::pair<std::uint32_t, double>> weights_sq_;  ///< Step 2.
   engine::Dataset<std::pair<std::uint32_t, double>> weights_;  ///< Unsquared ω (SKAT-O path).
   stats::Phenotype phenotype_;

@@ -9,6 +9,7 @@
 #include "engine/approx_bytes.hpp"
 #include "engine/codec.hpp"
 #include "simdata/text_format.hpp"
+#include "stats/kernels/packed_genotype.hpp"
 #include "stats/score_engine.hpp"
 
 namespace ss::engine::internal {
@@ -16,6 +17,24 @@ namespace ss::engine::internal {
 template <>
 struct ApproxBytesImpl<ss::simdata::SnpRecord> {
   static std::size_t Of(const ss::simdata::SnpRecord& record) {
+    // capacity(), not size(): the cache budget must account for the
+    // bytes the vector actually owns — parsers and push_back growth
+    // commonly over-allocate, and those slack bytes are resident.
+    return sizeof(record.snp) + sizeof(record.genotypes) +
+           record.genotypes.capacity() * sizeof(std::uint8_t);
+  }
+};
+
+template <>
+struct ApproxBytesImpl<ss::stats::PackedGenotypeBlock> {
+  static std::size_t Of(const ss::stats::PackedGenotypeBlock& block) {
+    return sizeof(block) + block.payload().capacity() * sizeof(std::uint8_t);
+  }
+};
+
+template <>
+struct ApproxBytesImpl<ss::stats::PackedSnpRecord> {
+  static std::size_t Of(const ss::stats::PackedSnpRecord& record) {
     return sizeof(record.snp) + ApproxBytesOf(record.genotypes);
   }
 };
@@ -57,5 +76,34 @@ struct Codec<ss::simdata::SnpRecord> {
     return record;
   }
 };
+
+/// Spill/checkpoint serialization for 2-bit packed genotype records.
+template <>
+struct Codec<ss::stats::PackedSnpRecord> {
+  static void Encode(BinaryWriter& writer,
+                     const ss::stats::PackedSnpRecord& record) {
+    writer.WriteU32(record.snp);
+    writer.WriteU8(record.genotypes.packed() ? 1 : 0);
+    writer.WriteU32(static_cast<std::uint32_t>(record.genotypes.size()));
+    writer.WritePodVector(record.genotypes.payload());
+  }
+  static ss::stats::PackedSnpRecord Decode(BinaryReader& reader) {
+    ss::stats::PackedSnpRecord record;
+    record.snp = reader.ReadU32();
+    const bool packed = reader.ReadU8() != 0;
+    const std::uint32_t size = reader.ReadU32();
+    record.genotypes = ss::stats::PackedGenotypeBlock::FromPayload(
+        size, packed, reader.ReadPodVector<std::uint8_t>());
+    return record;
+  }
+};
+
+// Genotype partitions (both representations) may cross the cache's
+// spill tier: the Codecs above round-trip them exactly.
+template <>
+inline constexpr bool kSpillable<ss::simdata::SnpRecord> = true;
+
+template <>
+inline constexpr bool kSpillable<ss::stats::PackedSnpRecord> = true;
 
 }  // namespace ss::engine

@@ -7,6 +7,7 @@
 
 #include "engine/trace.hpp"
 #include "stats/burden.hpp"
+#include "stats/kernels/kernels.hpp"
 #include "stats/pvalue.hpp"
 #include "stats/resampling.hpp"
 
@@ -116,10 +117,10 @@ std::vector<SetScores> FoldReplicateScores(
       auto weight_it = weights.find(snp);
       const double w = weight_it == weights.end() ? 1.0 : weight_it->second;
       const std::vector<double>& scores = score_it->second;
-      for (std::size_t r = 0; r < count; ++r) {
-        const double squared = scores[r] * scores[r];
-        acc[r] += w * w * squared;
-      }
+      // Routed kernel; w*w precomputed here evaluates exactly like the
+      // original `w * w * squared` left-to-right expression.
+      stats::kernels::ActiveKernels().skat_fold(scores.data(), count, w * w,
+                                                acc.data());
     }
     for (std::size_t r = 0; r < count; ++r) out[r][set.id] = acc[r];
   }
@@ -147,12 +148,8 @@ FoldSkatBurdenScores(
       auto weight_it = weights.find(snp);
       const double w = weight_it == weights.end() ? 1.0 : weight_it->second;
       const std::vector<double>& scores = score_it->second;
-      for (std::size_t r = 0; r < count; ++r) {
-        const double s = scores[r];
-        const double squared = s * s;
-        skat[r] += w * w * squared;
-        burden_sum[r] += w * s;
-      }
+      stats::kernels::ActiveKernels().skat_burden_fold(
+          scores.data(), count, w, w * w, skat.data(), burden_sum.data());
     }
     for (std::size_t r = 0; r < count; ++r) {
       out[r][set.id] = {skat[r], burden_sum[r] * burden_sum[r]};

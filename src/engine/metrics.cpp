@@ -294,6 +294,26 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
   out += ",\"spill_corrupt\":" + std::to_string(cache.spill_corrupt);
   out += ",\"bytes_spilled\":" + std::to_string(cache.bytes_spilled) + "}";
   out += ",\"broadcast_bytes\":" + std::to_string(broadcast_bytes);
+  // Kernel gauge section, read from the process-global registry. The
+  // numeric level is stamped by the stats kernel layer; the name map is
+  // duplicated here because ss_engine cannot depend on ss_stats.
+  {
+    auto& registry = CounterRegistry::Global();
+    const std::uint64_t dispatch =
+        registry.Get("kernel.dispatch").load(std::memory_order_relaxed);
+    static constexpr const char* kDispatchNames[] = {"scalar", "sse2", "avx2"};
+    const char* dispatch_name =
+        dispatch < 3 ? kDispatchNames[dispatch] : "unknown";
+    out += ",\"kernel\":{\"dispatch\":" + std::to_string(dispatch);
+    out += ",\"dispatch_name\":\"" + std::string(dispatch_name) + "\"";
+    out += ",\"packed_bytes\":" +
+           std::to_string(registry.Get("genotype.packed_bytes")
+                              .load(std::memory_order_relaxed));
+    out += ",\"unpacked_bytes\":" +
+           std::to_string(registry.Get("genotype.unpacked_bytes")
+                              .load(std::memory_order_relaxed)) +
+           "}";
+  }
   out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : CounterRegistry::Global().Snapshot()) {

@@ -1,5 +1,6 @@
 #include "stats/cox_score.hpp"
 
+#include "stats/kernels/kernels.hpp"
 #include "support/status.hpp"
 
 namespace ss::stats {
@@ -19,13 +20,12 @@ std::vector<double> CoxScoreContributions(
     prefix[k + 1] = prefix[k] + static_cast<double>(genotypes[order[k]]);
   }
 
-  std::vector<double> contributions(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (data.event[i] == 0) continue;  // censored patients contribute 0
-    const double a = prefix[index.prefix_end(i)];
-    const double b = static_cast<double>(index.risk_count(i));
-    contributions[i] = static_cast<double>(genotypes[i]) - a / b;
-  }
+  // The per-patient scan is a routed kernel (risk_count(i) ==
+  // prefix_end(i), so the kernel derives b from the prefix-end array).
+  std::vector<double> contributions(n);
+  kernels::ActiveKernels().cox_scan(data.event.data(), genotypes.data(),
+                                    prefix.data(), index.prefix_ends().data(),
+                                    n, contributions.data());
   return contributions;
 }
 

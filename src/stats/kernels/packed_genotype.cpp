@@ -1,0 +1,105 @@
+#include "stats/kernels/packed_genotype.hpp"
+
+#include <cstring>
+
+namespace ss::stats {
+namespace {
+
+// kDecode.v[byte] = the four dosages packed into `byte`, low crumb first.
+struct DecodeTable {
+  std::uint8_t v[256][4];
+};
+
+constexpr DecodeTable BuildDecodeTable() {
+  DecodeTable table{};
+  for (int byte = 0; byte < 256; ++byte) {
+    for (int k = 0; k < 4; ++k) {
+      table.v[byte][k] = static_cast<std::uint8_t>((byte >> (2 * k)) & 0x3);
+    }
+  }
+  return table;
+}
+
+constexpr DecodeTable kDecode = BuildDecodeTable();
+
+}  // namespace
+
+PackedGenotypeBlock PackedGenotypeBlock::Pack(
+    const std::vector<std::uint8_t>& dosages) {
+  PackedGenotypeBlock block;
+  block.size_ = static_cast<std::uint32_t>(dosages.size());
+  for (std::uint8_t d : dosages) {
+    if (d > 3) {
+      block.packed_ = false;
+      block.payload_ = dosages;
+      return block;
+    }
+  }
+  block.payload_.assign((dosages.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < dosages.size(); ++i) {
+    block.payload_[i >> 2] = static_cast<std::uint8_t>(
+        block.payload_[i >> 2] | (dosages[i] << (2 * (i & 3))));
+  }
+  return block;
+}
+
+PackedGenotypeBlock PackedGenotypeBlock::FromPayload(
+    std::uint32_t size, bool packed, std::vector<std::uint8_t> payload) {
+  PackedGenotypeBlock block;
+  block.size_ = size;
+  block.packed_ = packed;
+  block.payload_ = std::move(payload);
+  return block;
+}
+
+std::vector<std::uint8_t> PackedGenotypeBlock::Unpack() const {
+  std::vector<std::uint8_t> out;
+  UnpackInto(&out);
+  return out;
+}
+
+void PackedGenotypeBlock::UnpackInto(std::vector<std::uint8_t>* out) const {
+  if (!packed_) {
+    *out = payload_;
+    return;
+  }
+  out->resize(size_);
+  std::uint8_t* dst = out->data();
+  const std::size_t full_bytes = size_ / 4;
+  for (std::size_t b = 0; b < full_bytes; ++b) {
+    std::memcpy(dst + 4 * b, kDecode.v[payload_[b]], 4);
+  }
+  for (std::size_t i = 4 * full_bytes; i < size_; ++i) {
+    dst[i] = kDecode.v[payload_[i >> 2]][i & 3];
+  }
+}
+
+std::uint64_t PackedGenotypeBlock::AlleleCount() const {
+  if (!packed_) {
+    std::uint64_t total = 0;
+    for (std::uint8_t d : payload_) total += d;
+    return total;
+  }
+  // Dosage = low crumb bit + 2 * high crumb bit, so the sum over a word
+  // is popcount(low bits) + 2 * popcount(high bits). Unused trailing
+  // crumbs are zero by construction and contribute nothing.
+  constexpr std::uint64_t kLowCrumbBits = 0x5555555555555555ULL;
+  std::uint64_t total = 0;
+  std::size_t b = 0;
+  for (; b + 8 <= payload_.size(); b += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, payload_.data() + b, sizeof(word));
+    total += static_cast<std::uint64_t>(__builtin_popcountll(word & kLowCrumbBits)) +
+             2 * static_cast<std::uint64_t>(
+                     __builtin_popcountll((word >> 1) & kLowCrumbBits));
+  }
+  for (; b < payload_.size(); ++b) {
+    const std::uint8_t byte = payload_[b];
+    total += static_cast<std::uint64_t>(__builtin_popcount(byte & 0x55)) +
+             2 * static_cast<std::uint64_t>(
+                     __builtin_popcount((byte >> 1) & 0x55));
+  }
+  return total;
+}
+
+}  // namespace ss::stats

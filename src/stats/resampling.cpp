@@ -1,5 +1,6 @@
 #include "stats/resampling.hpp"
 
+#include "stats/kernels/kernels.hpp"
 #include "support/distributions.hpp"
 #include "support/status.hpp"
 
@@ -39,13 +40,16 @@ double MonteCarloReplicateScore(const std::vector<double>& contributions,
 
 std::vector<double> MonteCarloZBlock(std::uint64_t seed, std::size_t n,
                                      std::uint64_t first, std::size_t count) {
-  std::vector<double> block;
-  block.reserve(n * count);
+  std::vector<double> block(n * count);
   Rng root(seed);
   for (std::size_t r = 0; r < count; ++r) {
+    // Replicate r's draws come from the same splittable stream as the
+    // per-replicate path; only the storage is transposed to patient-major
+    // so the MAC kernels read each patient's `count` multipliers as one
+    // contiguous vector (no transpose or strided loads on the hot path).
     Rng rng = root.Split(first + r + 1);
     const std::vector<double> row = SampleNormalVector(rng, n);
-    block.insert(block.end(), row.begin(), row.end());
+    for (std::size_t i = 0; i < n; ++i) block[i * count + r] = row[i];
   }
   return block;
 }
@@ -54,38 +58,11 @@ void BatchedReplicateScores(const std::vector<double>& contributions,
                             const double* zblock, std::size_t count,
                             std::vector<double>* out) {
   const std::size_t n = contributions.size();
-  out->assign(count, 0.0);
-  std::size_t r = 0;
-  // Four replicates per pass: each contribution is loaded once and feeds
-  // four independent accumulators, which also hides the FP add latency
-  // the single-accumulator dot product serializes on.
-  for (; r + 4 <= count; r += 4) {
-    const double* z0 = zblock + (r + 0) * n;
-    const double* z1 = zblock + (r + 1) * n;
-    const double* z2 = zblock + (r + 2) * n;
-    const double* z3 = zblock + (r + 3) * n;
-    double acc0 = 0.0;
-    double acc1 = 0.0;
-    double acc2 = 0.0;
-    double acc3 = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double u = contributions[i];
-      acc0 += z0[i] * u;
-      acc1 += z1[i] * u;
-      acc2 += z2[i] * u;
-      acc3 += z3[i] * u;
-    }
-    (*out)[r + 0] = acc0;
-    (*out)[r + 1] = acc1;
-    (*out)[r + 2] = acc2;
-    (*out)[r + 3] = acc3;
-  }
-  for (; r < count; ++r) {
-    const double* z = zblock + r * n;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += z[i] * contributions[i];
-    (*out)[r] = acc;
-  }
+  out->resize(count);
+  // The blocked scalar MAC moved to kernels::internal::BatchedMacScalar;
+  // the dispatch table selects it or a bitwise-identical SIMD variant.
+  kernels::ActiveKernels().batched_mac(contributions.data(), n, zblock, count,
+                                       out->data());
 }
 
 }  // namespace ss::stats

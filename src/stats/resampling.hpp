@@ -52,18 +52,21 @@ class MonteCarloWeights {
 double MonteCarloReplicateScore(const std::vector<double>& contributions,
                                 const std::vector<double>& multipliers);
 
-/// Contiguous replicate-major block of standard-normal multipliers for
-/// replicates [first, first+count): row r (global replicate first+r)
-/// occupies [r*n, (r+1)*n). Each row is drawn from the same splittable
-/// per-replicate stream as MonteCarloWeights — Rng(seed).Split(b+1) — so
-/// replicate b's multipliers are bitwise identical for every partitioning
-/// of the replicate range into batches.
+/// Contiguous patient-major block of standard-normal multipliers for
+/// replicates [first, first+count): replicate r's multiplier for patient
+/// i sits at [i*count + r], i.e. each patient's `count` multipliers are
+/// adjacent. That layout is what lets the batched MAC kernels load a
+/// vector of replicate lanes with one contiguous read instead of a
+/// transpose. Each replicate is drawn from the same splittable stream as
+/// MonteCarloWeights — Rng(seed).Split(b+1) — so replicate b's
+/// multipliers are bitwise identical for every partitioning of the
+/// replicate range into batches.
 std::vector<double> MonteCarloZBlock(std::uint64_t seed, std::size_t n,
                                      std::uint64_t first, std::size_t count);
 
 /// The batched form of MonteCarloReplicateScore: one pass over the
 /// contributions computes Ũ_jb for all `count` replicates of a Z block
-/// (MonteCarloZBlock layout), writing out[r] = Σ_i Z[r*n+i] · U_i. The
+/// (MonteCarloZBlock layout), writing out[r] = Σ_i Z[i*count+r] · U_i. The
 /// kernel is blocked over replicates so each contribution load feeds
 /// several accumulators, but every accumulator still sums over i in
 /// ascending order — out[r] is bitwise equal to

@@ -56,6 +56,9 @@ class RiskSetIndex {
   /// Number of sorted entries in patient i's risk set (== risk_count).
   std::uint32_t prefix_end(std::size_t i) const { return prefix_end_[i]; }
 
+  /// Whole prefix-end array, for the vectorized per-SNP scan kernel.
+  const std::vector<std::uint32_t>& prefix_ends() const { return prefix_end_; }
+
  private:
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> prefix_end_;

@@ -7,12 +7,14 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/resampling_methods.hpp"
 #include "engine/context.hpp"
+#include "stats/kernels/kernels.hpp"
 
 namespace ss::core {
 namespace {
@@ -51,6 +53,19 @@ ResamplingResult RunMonteCarlo(std::size_t threads, std::uint64_t replicates,
   engine::EngineContext ctx(OptionsWithThreads(threads));
   PipelineConfig config;
   config.seed = kSeed;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  return RunMonteCarloMethod(pipeline, replicates);
+}
+
+ResamplingResult RunMonteCarloConfigured(std::size_t threads,
+                                         std::uint64_t batch, bool pack,
+                                         std::uint64_t replicates,
+                                         const simdata::SyntheticDataset& dataset) {
+  engine::EngineContext ctx(OptionsWithThreads(threads));
+  PipelineConfig config;
+  config.seed = kSeed;
+  config.resampling_batch_size = batch;
+  config.pack_genotypes = pack;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
   return RunMonteCarloMethod(pipeline, replicates);
 }
@@ -106,6 +121,46 @@ TEST(DeterminismTest, ThreadCountDoesNotLeakIntoPValues) {
     EXPECT_TRUE(BitEqual(serial.PValue(set_id), wide.PValue(set_id)))
         << "p-value for set " << set_id;
   }
+}
+
+TEST(DeterminismTest, PackedGenotypesIdenticalAcrossThreadsAndBatches) {
+  // The 2-bit packed genotype path is a pure storage change: every
+  // combination of packing x threads {1,4} x batch {1,64} must be
+  // byte-identical to the unpacked single-thread per-replicate run.
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  const ResamplingResult reference =
+      RunMonteCarloConfigured(1, 1, /*pack=*/false, 20, dataset);
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::uint64_t batch : {1u, 64u}) {
+      for (bool pack : {false, true}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " batch=" +
+                     std::to_string(batch) + " pack=" + std::to_string(pack));
+        ExpectByteIdentical(
+            reference,
+            RunMonteCarloConfigured(threads, batch, pack, 20, dataset));
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, DispatchLevelsProduceIdenticalResults) {
+  // SIMD kernels keep the scalar lane/accumulation order, so forcing any
+  // executable dispatch level must reproduce the scalar run bit-for-bit.
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  const stats::kernels::DispatchLevel saved =
+      stats::kernels::ActiveDispatchLevel();
+  stats::kernels::SetDispatchLevel(stats::kernels::DispatchLevel::kScalar);
+  const ResamplingResult scalar = RunMonteCarloConfigured(4, 4, true, 20, dataset);
+  const int best = static_cast<int>(stats::kernels::BestSupportedLevel());
+  for (int level = 1; level <= best; ++level) {
+    stats::kernels::SetDispatchLevel(
+        static_cast<stats::kernels::DispatchLevel>(level));
+    SCOPED_TRACE(std::string("level=") + stats::kernels::DispatchLevelName(
+                     stats::kernels::ActiveDispatchLevel()));
+    ExpectByteIdentical(scalar,
+                        RunMonteCarloConfigured(4, 4, true, 20, dataset));
+  }
+  stats::kernels::SetDispatchLevel(saved);
 }
 
 TEST(DeterminismTest, TaskRngIndependentOfAttemptNumber) {

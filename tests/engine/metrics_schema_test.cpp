@@ -54,8 +54,19 @@ TEST(RunMetricsSchemaTest, SchemaTagIsFirst) {
 TEST(RunMetricsSchemaTest, TopLevelKeySetAndOrder) {
   ExpectOrderedKeys(SampleRunMetricsJson(),
                     {"schema", "tasks_completed", "totals", "stages", "cache",
-                     "broadcast_bytes", "counters"},
+                     "broadcast_bytes", "kernel", "counters"},
                     "top level");
+}
+
+TEST(RunMetricsSchemaTest, KernelKeySetAndOrder) {
+  // The kernel section's keys are a contract with tools/check_trace.py.
+  // dispatch_name is host-dependent (scalar/sse2/avx2), so assert key
+  // order rather than a digit-stripped golden.
+  ExpectOrderedKeys(
+      SampleRunMetricsJson(),
+      {"kernel", "dispatch", "dispatch_name", "packed_bytes",
+       "unpacked_bytes"},
+      "kernel");
 }
 
 TEST(RunMetricsSchemaTest, TotalsKeySetAndOrder) {

@@ -159,6 +159,7 @@ struct SoakCell {
   std::uint64_t batch = 64;
   bool corrupt_mid_run = false;
   bool drop_mid_run = false;
+  bool pack = true;
 };
 
 std::uint64_t RunSoakCell(std::uint64_t seed, const SoakCell& cell) {
@@ -187,6 +188,7 @@ std::uint64_t RunSoakCell(std::uint64_t seed, const SoakCell& cell) {
   config.num_partitions = 4;
   config.num_reducers = 4;
   config.resampling_batch_size = cell.batch;
+  config.pack_genotypes = cell.pack;
   core::SkatPipeline pipeline = core::SkatPipeline::FromMemory(
       ctx, simdata::Generate(generator), config);
 
@@ -204,6 +206,7 @@ std::string SoakCellName(const SoakCell& cell) {
                      " batch=" + std::to_string(cell.batch);
   if (cell.corrupt_mid_run) name += " corrupt_mid_run";
   if (cell.drop_mid_run) name += " drop_mid_run";
+  if (!cell.pack) name += " pack=0";
   return name;
 }
 
@@ -235,6 +238,9 @@ TEST(SpillSoakMatrix, EveryCellBitwiseEqualsUnlimitedMemoryRun) {
           }
         }
       }
+      // Packed-genotype ablation: the 2-bit representation must not leak
+      // into results under any budget (only cache/spill bytes change).
+      check(SoakCell{budget, true, 4, 64, false, false, /*pack=*/false});
       if (budget != 0) {
         // Sabotaged spill store mid-run: results must still match (the
         // cache degrades corrupt frames to lineage recomputes).

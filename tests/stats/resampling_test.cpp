@@ -87,11 +87,15 @@ TEST(MonteCarloZBlockTest, RowsBitwiseEqualPerReplicateDraws) {
   ASSERT_EQ(head.size(), 3 * n);
   ASSERT_EQ(tail.size(), 7 * n);
   for (std::size_t b = 0; b < 10; ++b) {
-    const double* row =
-        b < 3 ? head.data() + b * n : tail.data() + (b - 3) * n;
+    // Patient-major layout: replicate b's draw for patient i sits at
+    // [i * block_count + local_b] within its block.
+    const double* block = b < 3 ? head.data() : tail.data();
+    const std::size_t block_count = b < 3 ? 3 : 7;
+    const std::size_t local_b = b < 3 ? b : b - 3;
     const std::vector<double>& z = reference.Get(b);
     for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_EQ(row[i], z[i]) << "replicate " << b << " element " << i;
+      EXPECT_EQ(block[i * block_count + local_b], z[i])
+          << "replicate " << b << " element " << i;
     }
   }
 }
@@ -108,8 +112,8 @@ TEST(BatchedReplicateScoresTest, BitwiseEqualPerReplicateDotProducts) {
     BatchedReplicateScores(u, zblock.data(), count, &batched);
     ASSERT_EQ(batched.size(), count);
     for (std::size_t r = 0; r < count; ++r) {
-      const std::vector<double> z(zblock.begin() + r * u.size(),
-                                  zblock.begin() + (r + 1) * u.size());
+      std::vector<double> z(u.size());
+      for (std::size_t i = 0; i < u.size(); ++i) z[i] = zblock[i * count + r];
       EXPECT_EQ(batched[r], MonteCarloReplicateScore(u, z))
           << "count " << count << " replicate " << r;
     }

@@ -10,8 +10,10 @@ Checks, stdlib only:
   * B/E spans balance per thread and nest (LIFO) with matching names;
   * timestamps are non-decreasing (events are driver-sorted);
   * the metrics JSON (if given) matches schema sparkscore-run-metrics-v1,
-    its per-stage histogram counts sum to the stage's task count, and its
-    cache object carries the full two-tier key set (memory + spill).
+    its per-stage histogram counts sum to the stage's task count, its
+    cache object carries the full two-tier key set (memory + spill), and
+    its kernel object names a known SIMD dispatch level and carries the
+    genotype packing byte counters.
 
 Exit code 0 and a one-line summary on success; 1 with a diagnostic on the
 first violation. Used by the `trace_smoke` ctest; see docs/OBSERVABILITY.md.
@@ -37,6 +39,11 @@ CACHE_KEYS = (
     "bytes_cached", "spills", "spill_bytes", "reloads", "reload_nanos",
     "spill_corrupt", "bytes_spilled",
 )
+
+# The kernel section: the SIMD dispatch level in effect (numeric + name)
+# and the 2-bit genotype packing byte counters.
+KERNEL_KEYS = ("dispatch", "dispatch_name", "packed_bytes", "unpacked_bytes")
+KERNEL_DISPATCH_NAMES = {"scalar", "sse2", "avx2", "unknown"}
 
 
 def fail(message):
@@ -112,12 +119,21 @@ def check_metrics(path):
     doc = load_json(path)
     if doc.get("schema") != "sparkscore-run-metrics-v1":
         fail(f"{path} schema is {doc.get('schema')!r}")
-    for key in ("totals", "stages", "cache", "broadcast_bytes", "counters"):
+    for key in ("totals", "stages", "cache", "broadcast_bytes", "kernel",
+                "counters"):
         if key not in doc:
             fail(f"{path} is missing '{key}'")
     for key in CACHE_KEYS:
         if key not in doc["cache"]:
             fail(f"{path} cache section is missing '{key}'")
+    for key in KERNEL_KEYS:
+        if key not in doc["kernel"]:
+            fail(f"{path} kernel section is missing '{key}'")
+    if doc["kernel"]["dispatch_name"] not in KERNEL_DISPATCH_NAMES:
+        fail(
+            f"{path} kernel.dispatch_name is "
+            f"{doc['kernel']['dispatch_name']!r}"
+        )
     total_tasks = 0
     for stage in doc["stages"]:
         hist = stage["task_seconds_hist"]

@@ -32,6 +32,7 @@
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
 #include "engine/trace.hpp"
+#include "stats/kernels/kernels.hpp"
 #include "support/log.hpp"
 #include "support/option_map.hpp"
 #include "support/stopwatch.hpp"
@@ -97,6 +98,9 @@ Study OpenStudy(const CliArgs& args) {
   config.resampling_batch_size = std::max<std::uint64_t>(
       1, args.GetU64("batch", config.resampling_batch_size));
   config.cache_budget_bytes = args.GetU64("cache_budget", 0);
+  // pack=0 ablates the 2-bit packed genotype storage (results are
+  // bitwise identical either way; only cache/spill bytes change).
+  config.pack_genotypes = args.GetU64("pack", 1) != 0;
   auto pipeline = ss::core::SkatPipeline::Open(*study.ctx, paths, config);
   if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
   study.pipeline =
@@ -265,6 +269,8 @@ void PrintUsage() {
       "keys: patients snps sets reps seed nodes partitions reducers top\n"
       "      method=mc|perm batch=<replicates per engine pass> ld_block\n"
       "      cache_budget=<bytes, 0=unlimited> spill_dir=<dir>\n"
+      "      kernel=scalar|sse2|avx2 (force SIMD dispatch; also SS_KERNEL)\n"
+      "      pack=0|1 (2-bit packed genotype storage, default 1)\n"
       "      stages=1 export=<dfs path>\n"
       "      trace=<file> metrics=<file> loglevel=debug|info|warn|error\n",
       stderr);
@@ -293,6 +299,19 @@ int main(int argc, char** argv) {
   }
   if (!args.GetStr("trace", "").empty()) {
     ss::engine::Tracer::Global().Enable();
+  }
+  // kernel=scalar|sse2|avx2 forces the SIMD dispatch level for the whole
+  // process (same as the SS_KERNEL environment variable; requests above
+  // what the CPU supports clamp down with a warning).
+  const std::string kernel = args.GetStr("kernel", "");
+  if (!kernel.empty()) {
+    Result<ss::stats::kernels::DispatchLevel> level =
+        ss::stats::kernels::ParseDispatchLevel(kernel);
+    if (!level.ok()) {
+      std::fprintf(stderr, "error: %s\n", level.status().ToString().c_str());
+      return 2;
+    }
+    ss::stats::kernels::SetDispatchLevel(level.value());
   }
   try {
     const std::string command = argv[1];

@@ -22,6 +22,12 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                    an identifier that header declares, and a .cpp must
                    include its own header first — include-what-you-use,
                    scoped to project headers only.
+  simd-dispatch    raw SIMD — `__AVX2__`/`__SSE2__` preprocessor tests and
+                   the <immintrin.h>/<emmintrin.h> intrinsic headers — is
+                   confined to src/stats/kernels/. Everywhere else goes
+                   through the runtime dispatch table (kernels.hpp), so
+                   a single SS_KERNEL switch really covers every SIMD
+                   code path.
 
 A finding is suppressed by appending `// ss-lint: allow(<rule>) <why>` to
 the offending line. Exit code: 0 clean, 1 findings, 2 usage error.
@@ -280,12 +286,43 @@ def check_iwyu(root):
                         "declares is referenced)", raw_line)
 
 
+# --- rule: simd-dispatch ---------------------------------------------------
+
+SIMD_MACRO_RE = re.compile(r"\b__(AVX2|SSE2|AVX512[A-Z]*)__\b")
+SIMD_INCLUDE_RE = re.compile(r'#\s*include\s*<(x?immintrin|[a-z]mmintrin)\.h>')
+
+
+def check_simd_dispatch(root):
+    kernels_dir = os.path.join("src", "stats", "kernels") + os.sep
+    for path in iter_files(root, ALL_CODE_DIRS, {".cpp", ".hpp", ".cc", ".h"}):
+        rpath = rel(root, path)
+        if rpath.startswith(kernels_dir):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            match = SIMD_MACRO_RE.search(line)
+            if match:
+                finding(rpath, no, "simd-dispatch",
+                        f"raw `{match.group(0)}` test outside "
+                        "src/stats/kernels/ — route SIMD through the "
+                        "dispatch table (stats/kernels/kernels.hpp)", raw)
+            match = SIMD_INCLUDE_RE.search(line)
+            if match:
+                finding(rpath, no, "simd-dispatch",
+                        f"intrinsic header <{match.group(1)}.h> outside "
+                        "src/stats/kernels/ — route SIMD through the "
+                        "dispatch table (stats/kernels/kernels.hpp)", raw)
+
+
 RULES = {
     "naked-new": check_naked_new,
     "nodiscard": check_nodiscard,
     "std-rand": check_std_rand,
     "pragma-once": check_pragma_once,
     "iwyu-project": check_iwyu,
+    "simd-dispatch": check_simd_dispatch,
 }
 
 
