@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "stats/kernels/kernels.hpp"
 #include "support/log.hpp"
@@ -23,6 +24,9 @@ void ConfigureObservability(const Args& args) {
   if (!args.GetStr("trace", "").empty()) {
     engine::Tracer::Global().Enable();
   }
+  // profile=0 ablates task-timeline collection (results are bitwise
+  // identical; the metrics JSON's timeline section reports collected:false).
+  engine::SetProfilingEnabled(args.GetBool("profile", true));
   // kernel=scalar|sse2|avx2 forces the SIMD dispatch level process-wide
   // (same as SS_KERNEL; unsupported requests clamp down with a warning).
   const std::string kernel = args.GetStr("kernel", "");
@@ -43,7 +47,10 @@ void ConfigureObservability(const Args& args) {
 
 void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx) {
   const std::string trace_path = args.GetStr("trace", "");
-  if (!trace_path.empty()) {
+  if (trace_path == "-") {
+    // Stream to stderr so the metrics stream (stdout) stays parseable.
+    std::fputs(engine::Tracer::Global().ChromeTraceJson().c_str(), stderr);
+  } else if (!trace_path.empty()) {
     if (engine::Tracer::Global().WriteChromeTraceJson(trace_path)) {
       std::printf("trace written to %s\n", trace_path.c_str());
     } else {
@@ -51,7 +58,9 @@ void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx) {
     }
   }
   const std::string metrics_path = args.GetStr("metrics", "");
-  if (!metrics_path.empty()) {
+  if (metrics_path == "-") {
+    std::fputs(ctx.RunMetricsJson().c_str(), stdout);
+  } else if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     out << ctx.RunMetricsJson();
     if (out.good()) {
@@ -110,6 +119,12 @@ std::string MeanStdevCell(const std::vector<double>& seconds) {
 }
 
 Workload::Instance Workload::Build() const {
+  // Each configuration starts from zeroed process-global counters so its
+  // metrics JSON reflects only its own run, not the accumulated totals of
+  // earlier configurations in the same bench binary. Reset happens BEFORE
+  // the context/pipeline are built: constructors re-stamp level gauges
+  // (e.g. kernel.dispatch) that a later reset would wipe.
+  engine::CounterRegistry::Global().ResetAll();
   Instance instance;
   if (use_dfs) {
     // Block size chosen so the genotype file splits into ~num_partitions

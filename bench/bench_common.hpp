@@ -29,13 +29,17 @@ using Args = support::OptionMap;
 
 /// Applies the shared observability keys every bench accepts:
 /// trace=<file> enables the engine tracer (the file is written by
-/// WriteRunArtifacts), metrics=<file> selects the run-summary path, and
-/// loglevel=debug|info|warn|error adjusts stderr verbosity. Call once
-/// before the timing loops; see docs/OBSERVABILITY.md.
+/// WriteRunArtifacts), metrics=<file> selects the run-summary path,
+/// profile=0|1 toggles task-timeline collection (default on; results are
+/// bitwise identical either way), and loglevel=debug|info|warn|error
+/// adjusts stderr verbosity. Call once before the timing loops; see
+/// docs/OBSERVABILITY.md.
 void ConfigureObservability(const Args& args);
 
 /// Writes the trace=/metrics= artifacts named in `args` from `ctx`'s
-/// recorded state. No-op for keys that were not passed.
+/// recorded state. A path of "-" streams instead of writing a file —
+/// metrics to stdout, trace to stderr — for piping into tools/ss_prof.py
+/// or tools/check_trace.py. No-op for keys that were not passed.
 void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx);
 
 /// Prints the bench banner: paper reference, simulated hardware (Table I),
@@ -79,7 +83,9 @@ struct Workload {
 
   /// Builds a DFS (when configured) + context + pipeline over freshly
   /// generated data; all owned by the returned Instance, destroyed
-  /// together (members declared in dependency order).
+  /// together (members declared in dependency order). Zeroes the
+  /// process-global CounterRegistry first so each configuration's
+  /// metrics JSON reflects only its own run.
   struct Instance {
     std::unique_ptr<dfs::MiniDfs> dfs;
     std::unique_ptr<engine::EngineContext> ctx;

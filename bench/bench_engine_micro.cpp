@@ -7,6 +7,7 @@
 
 #include "core/record_traits.hpp"
 #include "engine/dataset.hpp"
+#include "engine/profile.hpp"
 #include "simdata/generator.hpp"
 #include "stats/cox_score.hpp"
 #include "stats/resampling.hpp"
@@ -50,6 +51,27 @@ void BM_CachedCollect(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CachedCollect)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ProfiledCollect(benchmark::State& state) {
+  // The task-timeline profiler's overhead claim: Arg is profile on/off
+  // over an otherwise identical many-task stage, so comparing the two
+  // rows shows the collection cost (a handful of clock reads per task;
+  // the contract in docs/OBSERVABILITY.md is <= 2% on task-bound work).
+  engine::SetProfilingEnabled(state.range(0) != 0);
+  engine::EngineContext ctx(LocalOptions());
+  std::vector<int> data(1 << 14);
+  std::iota(data.begin(), data.end(), 0);
+  auto ds = engine::Parallelize(ctx, data, 64).Map([](const int& x) {
+    return x * 3 + 1;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+  engine::SetProfilingEnabled(true);
+  state.SetLabel(state.range(0) != 0 ? "profile=1" : "profile=0");
+}
+BENCHMARK(BM_ProfiledCollect)->Arg(0)->Arg(1);
 
 void BM_ReduceByKey(benchmark::State& state) {
   engine::EngineContext ctx(LocalOptions());

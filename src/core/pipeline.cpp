@@ -5,6 +5,7 @@
 
 #include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
 #include "engine/dataset_ops.hpp"
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "stats/kernels/kernels.hpp"
 #include "stats/resampling.hpp"
@@ -212,10 +213,18 @@ Dataset<std::pair<std::uint32_t, std::vector<double>>> SkatPipeline::BuildU(
   // Steps 6-7: per-SNP contributions under the broadcast phenotype.
   if (config_.pack_genotypes) {
     // Decode the 2-bit block back to dosages at the point of use; the
-    // roundtrip is lossless so scores are bitwise unchanged.
+    // roundtrip is lossless so scores are bitwise unchanged. The unpack
+    // is profiled as decode time (untraced: one span per record would
+    // flood the Chrome trace; coalescing keeps the accounting exact).
     return fgm_packed_.Map([engine](const stats::PackedSnpRecord& record) {
+      std::vector<std::uint8_t> dosages;
+      {
+        ss::engine::PhaseTimer decode_phase(ss::engine::TaskPhase::kDecode,
+                                            /*trace=*/false);
+        record.genotypes.UnpackInto(&dosages);
+      }
       return std::pair<std::uint32_t, std::vector<double>>(
-          record.snp, engine->Contributions(record.genotypes.Unpack()));
+          record.snp, engine->Contributions(dosages));
     });
   }
   return fgm_.Map([engine](const SnpRecord& record) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -56,6 +57,9 @@ std::shared_ptr<void> CacheManager::ReloadFromSpillLocked(const CacheKey& key) {
   auto it = spilled_.find(key);
   if (it == spilled_.end()) return nullptr;
 
+  // The reload (frame read + checksum + decode) is decode time on the
+  // task that triggered the miss.
+  PhaseTimer decode_phase(TaskPhase::kDecode);
   Stopwatch stopwatch;
   Result<std::vector<std::uint8_t>> payload = spill_.Get(key);
   if (!payload.ok()) {
@@ -177,6 +181,9 @@ void CacheManager::EvictOneLocked() {
     bool frame_ok = entry.spill_valid;
     std::uint64_t payload_bytes = 0;
     if (!frame_ok) {
+      // Encode + frame write is spill-write time on the task whose
+      // insert/reload forced this eviction.
+      PhaseTimer spill_phase(TaskPhase::kSpillWrite);
       const std::vector<std::uint8_t> payload = entry.codec.encode(entry.value);
       payload_bytes = payload.size();
       const Status put = spill_.Put(victim, payload);

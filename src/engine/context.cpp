@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -61,14 +62,31 @@ std::uint64_t EngineContext::RunTasks(
                  "stage " + std::to_string(stage_id) + ": " + label,
                  {Arg("stage", stage_id), Arg("label", label),
                   Arg("tasks", num_tasks)});
+  pool_->ResetQueuePeak();
+  const std::int64_t enqueue_ns = ProfileNowNs();
   pool_->ParallelFor(0, num_tasks, [&](std::size_t index) {
-    RunOneTask(stage_id, static_cast<std::uint32_t>(index), label, task_fn);
+    RunOneTask(stage_id, static_cast<std::uint32_t>(index), enqueue_ns, label,
+               task_fn);
   });
+  metrics_.EndStage(stage_id, pool_->queue_peak());
+  // Mirror the pool's saturation stats into the process-global registry
+  // (the pool lives in ss_support and cannot depend on the engine's
+  // counters itself). busy_nanos is monotonic; queue_peak keeps the max
+  // across stages until the registry is reset.
+  auto& registry = CounterRegistry::Global();
+  registry.Get("pool.busy_nanos")
+      .store(pool_->busy_nanos(), std::memory_order_relaxed);
+  auto& queue_peak = registry.Get("pool.queue_peak");
+  const std::uint64_t stage_peak = pool_->queue_peak();
+  if (stage_peak > queue_peak.load(std::memory_order_relaxed)) {
+    queue_peak.store(stage_peak, std::memory_order_relaxed);
+  }
   return stage_id;
 }
 
 void EngineContext::RunOneTask(
-    std::uint64_t stage_id, std::uint32_t index, const std::string& label,
+    std::uint64_t stage_id, std::uint32_t index, std::int64_t enqueue_ns,
+    const std::string& label,
     const std::function<void(TaskContext&)>& task_fn) {
   const int executors = std::max(1, options_.topology.TotalExecutors());
   const int executor = static_cast<int>(index) % executors;
@@ -90,6 +108,16 @@ void EngineContext::RunOneTask(
                                << attempt;
       continue;
     }
+    const bool profiling = ProfilingEnabled();
+    TaskTimeline& timeline = task.metrics().timeline;
+    if (profiling) {
+      timeline.partition = index;
+      const int worker = ThreadPool::CurrentWorkerIndex();
+      timeline.worker = worker < 0 ? ~0u : static_cast<std::uint32_t>(worker);
+      timeline.enqueue_ns = enqueue_ns;
+      timeline.start_ns = ProfileNowNs();
+    }
+    TaskTimelineScope timeline_scope(profiling ? &timeline : nullptr);
     Stopwatch stopwatch;
     try {
       InsideTaskScope scope;
@@ -106,6 +134,13 @@ void EngineContext::RunOneTask(
     }
     task.metrics().compute_seconds = stopwatch.ElapsedSeconds();
     task.metrics().attempt = attempt;
+    if (profiling) {
+      timeline.end_ns = ProfileNowNs();
+      timeline.records_out = task.metrics().records_out;
+      timeline.bytes = task.metrics().shuffle_read_bytes +
+                       task.metrics().shuffle_write_bytes;
+      task.metrics().profiled = true;
+    }
     span.AddEndArg(Arg("outcome", "ok"));
     metrics_.RecordTask(stage_id, task.metrics());
     tasks_completed_.fetch_add(1);
@@ -132,7 +167,8 @@ void EngineContext::FailNode(int node) {
 std::string EngineContext::RunMetricsJson() const {
   return ss::engine::RunMetricsJson(metrics_.stages(), cache_.stats(),
                                     metrics_.broadcast_bytes(),
-                                    tasks_completed());
+                                    tasks_completed(),
+                                    options_.straggler_mad_k);
 }
 
 }  // namespace ss::engine

@@ -57,6 +57,10 @@ class EngineContext {
     /// defaults to 4 attempts = 3 retries).
     int max_task_attempts = 4;
 
+    /// Straggler threshold for the timeline profile: a task is flagged
+    /// when slower than median + straggler_mad_k * MAD of its stage.
+    double straggler_mad_k = 3.0;
+
     /// Overhead model used when replaying metrics onto the topology.
     cluster::CostModel cost_model;
   };
@@ -101,13 +105,14 @@ class EngineContext {
   std::uint64_t tasks_completed() const { return tasks_completed_.load(); }
 
   /// Machine-readable summary of everything this context has recorded so
-  /// far: stage stats, cache hit/miss, broadcast and shuffle volumes, and
-  /// the global counter registry (schema "sparkscore-run-metrics-v1").
+  /// far: stage stats, cache hit/miss, broadcast and shuffle volumes, the
+  /// task-timeline profile, and the global counter registry (schema
+  /// "sparkscore-run-metrics-v2").
   std::string RunMetricsJson() const;
 
  private:
   void RunOneTask(std::uint64_t stage_id, std::uint32_t index,
-                  const std::string& label,
+                  std::int64_t enqueue_ns, const std::string& label,
                   const std::function<void(TaskContext&)>& task_fn);
 
   Options options_;

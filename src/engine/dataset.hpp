@@ -65,6 +65,7 @@ class TextFileNode final : public Node<std::string> {
   std::vector<std::string> ComputePartition(std::uint32_t index,
                                             TaskContext&) override {
     SS_CHECK(ctx_->dfs() != nullptr);
+    PhaseTimer fetch_phase(TaskPhase::kFetch);
     Result<std::vector<std::string>> lines =
         ctx_->dfs()->ReadBlockLines(path_, index);
     if (!lines.ok()) {
@@ -252,6 +253,8 @@ class ShuffleNode final : public Node<std::pair<K, V>> {
 
   std::vector<Pair> ComputePartition(std::uint32_t index,
                                      TaskContext& task) override {
+    // The bucket copy is this reduce task's shuffle fetch.
+    PhaseTimer fetch_phase(TaskPhase::kFetch);
     std::lock_guard<std::mutex> lock(buckets_mutex_);
     task.metrics().shuffle_read_bytes += ApproxBytesOfPartition(buckets_[index]);
     return buckets_[index];

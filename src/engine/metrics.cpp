@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "support/status.hpp"
 #include "support/table.hpp"
@@ -21,6 +22,7 @@ std::uint64_t MetricsRecorder::BeginStage(const std::string& label,
   StageMetrics stage;
   stage.stage_id = next_stage_id_++;
   stage.label = label;
+  stage.begin_ns = ProfileNowNs();
   stage.task_seconds.reserve(num_tasks);
   stages_.push_back(std::move(stage));
   return stages_.back().stage_id;
@@ -56,6 +58,16 @@ void MetricsRecorder::RecordTask(std::uint64_t stage_id,
   stage->shuffle_read_bytes += metrics.shuffle_read_bytes;
   stage->shuffle_write_bytes += metrics.shuffle_write_bytes;
   stage->records_out += metrics.records_out;
+  if (metrics.profiled) stage->timelines.push_back(metrics.timeline);
+}
+
+void MetricsRecorder::EndStage(std::uint64_t stage_id,
+                               std::uint64_t queue_peak) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageMetrics* stage = FindStage(stages_, stage_id);
+  SS_CHECK(stage != nullptr);
+  stage->end_ns = ProfileNowNs();
+  stage->queue_peak = queue_peak;
 }
 
 void MetricsRecorder::RecordFailure(std::uint64_t stage_id) {
@@ -251,7 +263,8 @@ void AppendStageJson(std::string* out, const StageMetrics& stage) {
 std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
                            const CacheStats& cache,
                            std::uint64_t broadcast_bytes,
-                           std::uint64_t tasks_completed) {
+                           std::uint64_t tasks_completed,
+                           double straggler_mad_k) {
   std::uint64_t total_tasks = 0;
   std::uint64_t total_failures = 0;
   std::uint64_t shuffle_read = 0;
@@ -265,7 +278,7 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
     for (double seconds : stage.task_seconds) total_task_seconds += seconds;
   }
 
-  std::string out = "{\"schema\":\"sparkscore-run-metrics-v1\"";
+  std::string out = "{\"schema\":\"sparkscore-run-metrics-v2\"";
   out += ",\"tasks_completed\":" + std::to_string(tasks_completed);
   out += ",\"totals\":{\"stages\":" + std::to_string(stages.size());
   out += ",\"tasks\":" + std::to_string(total_tasks);
@@ -314,6 +327,8 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
                               .load(std::memory_order_relaxed)) +
            "}";
   }
+  out += ",";
+  AppendTimelineJson(&out, BuildRunProfile(stages, straggler_mad_k));
   out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : CounterRegistry::Global().Snapshot()) {

@@ -29,14 +29,29 @@ struct StageMetrics {
   std::uint64_t shuffle_write_bytes = 0;
   std::uint64_t records_out = 0;
   int failed_attempts = 0;
+
+  /// Timeline profiling (profile.hpp). begin/end are driver-side stage
+  /// submission/completion on the steady clock; queue_peak is the pool's
+  /// pending-queue high-watermark while the stage ran; timelines holds the
+  /// final-attempt phase timeline of each task (empty when profiling off).
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t queue_peak = 0;
+  std::vector<TaskTimeline> timelines;
 };
 
 class MetricsRecorder {
  public:
-  /// Opens a new stage; returns its id. Thread-safe.
+  /// Opens a new stage; returns its id. Stamps the stage's begin
+  /// timestamp (steady clock). Thread-safe.
   std::uint64_t BeginStage(const std::string& label, std::uint32_t num_tasks);
 
-  /// Records one successful task attempt's metrics.
+  /// Closes a stage: stamps its end timestamp and records the pool's
+  /// queue-depth high-watermark observed while the stage ran.
+  void EndStage(std::uint64_t stage_id, std::uint64_t queue_peak);
+
+  /// Records one successful task attempt's metrics (including its phase
+  /// timeline when `metrics.profiled`).
   void RecordTask(std::uint64_t stage_id, const TaskMetrics& metrics);
 
   /// Counts a failed attempt (for retry accounting).
@@ -74,14 +89,19 @@ std::string FormatRunReport(const std::vector<StageMetrics>& stages,
                             const CacheStats& cache,
                             std::uint64_t broadcast_bytes);
 
-/// Machine-readable run summary (schema "sparkscore-run-metrics-v1"):
+/// Machine-readable run summary (schema "sparkscore-run-metrics-v2"):
 /// per-stage task-time stats and log-bucket histograms, shuffle volumes,
-/// retry counts, cache hit/miss, broadcast bytes, and a dump of the
-/// process-global CounterRegistry. Field reference in
-/// docs/OBSERVABILITY.md; validated by tools/check_trace.py.
+/// retry counts, cache hit/miss, broadcast bytes, the task-timeline
+/// profile (critical path, per-stage phase breakdown, worker utilization,
+/// skew/straggler stats — see profile.hpp), and a dump of the
+/// process-global CounterRegistry. Every v1 key is unchanged; v2 adds the
+/// `timeline` section. `straggler_mad_k` is the MAD multiple above the
+/// median task time at which a task is flagged as a straggler. Field
+/// reference in docs/OBSERVABILITY.md; validated by tools/check_trace.py.
 std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
                            const CacheStats& cache,
                            std::uint64_t broadcast_bytes,
-                           std::uint64_t tasks_completed);
+                           std::uint64_t tasks_completed,
+                           double straggler_mad_k = 3.0);
 
 }  // namespace ss::engine

@@ -19,6 +19,7 @@
 #include "engine/cache_manager.hpp"
 #include "engine/codec.hpp"
 #include "engine/context.hpp"
+#include "engine/profile.hpp"
 #include "engine/task.hpp"
 #include "engine/trace.hpp"
 #include "support/status.hpp"
@@ -174,6 +175,7 @@ std::vector<std::vector<T>> RunStage(Node<T>& node, const std::string& label) {
                            [&](TaskContext& task) {
                              auto part = node.Get(task.partition(), task);
                              task.metrics().records_out = part->size();
+                             PhaseTimer handoff_phase(TaskPhase::kHandoff);
                              partitions[task.partition()] = *part;
                            });
   return partitions;

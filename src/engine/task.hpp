@@ -8,10 +8,57 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "support/rng.hpp"
 
 namespace ss::engine {
+
+/// Lifecycle phases of one task attempt, recorded by the timeline
+/// profiler (see profile.hpp). kQueueWait and kCompute are derived:
+/// queue-wait is the span from stage submission to the attempt starting
+/// on a worker, and compute is the attempt's wall time minus every
+/// explicitly timed sub-phase — so the phases of a task always sum to
+/// its total by construction.
+enum class TaskPhase : std::uint8_t {
+  kQueueWait = 0,   ///< Stage submitted -> attempt starts on a worker.
+  kFetch = 1,       ///< Input fetch: DFS block read, shuffle bucket read.
+  kDecode = 2,      ///< Spill-frame reload/decode, packed-genotype unpack.
+  kCompute = 3,     ///< Kernel/closure execution (the unattributed rest).
+  kSpillWrite = 4,  ///< Spill-frame encode + write forced by this task.
+  kHandoff = 5,     ///< Result copy-out to the driver's stage buffer.
+};
+
+inline constexpr std::size_t kNumTaskPhases = 6;
+
+/// Lowercase stable identifier used in the metrics JSON and trace.
+const char* TaskPhaseName(TaskPhase phase);
+
+/// One explicitly timed sub-phase of a task attempt. Timestamps are raw
+/// steady-clock nanoseconds (same clock as TaskTimeline's). Consecutive
+/// bursts of the same phase (e.g. per-record packed-genotype decode) are
+/// coalesced into one span whose `end_ns - begin_ns` is the exact
+/// accumulated duration — so for a coalesced span only `begin_ns` is a
+/// real timestamp; the Chrome trace keeps the individual bursts.
+struct PhaseSpan {
+  TaskPhase phase = TaskPhase::kCompute;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Full lifecycle record of one (final, successful) task attempt.
+/// Collected only while profiling is enabled (profile.hpp); flows
+/// through TaskMetrics into StageMetrics and the run-metrics timeline.
+struct TaskTimeline {
+  std::uint32_t partition = 0;
+  std::uint32_t worker = 0;      ///< Physical pool worker (driver = ~0u).
+  std::int64_t enqueue_ns = 0;   ///< Stage submission (steady clock).
+  std::int64_t start_ns = 0;     ///< Attempt began on the worker.
+  std::int64_t end_ns = 0;       ///< Attempt finished.
+  std::uint64_t records_out = 0;
+  std::uint64_t bytes = 0;       ///< Shuffle R+W bytes moved by the task.
+  std::vector<PhaseSpan> phases; ///< Explicit sub-phases (fetch/decode/...).
+};
 
 /// What one task attempt did; aggregated into StageMetrics.
 struct TaskMetrics {
@@ -20,6 +67,8 @@ struct TaskMetrics {
   std::uint64_t shuffle_write_bytes = 0;
   std::uint64_t shuffle_read_bytes = 0;
   int attempt = 0;                    ///< 0 for first attempt.
+  bool profiled = false;              ///< True when `timeline` was collected.
+  TaskTimeline timeline;              ///< Phase timeline (profiling only).
 };
 
 /// Handed to every task; identifies it and provides per-task randomness.

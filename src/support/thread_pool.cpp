@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -9,11 +10,26 @@
 
 namespace ss {
 
+namespace {
+/// -1 on non-pool threads; set once per worker at WorkerLoop entry.
+thread_local int t_worker_index = -1;
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this]() { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i]() { WorkerLoop(static_cast<int>(i)); });
   }
 }
 
@@ -27,7 +43,8 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  t_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,7 +56,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const std::uint64_t begin = NowNanos();
     task();  // packaged_task captures exceptions into the future.
+    busy_nanos_.fetch_add(NowNanos() - begin, std::memory_order_relaxed);
   }
 }
 

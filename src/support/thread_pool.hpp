@@ -11,8 +11,10 @@
 // become ready — and is enforced by SS_DCHECK in Debug/sanitizer builds.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -38,6 +40,23 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Index of the pool worker executing the caller, or -1 when the caller
+  /// is not a pool thread (e.g. the driver). Stable for a thread's life.
+  static int CurrentWorkerIndex();
+
+  /// Total nanoseconds workers have spent inside tasks since construction
+  /// (monotonic; saturation = busy_nanos / (elapsed * size)).
+  std::uint64_t busy_nanos() const {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
+
+  /// High-watermark of the pending-task queue depth since the last
+  /// ResetQueuePeak (or construction).
+  std::uint64_t queue_peak() const {
+    return queue_peak_.load(std::memory_order_relaxed);
+  }
+  void ResetQueuePeak() { queue_peak_.store(0, std::memory_order_relaxed); }
+
   /// Enqueues `fn`; returns a future for its completion/exception.
   /// Must not be called once the destructor has started (see above).
   template <typename Fn>
@@ -49,6 +68,10 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       SS_DCHECK(!shutdown_ && "ThreadPool::Submit after shutdown started");
       queue_.emplace_back([task]() { (*task)(); });
+      const auto depth = static_cast<std::uint64_t>(queue_.size());
+      if (depth > queue_peak_.load(std::memory_order_relaxed)) {
+        queue_peak_.store(depth, std::memory_order_relaxed);
+      }
     }
     cv_.notify_one();
     return future;
@@ -63,13 +86,15 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_ SS_GUARDED_BY(mutex_);
   bool shutdown_ SS_GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> busy_nanos_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
 };
 
 }  // namespace ss

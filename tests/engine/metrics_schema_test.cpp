@@ -1,9 +1,11 @@
 // Golden-file regression test for the run-metrics JSON (schema
-// "sparkscore-run-metrics-v1"): the key set, key order, and value shapes
+// "sparkscore-run-metrics-v2"): the key set, key order, and value shapes
 // below are a compatibility contract for external consumers
-// (tools/check_trace.py, scripts parsing metrics= artifacts). New
-// telemetry must EXTEND the document — appending keys updates this
-// snapshot; renaming or removing keys breaks consumers and this test.
+// (tools/check_trace.py, tools/ss_prof.py, scripts parsing metrics=
+// artifacts). New telemetry must EXTEND the document — appending keys
+// updates this snapshot; renaming or removing keys breaks consumers and
+// this test. v2 added the `timeline` section (between `kernel` and
+// `counters`); every v1 key kept its name, shape, and relative order.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -47,15 +49,60 @@ void ExpectOrderedKeys(const std::string& json,
 
 TEST(RunMetricsSchemaTest, SchemaTagIsFirst) {
   const std::string json = SampleRunMetricsJson();
-  EXPECT_EQ(json.rfind("{\"schema\":\"sparkscore-run-metrics-v1\"", 0), 0u)
+  EXPECT_EQ(json.rfind("{\"schema\":\"sparkscore-run-metrics-v2\"", 0), 0u)
       << json;
 }
 
 TEST(RunMetricsSchemaTest, TopLevelKeySetAndOrder) {
+  // v1 keys in their v1 relative order; v2 inserts `timeline` between
+  // `kernel` and `counters`.
   ExpectOrderedKeys(SampleRunMetricsJson(),
                     {"schema", "tasks_completed", "totals", "stages", "cache",
-                     "broadcast_bytes", "kernel", "counters"},
+                     "broadcast_bytes", "kernel", "timeline", "counters"},
                     "top level");
+}
+
+TEST(RunMetricsSchemaTest, TimelineKeySetAndOrder) {
+  // The v2 timeline section: run rollup, per-stage breakdowns, the
+  // critical path, and per-worker occupancy — contract with
+  // tools/check_trace.py and tools/ss_prof.py.
+  ExpectOrderedKeys(SampleRunMetricsJson(),
+                    {"timeline", "collected", "wall_seconds",
+                     "straggler_mad_k", "phases", "stages", "critical_path",
+                     "workers"},
+                    "timeline");
+}
+
+TEST(RunMetricsSchemaTest, TimelineStageKeySetAndOrder) {
+  const std::string json = SampleRunMetricsJson();
+  const std::size_t timeline = json.find("\"timeline\":{");
+  ASSERT_NE(timeline, std::string::npos) << json;
+  ExpectOrderedKeys(json.substr(timeline),
+                    {"stages", "id", "label", "tasks", "stage_seconds",
+                     "queue_peak", "phase_seconds", "task_seconds", "p50",
+                     "p95", "max", "mad", "straggler_threshold_seconds",
+                     "stragglers", "records", "bytes", "critical"},
+                    "timeline stage");
+}
+
+TEST(RunMetricsSchemaTest, TimelinePhaseNamesArePinned) {
+  const std::string json = SampleRunMetricsJson();
+  EXPECT_NE(json.find("\"phases\":[\"queue_wait\",\"fetch\",\"decode\","
+                      "\"compute\",\"spill_write\",\"handoff\"]"),
+            std::string::npos)
+      << json;
+}
+
+TEST(RunMetricsSchemaTest, TimelineCollectedReflectsProfilingSwitch) {
+  SetProfilingEnabled(false);
+  const std::string off = SampleRunMetricsJson();
+  SetProfilingEnabled(true);
+  const std::string on = SampleRunMetricsJson();
+  // The section is always present; only `collected` flips.
+  EXPECT_NE(off.find("\"timeline\":{\"collected\":false"), std::string::npos)
+      << off;
+  EXPECT_NE(on.find("\"timeline\":{\"collected\":true"), std::string::npos)
+      << on;
 }
 
 TEST(RunMetricsSchemaTest, KernelKeySetAndOrder) {

@@ -9,11 +9,15 @@ Checks, stdlib only:
     event family without registering it here and in docs/OBSERVABILITY.md;
   * B/E spans balance per thread and nest (LIFO) with matching names;
   * timestamps are non-decreasing (events are driver-sorted);
-  * the metrics JSON (if given) matches schema sparkscore-run-metrics-v1,
+  * the metrics JSON (if given) matches schema sparkscore-run-metrics-v2,
     its per-stage histogram counts sum to the stage's task count, its
-    cache object carries the full two-tier key set (memory + spill), and
-    its kernel object names a known SIMD dispatch level and carries the
-    genotype packing byte counters.
+    cache object carries the full two-tier key set (memory + spill), its
+    kernel object names a known SIMD dispatch level and carries the
+    genotype packing byte counters, and its timeline section (v2) is
+    internally consistent: known phase names, per-stage phase_seconds
+    arrays of the right arity, stage task counts matching the v1 stage
+    list, critical-path spans summing to the advertised total, and the
+    critical path bounded by the measured wall-clock.
 
 Exit code 0 and a one-line summary on success; 1 with a diagnostic on the
 first violation. Used by the `trace_smoke` ctest; see docs/OBSERVABILITY.md.
@@ -26,13 +30,20 @@ import sys
 KNOWN_PHASES = {"B", "E", "i"}
 
 # Every event family the engine emits; see docs/OBSERVABILITY.md. `spill`
-# covers the cache's second tier (spill/reload/corrupt instants).
+# covers the cache's second tier (spill/reload/corrupt instants); `phase`
+# is the timeline profiler's nested per-task phase spans (fetch/decode/
+# spill_write/handoff).
 KNOWN_CATEGORIES = {
     "stage", "task", "algo", "batch", "replicate",
-    "cache", "dfs", "broadcast", "fault", "spill",
+    "cache", "dfs", "broadcast", "fault", "spill", "phase",
 }
 
-# The cache section of sparkscore-run-metrics-v1: memory-tier keys plus
+# The timeline profiler's phase vocabulary, in TaskPhase enum order.
+TIMELINE_PHASES = (
+    "queue_wait", "fetch", "decode", "compute", "spill_write", "handoff",
+)
+
+# The cache section (unchanged since v1): memory-tier keys plus
 # the spill-tier extension. Consumers key on these names.
 CACHE_KEYS = (
     "hits", "misses", "insertions", "evictions", "dropped_by_failure",
@@ -52,17 +63,32 @@ def fail(message):
 
 
 def load_json(path):
-    """Loads a JSON artifact, failing cleanly on the shapes a crashed or
-    sanitizer-killed producer leaves behind: missing file, empty file, or a
-    partially written (truncated) document."""
+    """Loads a JSON artifact ('-' = stdin, pairing with the producers'
+    metrics=-/trace=- streaming mode), failing cleanly on the shapes a
+    crashed or sanitizer-killed producer leaves behind: missing file,
+    empty file, or a partially written (truncated) document."""
     try:
-        with open(path, encoding="utf-8") as handle:
-            text = handle.read()
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
     except OSError as error:
         fail(f"cannot read {path}: {error} (did the producer crash?)")
     if not text.strip():
         fail(f"{path} is empty — producer was likely killed before writing "
              "(e.g. by a sanitizer abort)")
+    if path == "-":
+        # Streamed mode shares the pipe with the producer's human-readable
+        # output; the document starts at the first '{'.
+        start = text.find("{")
+        if start < 0:
+            fail("stdin carries no JSON document")
+        try:
+            doc, _ = json.JSONDecoder().raw_decode(text[start:])
+            return doc
+        except json.JSONDecodeError as error:
+            fail(f"stdin is not valid JSON (truncated write?): {error}")
     try:
         return json.loads(text)
     except json.JSONDecodeError as error:
@@ -115,12 +141,71 @@ def check_trace(path):
     return counts
 
 
+def check_timeline(path, doc):
+    """Validates the v2 timeline section against itself and the v1 stage
+    list it annotates."""
+    timeline = doc["timeline"]
+    for key in ("collected", "wall_seconds", "straggler_mad_k", "phases",
+                "stages", "critical_path", "workers"):
+        if key not in timeline:
+            fail(f"{path} timeline section is missing '{key}'")
+    if tuple(timeline["phases"]) != TIMELINE_PHASES:
+        fail(f"{path} timeline.phases is {timeline['phases']}")
+    if not timeline["collected"]:
+        if timeline["stages"] or timeline["workers"]:
+            fail(f"{path} timeline not collected but carries stages/workers")
+        return
+    v1_tasks = {stage["id"]: stage["tasks"] for stage in doc["stages"]}
+    wall = timeline["wall_seconds"]
+    for stage in timeline["stages"]:
+        sid = stage["id"]
+        if sid not in v1_tasks:
+            fail(f"{path} timeline stage {sid} has no v1 stage entry")
+        if stage["tasks"] != v1_tasks[sid]:
+            fail(
+                f"{path} timeline stage {sid} has {stage['tasks']} tasks, "
+                f"v1 stage list says {v1_tasks[sid]}"
+            )
+        for key in ("phase_seconds",):
+            if len(stage[key]) != len(TIMELINE_PHASES):
+                fail(f"{path} stage {sid} {key} has arity {len(stage[key])}")
+        if len(stage["critical"]["phase_seconds"]) != len(TIMELINE_PHASES):
+            fail(f"{path} stage {sid} critical phase_seconds arity is wrong")
+        if any(value < 0 for value in stage["phase_seconds"]):
+            fail(f"{path} stage {sid} has a negative phase duration")
+    critical = timeline["critical_path"]
+    span_sum = sum(span["seconds"] for span in critical["spans"])
+    if abs(span_sum - critical["seconds"]) > 1e-6 + 1e-3 * abs(span_sum):
+        fail(
+            f"{path} critical-path spans sum to {span_sum}, section "
+            f"advertises {critical['seconds']}"
+        )
+    # The defining invariant: stages run sequentially from the driver, so
+    # the per-stage critical chain can never exceed the measured wall.
+    if critical["seconds"] > wall * (1 + 1e-6) + 1e-6:
+        fail(
+            f"{path} critical path {critical['seconds']}s exceeds wall "
+            f"{wall}s"
+        )
+    for worker in timeline["workers"]:
+        if worker["busy_seconds"] > wall * (1 + 1e-6) + 1e-6:
+            fail(
+                f"{path} worker {worker['worker']} busy "
+                f"{worker['busy_seconds']}s exceeds wall {wall}s"
+            )
+        if not (0 <= worker["utilization"] <= 1 + 1e-6):
+            fail(
+                f"{path} worker {worker['worker']} utilization "
+                f"{worker['utilization']} out of range"
+            )
+
+
 def check_metrics(path):
     doc = load_json(path)
-    if doc.get("schema") != "sparkscore-run-metrics-v1":
+    if doc.get("schema") != "sparkscore-run-metrics-v2":
         fail(f"{path} schema is {doc.get('schema')!r}")
     for key in ("totals", "stages", "cache", "broadcast_bytes", "kernel",
-                "counters"):
+                "timeline", "counters"):
         if key not in doc:
             fail(f"{path} is missing '{key}'")
     for key in CACHE_KEYS:
@@ -150,6 +235,7 @@ def check_metrics(path):
             f"totals.tasks={doc['totals']['tasks']} but stages sum to "
             f"{total_tasks}"
         )
+    check_timeline(path, doc)
     return total_tasks
 
 

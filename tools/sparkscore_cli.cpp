@@ -17,9 +17,19 @@
 // Observability keys (see docs/OBSERVABILITY.md):
 //   trace=<file>     enable the engine tracer and write a Chrome
 //                    trace_event JSON (load in chrome://tracing or
-//                    https://ui.perfetto.dev)
+//                    https://ui.perfetto.dev); trace=- streams the
+//                    JSON to stderr for piping
 //   metrics=<file>   write the machine-readable run summary
-//                    (schema "sparkscore-run-metrics-v1")
+//                    (schema "sparkscore-run-metrics-v2"); metrics=-
+//                    streams it to stdout for piping into
+//                    tools/ss_prof.py or tools/check_trace.py
+//   profile=0|1      task-timeline collection (default 1; profile=0
+//                    ablates it — results are bitwise identical)
+//   profile_report=1 print the critical-path/straggler/utilization
+//                    report (FormatProfileReport) after the run
+//   straggler_mad_k=<k>
+//                    straggler threshold: flag tasks slower than
+//                    median + k*MAD of their stage (default 3)
 //   loglevel=debug|info|warn|error
 //                    stderr log verbosity (default error; the
 //                    SS_LOG_LEVEL environment variable also works)
@@ -31,6 +41,7 @@
 
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
+#include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "stats/kernels/kernels.hpp"
 #include "support/log.hpp"
@@ -80,6 +91,7 @@ Study OpenStudy(const CliArgs& args) {
   // and spill_dir= redirects spill frames to real files.
   options.cache_capacity_bytes = args.GetU64("cache_budget", 0);
   options.spill_dir = args.GetStr("spill_dir", "");
+  options.straggler_mad_k = args.GetDouble("straggler_mad_k", 3.0);
   study.ctx = std::make_unique<ss::engine::EngineContext>(options,
                                                           study.dfs.get());
 
@@ -120,14 +132,26 @@ void MaybePrintStages(const CliArgs& args, ss::engine::EngineContext& ctx) {
                    .c_str(),
                stdout);
   }
+  if (args.GetU64("profile_report", 0) != 0) {
+    std::fputs(
+        ss::engine::FormatProfileReport(ss::engine::BuildRunProfile(
+                                            ctx.metrics().stages(),
+                                            ctx.options().straggler_mad_k))
+            .c_str(),
+        stdout);
+  }
 }
 
-/// Writes the trace= and metrics= artifacts, if requested. The tracer is
-/// process-global and accumulates across sub-runs (selftest), so each
+/// Writes the trace= and metrics= artifacts, if requested. A path of "-"
+/// streams instead of writing a file: metrics to stdout, trace to stderr
+/// (so both can be piped from one run without interleaving). The tracer
+/// is process-global and accumulates across sub-runs (selftest), so each
 /// call rewrites the file with the cumulative trace.
 void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
   const std::string trace_path = args.GetStr("trace", "");
-  if (!trace_path.empty()) {
+  if (trace_path == "-") {
+    std::fputs(ss::engine::Tracer::Global().ChromeTraceJson().c_str(), stderr);
+  } else if (!trace_path.empty()) {
     if (ss::engine::Tracer::Global().WriteChromeTraceJson(trace_path)) {
       std::printf("trace written to %s\n", trace_path.c_str());
     } else {
@@ -136,7 +160,9 @@ void WriteRunArtifacts(const CliArgs& args, ss::engine::EngineContext& ctx) {
     }
   }
   const std::string metrics_path = args.GetStr("metrics", "");
-  if (!metrics_path.empty()) {
+  if (metrics_path == "-") {
+    std::fputs(ctx.RunMetricsJson().c_str(), stdout);
+  } else if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
     out << ctx.RunMetricsJson();
     if (out.good()) {
@@ -244,7 +270,9 @@ int RunSelfTest(const CliArgs& outer) {
   CliArgs args;
   // Observability keys pass through so `selftest trace=...` exercises the
   // full artifact path (used by the trace_smoke ctest).
-  for (const char* key : {"trace", "metrics", "stages"}) {
+  for (const char* key :
+       {"trace", "metrics", "stages", "profile", "profile_report",
+        "straggler_mad_k"}) {
     const std::string value = outer.GetStr(key, "");
     if (!value.empty()) args.Set(key, value);
   }
@@ -271,8 +299,13 @@ void PrintUsage() {
       "      cache_budget=<bytes, 0=unlimited> spill_dir=<dir>\n"
       "      kernel=scalar|sse2|avx2 (force SIMD dispatch; also SS_KERNEL)\n"
       "      pack=0|1 (2-bit packed genotype storage, default 1)\n"
+      "      profile=0|1 (task-timeline collection, default 1)\n"
+      "      profile_report=1 (print critical-path/straggler report)\n"
+      "      straggler_mad_k=<k> (straggler threshold, default 3)\n"
       "      stages=1 export=<dfs path>\n"
-      "      trace=<file> metrics=<file> loglevel=debug|info|warn|error\n",
+      "      trace=<file|-> metrics=<file|-> ('-' streams: metrics to\n"
+      "      stdout, trace to stderr)\n"
+      "      loglevel=debug|info|warn|error\n",
       stderr);
 }
 
@@ -300,6 +333,7 @@ int main(int argc, char** argv) {
   if (!args.GetStr("trace", "").empty()) {
     ss::engine::Tracer::Global().Enable();
   }
+  ss::engine::SetProfilingEnabled(args.GetBool("profile", true));
   // kernel=scalar|sse2|avx2 forces the SIMD dispatch level for the whole
   // process (same as the SS_KERNEL environment variable; requests above
   // what the CPU supports clamp down with a warning).
