@@ -7,33 +7,33 @@ namespace ss::cluster {
 
 void FaultInjector::FailNodeAfterTasks(int node,
                                        std::uint64_t task_completions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   node_failures_.push_back({node, task_completions, false});
 }
 
 void FaultInjector::FailTask(std::uint64_t stage_id, std::uint32_t partition,
                              int times) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   task_failures_.push_back({stage_id, partition, times});
 }
 
 void FaultInjector::CorruptSpillAfterTasks(std::uint64_t task_completions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   spill_faults_.push_back({/*drop=*/false, task_completions, false});
 }
 
 void FaultInjector::DropSpillAfterTasks(std::uint64_t task_completions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   spill_faults_.push_back({/*drop=*/true, task_completions, false});
 }
 
 void FaultInjector::SetOnNodeFailure(std::function<void(int)> callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   on_node_failure_ = std::move(callback);
 }
 
 void FaultInjector::SetOnSpillFault(std::function<void(bool)> callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   on_spill_fault_ = std::move(callback);
 }
 
@@ -41,7 +41,7 @@ void FaultInjector::OnTaskCompleted() {
   std::vector<int> to_fire;
   std::vector<bool> spill_to_fire;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     for (auto& failure : node_failures_) {
       if (failure.fired) continue;
       if (failure.remaining > 0) --failure.remaining;
@@ -67,7 +67,7 @@ void FaultInjector::OnTaskCompleted() {
     SS_LOG(kInfo, "fault") << "injected failure of node " << node;
     std::function<void(int)> callback;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       callback = on_node_failure_;
     }
     if (callback) callback(node);
@@ -81,7 +81,7 @@ void FaultInjector::OnTaskCompleted() {
                            << (drop ? "loss" : "corruption");
     std::function<void(bool)> callback;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       callback = on_spill_fault_;
     }
     if (callback) callback(drop);
@@ -90,7 +90,7 @@ void FaultInjector::OnTaskCompleted() {
 
 bool FaultInjector::ShouldFailTask(std::uint64_t stage_id,
                                    std::uint32_t partition) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (auto& failure : task_failures_) {
     if (failure.stage_id == stage_id && failure.partition == partition &&
         failure.remaining > 0) {
@@ -106,7 +106,7 @@ bool FaultInjector::ShouldFailTask(std::uint64_t stage_id,
 }
 
 bool FaultInjector::HasFired(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (const auto& failure : node_failures_) {
     if (failure.node == node && failure.fired) return true;
   }
@@ -114,7 +114,7 @@ bool FaultInjector::HasFired(int node) const {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   node_failures_.clear();
   task_failures_.clear();
   spill_faults_.clear();

@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss::cluster {
 
@@ -66,7 +66,7 @@ class FaultInjector {
     bool fired = false;
   };
 
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kFaultInjector};
   std::vector<PendingNodeFailure> node_failures_ SS_GUARDED_BY(mutex_);
   std::vector<PendingTaskFailure> task_failures_ SS_GUARDED_BY(mutex_);
   std::vector<PendingSpillFault> spill_faults_ SS_GUARDED_BY(mutex_);

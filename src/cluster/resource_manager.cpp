@@ -35,7 +35,7 @@ Result<Container> ResourceManager::Allocate(const ContainerRequest& request) {
   if (request.memory_gib <= 0 || request.vcores < 1) {
     return Status::InvalidArgument("container shape must be positive");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   // Least-loaded placement: pick the eligible node with most free memory,
   // which spreads executors evenly like YARN's fair placement under
   // identical nodes.
@@ -75,7 +75,7 @@ Result<std::vector<Container>> ResourceManager::AllocateMany(
 }
 
 void ResourceManager::Release(std::uint64_t container_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = std::find_if(live_.begin(), live_.end(),
                          [&](const Container& c) { return c.id == container_id; });
   if (it == live_.end()) return;
@@ -86,7 +86,7 @@ void ResourceManager::Release(std::uint64_t container_id) {
 }
 
 void ResourceManager::ReleaseAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (const Container& c : live_) {
     NodeState& node = nodes_[static_cast<std::size_t>(c.node)];
     node.free_memory_gib += c.memory_gib;
@@ -96,7 +96,7 @@ void ResourceManager::ReleaseAll() {
 }
 
 int ResourceManager::DecommissionNode(int node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   SS_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()));
   nodes_[static_cast<std::size_t>(node)].alive = false;
   int lost = 0;
@@ -117,7 +117,7 @@ int ResourceManager::DecommissionNode(int node) {
 }
 
 void ResourceManager::RecommissionNode(int node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   SS_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()));
   NodeState& state = nodes_[static_cast<std::size_t>(node)];
   state.alive = true;
@@ -126,17 +126,17 @@ void ResourceManager::RecommissionNode(int node) {
 }
 
 double ResourceManager::FreeMemoryGib(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return nodes_[static_cast<std::size_t>(node)].free_memory_gib;
 }
 
 int ResourceManager::FreeVcores(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return nodes_[static_cast<std::size_t>(node)].free_vcores;
 }
 
 int ResourceManager::LiveContainerCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return static_cast<int>(live_.size());
 }
 

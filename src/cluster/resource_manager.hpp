@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/topology.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/status.hpp"
 
 namespace ss::cluster {
@@ -59,7 +59,10 @@ class ResourceManager {
   int DecommissionNode(int node);
   void RecommissionNode(int node);
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_nodes() const {
+    support::MutexLock lock(mutex_);
+    return static_cast<int>(nodes_.size());
+  }
   double FreeMemoryGib(int node) const;
   int FreeVcores(int node) const;
   int LiveContainerCount() const;
@@ -71,16 +74,19 @@ class ResourceManager {
     bool alive = true;
   };
 
-  bool Fits(const NodeState& node, const ContainerRequest& request) const;
+  // Pure predicate over one NodeState snapshot; callers pass a reference
+  // into nodes_ and therefore must already hold mutex_.
+  bool Fits(const NodeState& node, const ContainerRequest& request) const
+      SS_REQUIRES(mutex_);
 
   const ResourceCalculator calculator_;
   const double node_memory_gib_;
   const int node_vcores_;
 
-  mutable std::mutex mutex_;
-  std::vector<NodeState> nodes_;
-  std::vector<Container> live_;
-  std::uint64_t next_id_ = 1;
+  mutable support::RankedMutex mutex_{support::lock_rank::kResourceManager};
+  std::vector<NodeState> nodes_ SS_GUARDED_BY(mutex_);
+  std::vector<Container> live_ SS_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ SS_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace ss::cluster

@@ -3,7 +3,7 @@
 namespace ss::dfs {
 
 void BlockStore::Put(const BlockId& id, std::vector<std::uint8_t> bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = blocks_.find(id);
   if (it != blocks_.end()) {
     bytes_stored_ -= it->second.size();
@@ -16,7 +16,7 @@ void BlockStore::Put(const BlockId& id, std::vector<std::uint8_t> bytes) {
 }
 
 Result<std::vector<std::uint8_t>> BlockStore::Get(const BlockId& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block not on this node");
@@ -25,7 +25,7 @@ Result<std::vector<std::uint8_t>> BlockStore::Get(const BlockId& id) const {
 }
 
 void BlockStore::Erase(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = blocks_.find(id);
   if (it != blocks_.end()) {
     bytes_stored_ -= it->second.size();
@@ -34,7 +34,7 @@ void BlockStore::Erase(const BlockId& id) {
 }
 
 Status BlockStore::Corrupt(const BlockId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = blocks_.find(id);
   if (it == blocks_.end() || it->second.empty()) {
     return Status::FailedPrecondition("no replica to corrupt");
@@ -44,18 +44,18 @@ Status BlockStore::Corrupt(const BlockId& id) {
 }
 
 void BlockStore::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   blocks_.clear();
   bytes_stored_ = 0;
 }
 
 std::size_t BlockStore::block_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return blocks_.size();
 }
 
 std::uint64_t BlockStore::bytes_stored() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return bytes_stored_;
 }
 

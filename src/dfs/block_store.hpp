@@ -2,12 +2,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "dfs/block.hpp"
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/status.hpp"
 
 namespace ss::dfs {
@@ -36,7 +36,7 @@ class BlockStore {
   std::uint64_t bytes_stored() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kBlockStore};
   std::unordered_map<BlockId, std::vector<std::uint8_t>, BlockIdHash> blocks_
       SS_GUARDED_BY(mutex_);
   std::uint64_t bytes_stored_ SS_GUARDED_BY(mutex_) = 0;

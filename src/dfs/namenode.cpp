@@ -13,7 +13,7 @@ NameNode::NameNode(int num_nodes, int replication)
 }
 
 Result<std::uint64_t> NameNode::CreateFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   if (path_to_id_.contains(path)) {
     return Status::AlreadyExists("file exists: " + path);
   }
@@ -27,7 +27,7 @@ Result<std::uint64_t> NameNode::CreateFile(const std::string& path) {
 }
 
 std::vector<int> NameNode::PlaceBlock() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<int> targets;
   targets.reserve(static_cast<std::size_t>(replication_));
   // Scan from the cursor, taking the next `replication_` live nodes.
@@ -42,7 +42,7 @@ std::vector<int> NameNode::PlaceBlock() {
 }
 
 Status NameNode::CommitBlock(std::uint64_t file_id, const BlockMeta& meta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("unknown file id");
   if (meta.id.index != it->second.blocks.size()) {
@@ -53,7 +53,7 @@ Status NameNode::CommitBlock(std::uint64_t file_id, const BlockMeta& meta) {
 }
 
 Status NameNode::SealFile(std::uint64_t file_id, std::uint64_t total_lines) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("unknown file id");
   it->second.total_lines = total_lines;
@@ -63,7 +63,7 @@ Status NameNode::SealFile(std::uint64_t file_id, std::uint64_t total_lines) {
 Status NameNode::UpdateReplicas(std::uint64_t file_id,
                                 std::uint32_t block_index,
                                 std::vector<int> replicas) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("unknown file id");
   if (block_index >= it->second.blocks.size()) {
@@ -74,19 +74,19 @@ Status NameNode::UpdateReplicas(std::uint64_t file_id,
 }
 
 Result<FileMeta> NameNode::Lookup(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = path_to_id_.find(path);
   if (it == path_to_id_.end()) return Status::NotFound("no such file: " + path);
   return files_.at(it->second);
 }
 
 bool NameNode::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return path_to_id_.contains(path);
 }
 
 std::vector<std::string> NameNode::ListFiles() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<std::string> paths;
   paths.reserve(path_to_id_.size());
   for (const auto& [path, id] : path_to_id_) paths.push_back(path);
@@ -94,7 +94,7 @@ std::vector<std::string> NameNode::ListFiles() const {
 }
 
 void NameNode::SetNodeAlive(int node, bool alive) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   SS_CHECK(node >= 0 && node < num_nodes_);
   node_alive_[static_cast<std::size_t>(node)] = alive;
   SS_LOG(kInfo, "dfs") << "node " << node
@@ -102,7 +102,7 @@ void NameNode::SetNodeAlive(int node, bool alive) {
 }
 
 bool NameNode::IsNodeAlive(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   SS_CHECK(node >= 0 && node < num_nodes_);
   return node_alive_[static_cast<std::size_t>(node)];
 }

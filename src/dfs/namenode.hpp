@@ -2,13 +2,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "dfs/block.hpp"
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/status.hpp"
 
 namespace ss::dfs {
@@ -55,7 +55,7 @@ class NameNode {
   const int num_nodes_;
   const int replication_;
 
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kNameNode};
   std::unordered_map<std::string, std::uint64_t> path_to_id_
       SS_GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, FileMeta> files_ SS_GUARDED_BY(mutex_);

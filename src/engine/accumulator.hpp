@@ -4,10 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss::engine {
 
@@ -18,22 +18,22 @@ class Accumulator {
   explicit Accumulator(T zero = T{}) : value_(zero) {}
 
   void Add(const T& delta) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     value_ += delta;
   }
 
   T value() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return value_;
   }
 
   void Reset(T zero = T{}) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     value_ = zero;
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kAccumulator};
   T value_ SS_GUARDED_BY(mutex_);
 };
 
@@ -46,27 +46,27 @@ class VectorAccumulator {
       : values_(size, zero) {}
 
   void Add(std::size_t index, const T& delta) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     SS_DCHECK(index < values_.size());
     values_[index] += delta;
   }
 
   void AddAll(const std::vector<T>& deltas) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < deltas.size() && i < values_.size(); ++i) {
       values_[i] += deltas[i];
     }
   }
 
   std::vector<T> values() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return values_;
   }
 
   std::size_t size() const { return values_.size(); }
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kAccumulator};
   std::vector<T> values_ SS_GUARDED_BY(mutex_);
 };
 

@@ -21,7 +21,7 @@ std::atomic<std::uint64_t>& CacheCounter(const char* name) {
 std::shared_ptr<void> CacheManager::Lookup(const CacheKey& key) {
   static std::atomic<std::uint64_t>& hits = CacheCounter("cache.hits");
   static std::atomic<std::uint64_t>& misses = CacheCounter("cache.misses");
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
@@ -115,7 +115,7 @@ void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
                           double compute_seconds, SpillCodec codec) {
   static std::atomic<std::uint64_t>& insertions =
       CacheCounter("cache.insertions");
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   EraseLocked(key);         // refresh semantics...
   DropSpilledLocked(key);   // ...including any stale spill copy
   lru_.push_front(key);
@@ -235,7 +235,7 @@ void CacheManager::DropSpilledLocked(const CacheKey& key) {
 }
 
 void CacheManager::DropDataset(std::uint64_t node_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<CacheKey> victims;
   for (const auto& [key, entry] : entries_) {
     if (key.node_id == node_id) victims.push_back(key);
@@ -251,7 +251,7 @@ void CacheManager::DropDataset(std::uint64_t node_id) {
 int CacheManager::DropNode(int node) {
   static std::atomic<std::uint64_t>& dropped =
       CacheCounter("cache.dropped_by_failure");
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<CacheKey> victims;
   for (const auto& [key, entry] : entries_) {
     if (entry.node == node) victims.push_back(key);
@@ -278,7 +278,7 @@ int CacheManager::DropNode(int node) {
 }
 
 void CacheManager::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   spilled_.clear();
@@ -287,13 +287,13 @@ void CacheManager::Clear() {
 }
 
 void CacheManager::SetCapacityBytes(std::uint64_t capacity_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   capacity_bytes_ = capacity_bytes;
   EvictIfNeededLocked();
 }
 
 int CacheManager::InjureSpill(bool drop) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const int injured = drop ? spill_.DropAll() : spill_.CorruptAll();
   // Frames belonging to memory-resident entries are garbage now; force a
   // fresh encode + write if those entries are evicted again.
@@ -307,19 +307,19 @@ int CacheManager::InjureSpill(bool drop) {
 }
 
 CacheStats CacheManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   CacheStats stats = stats_;
   stats.bytes_spilled = spill_.bytes_stored();
   return stats;
 }
 
 std::size_t CacheManager::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t CacheManager::spilled_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return spilled_.size();
 }
 

@@ -26,13 +26,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "engine/cache_key.hpp"
 #include "engine/spill_tier.hpp"
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss::engine {
 
@@ -171,7 +171,7 @@ class CacheManager {
 
   const CacheOptions options_;
   SpillTier spill_;
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kCache};
   std::uint64_t capacity_bytes_ SS_GUARDED_BY(mutex_) =
       options_.capacity_bytes;
   /// Mean observed reload cost per byte, EWMA over completed reloads;

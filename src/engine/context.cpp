@@ -5,6 +5,7 @@
 #include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "support/log.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/stopwatch.hpp"
 
 namespace ss::engine {
@@ -165,6 +166,25 @@ void EngineContext::FailNode(int node) {
 }
 
 std::string EngineContext::RunMetricsJson() const {
+  // Publish the lock-order analyzer's view of the run into the counters
+  // section (all zero in release builds, where the analyzer compiles
+  // out). deadlock_smoke reads these to assert a clean run's graph is
+  // acyclic with no rank-order violations.
+  const support::lock_order::Stats lock_stats =
+      support::lock_order::GetStats();
+  auto& registry = CounterRegistry::Global();
+  registry.Get("lock.acquisitions")
+      .store(lock_stats.acquisitions, std::memory_order_relaxed);
+  registry.Get("lock.graph_nodes")
+      .store(static_cast<std::uint64_t>(lock_stats.graph_nodes),
+             std::memory_order_relaxed);
+  registry.Get("lock.graph_edges")
+      .store(static_cast<std::uint64_t>(lock_stats.graph_edges),
+             std::memory_order_relaxed);
+  registry.Get("lock.rank_violations")
+      .store(lock_stats.rank_violations, std::memory_order_relaxed);
+  registry.Get("lock.cycles")
+      .store(lock_stats.acyclic ? 0 : 1, std::memory_order_relaxed);
   return ss::engine::RunMetricsJson(metrics_.stages(), cache_.stats(),
                                     metrics_.broadcast_bytes(),
                                     tasks_completed(),

@@ -18,7 +18,7 @@ std::uint64_t MetricsRecorder::BeginStage(const std::string& label,
   static std::atomic<std::uint64_t>& stages_counter =
       CounterRegistry::Global().Get("engine.stages");
   stages_counter.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   StageMetrics stage;
   stage.stage_id = next_stage_id_++;
   stage.label = label;
@@ -51,7 +51,7 @@ void MetricsRecorder::RecordTask(std::uint64_t stage_id,
   shuffle_read.fetch_add(metrics.shuffle_read_bytes, std::memory_order_relaxed);
   shuffle_write.fetch_add(metrics.shuffle_write_bytes,
                           std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   StageMetrics* stage = FindStage(stages_, stage_id);
   SS_CHECK(stage != nullptr);
   stage->task_seconds.push_back(metrics.compute_seconds);
@@ -63,7 +63,7 @@ void MetricsRecorder::RecordTask(std::uint64_t stage_id,
 
 void MetricsRecorder::EndStage(std::uint64_t stage_id,
                                std::uint64_t queue_peak) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   StageMetrics* stage = FindStage(stages_, stage_id);
   SS_CHECK(stage != nullptr);
   stage->end_ns = ProfileNowNs();
@@ -74,7 +74,7 @@ void MetricsRecorder::RecordFailure(std::uint64_t stage_id) {
   static std::atomic<std::uint64_t>& failures_counter =
       CounterRegistry::Global().Get("engine.tasks.failed_attempts");
   failures_counter.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   StageMetrics* stage = FindStage(stages_, stage_id);
   SS_CHECK(stage != nullptr);
   ++stage->failed_attempts;
@@ -87,22 +87,22 @@ void MetricsRecorder::RecordBroadcast(std::uint64_t bytes) {
       CounterRegistry::Global().Get("broadcast.bytes");
   broadcast_count.fetch_add(1, std::memory_order_relaxed);
   broadcast_bytes.fetch_add(bytes, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   broadcast_bytes_ += bytes;
 }
 
 std::vector<StageMetrics> MetricsRecorder::stages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return stages_;
 }
 
 std::uint64_t MetricsRecorder::broadcast_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return broadcast_bytes_;
 }
 
 cluster::JobProfile MetricsRecorder::ToJobProfile() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   cluster::JobProfile job;
   job.stages.reserve(stages_.size());
   for (const StageMetrics& stage : stages_) {
@@ -116,7 +116,7 @@ cluster::JobProfile MetricsRecorder::ToJobProfile() const {
 }
 
 void MetricsRecorder::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   stages_.clear();
   broadcast_bytes_ = 0;
 }

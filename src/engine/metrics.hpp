@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +16,7 @@
 #include "engine/cache_manager.hpp"
 #include "engine/task.hpp"
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss::engine {
 
@@ -71,7 +71,7 @@ class MetricsRecorder {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kMetrics};
   std::vector<StageMetrics> stages_ SS_GUARDED_BY(mutex_);
   std::uint64_t next_stage_id_ SS_GUARDED_BY(mutex_) = 1;
   std::uint64_t broadcast_bytes_ SS_GUARDED_BY(mutex_) = 0;

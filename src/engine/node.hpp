@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "engine/profile.hpp"
 #include "engine/task.hpp"
 #include "engine/trace.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/status.hpp"
 #include "support/stopwatch.hpp"
 
@@ -81,7 +81,7 @@ class NodeBase {
   /// Idempotent and safe to call repeatedly.
   void EnsureReady() {
     for (const auto& parent : parents_) parent->EnsureReady();
-    std::lock_guard<std::mutex> lock(ready_mutex_);
+    support::MutexLock lock(ready_mutex_);
     if (ready_) return;
     EnsureReadySelf();
     ready_ = true;
@@ -103,7 +103,7 @@ class NodeBase {
   /// Invalidates readiness (used by shuffle nodes when inputs change —
   /// not currently needed by any transformation, but kept for symmetry).
   void MarkNotReady() {
-    std::lock_guard<std::mutex> lock(ready_mutex_);
+    support::MutexLock lock(ready_mutex_);
     ready_ = false;
   }
 
@@ -115,8 +115,11 @@ class NodeBase {
   const std::uint32_t num_partitions_;
   std::vector<std::shared_ptr<NodeBase>> parents_;
   bool cache_enabled_ = false;
-  std::mutex ready_mutex_;
-  bool ready_ = false;
+  // One instance per node, all sharing kNodeReady: EnsureReady readies
+  // every parent BEFORE locking its own mutex, so two ready locks are
+  // never held together (EnsureReadySelf never re-enters EnsureReady).
+  support::RankedMutex ready_mutex_{support::lock_rank::kNodeReady};
+  bool ready_ SS_GUARDED_BY(ready_mutex_) = false;
 };
 
 /// Typed node: can produce any of its partitions.

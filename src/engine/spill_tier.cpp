@@ -126,7 +126,7 @@ Status SpillTier::Put(const CacheKey& key,
                       const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> frame = BuildFrame(payload);
   const std::uint64_t frame_bytes = frame.size();
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   EraseLocked(key);  // refresh semantics
   WriteFrameLocked(key, frame);
   if (!dir_.empty()) {
@@ -144,7 +144,7 @@ Status SpillTier::Put(const CacheKey& key,
 }
 
 Result<std::vector<std::uint8_t>> SpillTier::Get(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = frames_.find(key);
   if (it == frames_.end()) {
     return Status::NotFound("no spill frame for " + KeyName(key));
@@ -162,12 +162,12 @@ Result<std::vector<std::uint8_t>> SpillTier::Get(const CacheKey& key) {
 }
 
 void SpillTier::Erase(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   EraseLocked(key);
 }
 
 void SpillTier::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<CacheKey> keys;
   keys.reserve(frames_.size());
   for (const auto& [key, bytes] : frames_) keys.push_back(key);
@@ -175,7 +175,7 @@ void SpillTier::Clear() {
 }
 
 int SpillTier::CorruptAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   int touched = 0;
   for (const auto& [key, bytes] : frames_) {
     std::vector<std::uint8_t> frame = ReadFrameLocked(key);
@@ -189,7 +189,7 @@ int SpillTier::CorruptAll() {
 }
 
 int SpillTier::DropAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   int dropped = 0;
   for (const auto& [key, bytes] : frames_) {
     // Delete the backing frame but keep the index entry: the next Get must
@@ -206,12 +206,12 @@ int SpillTier::DropAll() {
 }
 
 std::size_t SpillTier::frame_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return frames_.size();
 }
 
 std::uint64_t SpillTier::bytes_stored() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return bytes_stored_;
 }
 

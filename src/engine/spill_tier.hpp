@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "dfs/block_store.hpp"
 #include "engine/cache_key.hpp"
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 #include "support/status.hpp"
 
 namespace ss::engine {
@@ -61,7 +61,7 @@ class SpillTier {
   std::string FilePathFor(const CacheKey& key) const;
 
   const std::string dir_;  ///< Empty = in-memory BlockStore backend.
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kSpill};
   dfs::BlockStore store_;  ///< Backend when dir_ is empty.
   /// key -> framed size; the iteration index the BlockStore lacks.
   std::unordered_map<CacheKey, std::uint64_t, CacheKeyHash> frames_

@@ -44,7 +44,7 @@ Tracer::ThreadLog* Tracer::LogForThisThread() {
   if (cache.tracer_id == tracer_id_) return cache.log;
   auto log = std::make_shared<ThreadLog>();
   {
-    std::lock_guard<std::mutex> lock(logs_mutex_);
+    support::MutexLock lock(logs_mutex_);
     log->tid = static_cast<std::uint32_t>(logs_.size());
     logs_.push_back(log);
   }
@@ -57,7 +57,7 @@ void Tracer::Record(TraceEvent event) {
   ThreadLog* log = LogForThisThread();
   event.ts_ns = NowNs() - epoch_ns_.load(std::memory_order_relaxed);
   event.tid = log->tid;
-  std::lock_guard<std::mutex> lock(log->mutex);
+  support::MutexLock lock(log->mutex);
   if (log->events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -86,9 +86,9 @@ void Tracer::Instant(const char* category, std::string name, TraceArgs args) {
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> merged;
   {
-    std::lock_guard<std::mutex> registry_lock(logs_mutex_);
+    support::MutexLock registry_lock(logs_mutex_);
     for (const auto& log : logs_) {
-      std::lock_guard<std::mutex> log_lock(log->mutex);
+      support::MutexLock log_lock(log->mutex);
       merged.insert(merged.end(), log->events.begin(), log->events.end());
     }
   }
@@ -102,9 +102,9 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> registry_lock(logs_mutex_);
+  support::MutexLock registry_lock(logs_mutex_);
   for (const auto& log : logs_) {
-    std::lock_guard<std::mutex> log_lock(log->mutex);
+    support::MutexLock log_lock(log->mutex);
     log->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
@@ -187,7 +187,7 @@ CounterRegistry& CounterRegistry::Global() {
 }
 
 std::atomic<std::uint64_t>& CounterRegistry::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -199,7 +199,7 @@ std::atomic<std::uint64_t>& CounterRegistry::Get(const std::string& name) {
 
 std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, value] : counters_) {
@@ -209,7 +209,7 @@ std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::Snapshot()
 }
 
 void CounterRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (auto& [name, value] : counters_) {
     value->store(0, std::memory_order_relaxed);
   }

@@ -26,13 +26,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss::engine {
 
@@ -106,7 +106,7 @@ class Tracer {
 
  private:
   struct ThreadLog {
-    std::mutex mutex;
+    support::RankedMutex mutex{support::lock_rank::kTraceThreadLog};
     std::vector<TraceEvent> events SS_GUARDED_BY(mutex);
     std::uint32_t tid = 0;  ///< Immutable after registration.
   };
@@ -118,7 +118,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> epoch_ns_;
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex logs_mutex_;
+  mutable support::RankedMutex logs_mutex_{support::lock_rank::kTraceRegistry};
   std::vector<std::shared_ptr<ThreadLog>> logs_ SS_GUARDED_BY(logs_mutex_);
 };
 
@@ -191,7 +191,7 @@ class CounterRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mutex_;
+  mutable support::RankedMutex mutex_{support::lock_rank::kCounters};
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_
       SS_GUARDED_BY(mutex_);
 };

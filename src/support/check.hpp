@@ -9,13 +9,16 @@
 // matrix exercises every contract while release binaries pay zero cost.
 //
 // The SS_GUARDED_BY / SS_REQUIRES / SS_EXCLUDES / SS_ACQUIRE /
-// SS_RELEASE macros expand to Clang's thread-safety-analysis attributes
-// when the compiler supports them and to nothing otherwise (GCC). They
-// are applied to the engine's hot shared structures so a
-// `clang -Wthread-safety` pass — and human readers — can see which
-// mutex protects which field. SS_ASSERT_HELD(m) documents (and, under
-// Clang's analysis, asserts) that `m` is held on entry to a *Locked
-// helper.
+// SS_RELEASE / SS_CAPABILITY / SS_SCOPED_CAPABILITY /
+// SS_ACQUIRED_BEFORE / SS_ACQUIRED_AFTER macros expand to Clang's
+// thread-safety-analysis attributes when the compiler supports them and
+// to nothing otherwise (GCC). They are applied to every shared mutable
+// structure in src/ so a `clang -Wthread-safety -Wthread-safety-beta`
+// pass — promoted to errors in Clang builds, see the root
+// CMakeLists.txt — and human readers can see which mutex protects which
+// field. SS_ASSERT_HELD(m) documents (and, under Clang's analysis,
+// asserts) that `m` is held on entry to a *Locked helper. The policy for
+// choosing between the annotations lives in docs/STATIC_ANALYSIS.md.
 #pragma once
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -29,13 +32,39 @@
 
 /// Member annotation: the field may only be read or written with `x` held.
 #define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION(guarded_by(x))
-/// Function annotation: the caller must hold `x`.
-#define SS_REQUIRES(x) SS_THREAD_ANNOTATION(requires_capability(x))
-/// Function annotation: the caller must NOT hold `x` (the function locks it).
-#define SS_EXCLUDES(x) SS_THREAD_ANNOTATION(locks_excluded(x))
-/// Function annotation: the function acquires/releases `x`.
-#define SS_ACQUIRE(x) SS_THREAD_ANNOTATION(acquire_capability(x))
-#define SS_RELEASE(x) SS_THREAD_ANNOTATION(release_capability(x))
+/// Member annotation: the pointee (not the pointer) is protected by `x`.
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function annotation: the caller must hold the named capabilities.
+#define SS_REQUIRES(...) SS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function annotation: the caller must NOT hold them (the function locks).
+#define SS_EXCLUDES(...) SS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function annotation: the function acquires/releases the capability.
+/// With no argument the capability is `this` (for lockable types).
+#define SS_ACQUIRE(...) SS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SS_RELEASE(...) SS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function annotation: acquires the capability iff the return value is
+/// `result` (use on try_lock-shaped functions).
+#define SS_TRY_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Type annotation: the class is a capability (a mutex-like type whose
+/// acquisition Clang's analysis tracks). `x` names the capability kind in
+/// diagnostics, conventionally "mutex".
+#define SS_CAPABILITY(x) SS_THREAD_ANNOTATION(capability(x))
+/// Type annotation: RAII guard whose constructor acquires and destructor
+/// releases a capability (std::lock_guard-shaped types).
+#define SS_SCOPED_CAPABILITY SS_THREAD_ANNOTATION(scoped_lockable)
+/// Member annotations declaring the project lock order (see the rank
+/// table in src/support/lock_ranks.hpp): this mutex must be acquired
+/// before/after the named ones. Checked by -Wthread-safety-beta; the
+/// runtime RankedMutex analyzer enforces the same order dynamically.
+#define SS_ACQUIRED_BEFORE(...) \
+  SS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SS_ACQUIRED_AFTER(...) \
+  SS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function annotation: opt this function out of the analysis (use only
+/// with a comment explaining why; see docs/STATIC_ANALYSIS.md waivers).
+#define SS_NO_THREAD_SAFETY_ANALYSIS \
+  SS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 namespace ss::internal {
 // Defined in status.cpp; prints and aborts.

@@ -4,7 +4,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "support/ranked_mutex.hpp"
 
 namespace ss {
 namespace {
@@ -21,7 +22,9 @@ int InitialLevel() {
 }
 
 std::atomic<int> g_level{InitialLevel()};
-std::mutex g_log_mutex;
+// Serializes stderr output only — no data fields to annotate.
+// ss-lint: allow(guarded-by-coverage) guards the stderr stream, not members
+support::RankedMutex g_log_mutex{support::lock_rank::kLog};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -57,7 +60,7 @@ namespace internal {
 
 void LogLine(LogLevel level, const std::string& component,
              const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  support::MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %s] %s\n", LevelName(level), component.c_str(),
                message.c_str());
 }

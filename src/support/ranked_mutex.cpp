@@ -1,0 +1,327 @@
+#include "support/ranked_mutex.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ss::support {
+namespace lock_order {
+namespace {
+
+#if defined(SS_LOCK_ORDER_CHECKS)
+
+/// 0 = off (SS_LOCK_CHECK=0), 1 = cycle detection (default), 2 = strict
+/// (SS_LOCK_CHECK=strict: any non-increasing rank acquisition aborts,
+/// not just completed cycles). Parsed once, at the first tracked lock.
+int Mode() {
+  static const int mode = [] {
+    const char* env = std::getenv("SS_LOCK_CHECK");
+    if (env == nullptr) return 1;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) return 0;
+    if (std::strcmp(env, "strict") == 0) return 2;
+    return 1;
+  }();
+  return mode;
+}
+
+/// One observed held→acquired ordering, with the full acquisition chain
+/// of the thread that first created it — the evidence printed when the
+/// opposite order later completes a cycle.
+struct EdgeInfo {
+  std::string first_chain;
+  bool rank_violation = false;  ///< to-rank <= from-rank when recorded.
+};
+
+struct Graph {
+  std::mutex mu;
+  /// from-rank -> (to-rank -> first observed chain).
+  std::map<int, std::map<int, EdgeInfo>> edges;
+  /// Every rank ever acquired, with a representative name.
+  std::map<int, const char*> nodes;
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> rank_violations{0};
+};
+
+// Leaked singleton: the graph must outlive every static whose destructor
+// might still take a RankedMutex during teardown.
+Graph& G() {
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+// The per-thread held stack is trivially destructible on purpose: locks
+// taken from static or thread-exit destructors (e.g. the log mutex) can
+// still push/pop safely after C++ TLS destructors have run.
+constexpr int kMaxHeld = 64;
+thread_local const RankedMutex* t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+std::string Describe(const RankedMutex& mutex) {
+  return std::string("\"") + mutex.name() + "\"(" +
+         std::to_string(mutex.rank()) + ")";
+}
+
+std::string DescribeRank(const Graph& graph, int rank) {
+  auto it = graph.nodes.find(rank);
+  const char* name = it == graph.nodes.end() ? "?" : it->second;
+  return std::string("\"") + name + "\"(" + std::to_string(rank) + ")";
+}
+
+/// The calling thread's full acquisition chain, ending in `acquiring`.
+std::string CurrentChain(const RankedMutex& acquiring) {
+  std::string chain;
+  for (int i = 0; i < t_held_count; ++i) {
+    chain += Describe(*t_held[i]);
+    chain += " -> ";
+  }
+  chain += Describe(acquiring);
+  return chain;
+}
+
+/// DFS path from `from` to `to` through recorded edges (empty if
+/// unreachable). `from == to` only matches via an actual self-edge.
+/// Call with graph.mu held.
+std::vector<int> FindPath(const Graph& graph, int from, int to) {
+  std::vector<int> stack{from};
+  std::map<int, int> parent;  // child -> predecessor on the DFS tree
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    auto edges_it = graph.edges.find(node);
+    if (edges_it == graph.edges.end()) continue;
+    for (const auto& [next, info] : edges_it->second) {
+      if (parent.contains(next)) continue;
+      parent[next] = node;
+      if (next == to) {
+        std::vector<int> path{to};
+        for (int hop = to; hop != from || path.size() == 1;) {
+          hop = parent.at(hop);
+          path.push_back(hop);
+          if (hop == from) break;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      stack.push_back(next);
+    }
+  }
+  return {};
+}
+
+[[noreturn]] void AbortWithCycle(const Graph& graph,
+                                 const RankedMutex& acquiring,
+                                 const RankedMutex& held,
+                                 const std::vector<int>& path) {
+  std::fprintf(stderr,
+               "[FATAL ranked_mutex] potential deadlock: lock-order cycle "
+               "detected acquiring %s while holding %s\n",
+               Describe(acquiring).c_str(), Describe(held).c_str());
+  std::fprintf(stderr, "  current acquisition chain: %s\n",
+               CurrentChain(acquiring).c_str());
+  std::fprintf(stderr,
+               "  previously recorded chain(s) completing the cycle:\n");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const EdgeInfo& info = graph.edges.at(path[i]).at(path[i + 1]);
+    std::fprintf(stderr, "    %s -> %s   [first observed as: %s]\n",
+                 DescribeRank(graph, path[i]).c_str(),
+                 DescribeRank(graph, path[i + 1]).c_str(),
+                 info.first_chain.c_str());
+  }
+  std::fprintf(stderr,
+               "  see src/support/lock_ranks.hpp for the project lock "
+               "order and docs/STATIC_ANALYSIS.md for the policy\n");
+  std::abort();
+}
+
+[[noreturn]] void AbortRecursive(const RankedMutex& mutex) {
+  std::fprintf(stderr,
+               "[FATAL ranked_mutex] guaranteed deadlock: recursive "
+               "acquisition of %s\n  current acquisition chain: %s\n",
+               Describe(mutex).c_str(), CurrentChain(mutex).c_str());
+  std::abort();
+}
+
+[[noreturn]] void AbortRankOrder(const RankedMutex& acquiring,
+                                 const RankedMutex& held) {
+  std::fprintf(stderr,
+               "[FATAL ranked_mutex] potential deadlock (strict mode): "
+               "acquiring %s while holding %s violates the declared rank "
+               "order\n  current acquisition chain: %s\n",
+               Describe(acquiring).c_str(), Describe(held).c_str(),
+               CurrentChain(acquiring).c_str());
+  std::abort();
+}
+
+/// Records the acquisition into the graph, aborting on a cycle. Runs
+/// BEFORE blocking on the underlying mutex so an inversion is reported
+/// even when the schedule would deadlock rather than return.
+void CheckAndRecord(const RankedMutex& acquiring) {
+  Graph& graph = G();
+  graph.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i] == &acquiring) AbortRecursive(acquiring);
+  }
+  std::lock_guard<std::mutex> lock(graph.mu);
+  graph.nodes.emplace(acquiring.rank(), acquiring.name());
+  if (t_held_count == 0) return;
+  for (int i = 0; i < t_held_count; ++i) {
+    const RankedMutex& held = *t_held[i];
+    // A path acquired→…→held plus the prospective held→acquired edge is
+    // a cycle: both orders have now been observed at least once.
+    const std::vector<int> path =
+        FindPath(graph, acquiring.rank(), held.rank());
+    if (!path.empty()) AbortWithCycle(graph, acquiring, held, path);
+    const bool violation = held.rank() >= acquiring.rank();
+    if (violation && Mode() == 2) AbortRankOrder(acquiring, held);
+    auto [it, inserted] = graph.edges[held.rank()].emplace(
+        acquiring.rank(), EdgeInfo{CurrentChain(acquiring), violation});
+    if (inserted && violation) {
+      // Not yet a proven cycle, but already outside the declared order;
+      // counted (deadlock_smoke asserts zero on clean runs) and warned
+      // once per rank pair.
+      graph.rank_violations.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "[WARN ranked_mutex] rank-order violation: acquired %s "
+                   "while holding %s (chain: %s)\n",
+                   Describe(acquiring).c_str(), Describe(held).c_str(),
+                   it->second.first_chain.c_str());
+    }
+  }
+}
+
+void PushHeld(const RankedMutex& mutex) {
+  if (t_held_count < kMaxHeld) t_held[t_held_count] = &mutex;
+  ++t_held_count;
+}
+
+void PopHeld(const RankedMutex& mutex) {
+  // Usually LIFO, but scoped guards may unwind out of order; search from
+  // the top. Beyond-capacity entries (count > kMaxHeld) were not stored.
+  for (int i = std::min(t_held_count, kMaxHeld) - 1; i >= 0; --i) {
+    if (t_held[i] == &mutex) {
+      for (int j = i; j + 1 < std::min(t_held_count, kMaxHeld); ++j) {
+        t_held[j] = t_held[j + 1];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+  if (t_held_count > kMaxHeld) --t_held_count;
+}
+
+/// Whole-graph cycle check (three-color DFS). Call with graph.mu held.
+bool GraphIsAcyclic(const Graph& graph) {
+  std::map<int, int> color;  // 0 white (absent), 1 gray, 2 black
+  for (const auto& [start, unused] : graph.edges) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<int, bool>> stack{{start, false}};
+    while (!stack.empty()) {
+      auto [node, children_done] = stack.back();
+      stack.pop_back();
+      if (children_done) {
+        color[node] = 2;
+        continue;
+      }
+      if (color[node] == 2) continue;
+      color[node] = 1;
+      stack.push_back({node, true});
+      auto it = graph.edges.find(node);
+      if (it == graph.edges.end()) continue;
+      for (const auto& [next, unused2] : it->second) {
+        if (color[next] == 1) return false;  // back edge
+        if (color[next] == 0) stack.push_back({next, false});
+      }
+    }
+  }
+  return true;
+}
+
+#endif  // SS_LOCK_ORDER_CHECKS
+
+}  // namespace
+
+bool RuntimeEnabled() {
+#if defined(SS_LOCK_ORDER_CHECKS)
+  return Mode() != 0;
+#else
+  return false;
+#endif
+}
+
+Stats GetStats() {
+  Stats stats;
+#if defined(SS_LOCK_ORDER_CHECKS)
+  if (Mode() == 0) return stats;
+  Graph& graph = G();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  stats.acquisitions = graph.acquisitions.load(std::memory_order_relaxed);
+  stats.graph_nodes = static_cast<int>(graph.nodes.size());
+  int edges = 0;
+  for (const auto& [from, adjacent] : graph.edges) {
+    edges += static_cast<int>(adjacent.size());
+  }
+  stats.graph_edges = edges;
+  stats.rank_violations =
+      graph.rank_violations.load(std::memory_order_relaxed);
+  stats.acyclic = GraphIsAcyclic(graph);
+#endif
+  return stats;
+}
+
+int HeldByThisThread() {
+#if defined(SS_LOCK_ORDER_CHECKS)
+  return t_held_count;
+#else
+  return 0;
+#endif
+}
+
+void ResetForTest() {
+#if defined(SS_LOCK_ORDER_CHECKS)
+  Graph& graph = G();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  graph.edges.clear();
+  graph.nodes.clear();
+  graph.acquisitions.store(0, std::memory_order_relaxed);
+  graph.rank_violations.store(0, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace lock_order
+
+#if defined(SS_LOCK_ORDER_CHECKS)
+
+void RankedMutex::lock() {
+  if (!lock_order::RuntimeEnabled()) {
+    mutex_.lock();
+    return;
+  }
+  lock_order::CheckAndRecord(*this);
+  mutex_.lock();
+  lock_order::PushHeld(*this);
+}
+
+void RankedMutex::unlock() {
+  if (lock_order::RuntimeEnabled()) lock_order::PopHeld(*this);
+  mutex_.unlock();
+}
+
+bool RankedMutex::try_lock() {
+  if (!lock_order::RuntimeEnabled()) return mutex_.try_lock();
+  if (!mutex_.try_lock()) return false;
+  // A successful try_lock cannot have deadlocked this time, but an
+  // inverted order it establishes is still a contract violation — record
+  // (and, on a completed cycle, abort) exactly like lock().
+  lock_order::CheckAndRecord(*this);
+  lock_order::PushHeld(*this);
+  return true;
+}
+
+#endif  // SS_LOCK_ORDER_CHECKS
+
+}  // namespace ss::support

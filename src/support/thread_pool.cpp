@@ -34,13 +34,19 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Abandoned tasks are moved out and destroyed AFTER mutex_ is released:
+  // a captured closure's destructor may itself take locks (or submit-side
+  // state may), and destroying it under the pool lock would order those
+  // locks under kThreadPool — an inversion the lock-order analyzer flags.
+  std::deque<std::function<void()>> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     shutdown_ = true;
-    queue_.clear();
+    abandoned.swap(queue_);
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  abandoned.clear();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -48,7 +54,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      support::UniqueLock lock(mutex_);
       cv_.wait(lock, [this]() SS_REQUIRES(mutex_) {
         return shutdown_ || !queue_.empty();
       });
@@ -72,8 +78,8 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   // outlives them because the caller blocks on every future below.
   struct LoopState {
     std::atomic<std::size_t> next;
-    std::mutex error_mutex;
-    std::exception_ptr first_error;  // Guarded by error_mutex.
+    support::RankedMutex error_mutex{support::lock_rank::kParallelForError};
+    std::exception_ptr first_error SS_GUARDED_BY(error_mutex);
     explicit LoopState(std::size_t begin_index) : next(begin_index) {}
   };
   LoopState state(begin);
@@ -90,14 +96,21 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state.error_mutex);
+          support::MutexLock lock(state.error_mutex);
           if (!state.first_error) state.first_error = std::current_exception();
         }
       }
     }));
   }
   for (auto& runner : runners) runner.get();
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  std::exception_ptr first_error;
+  {
+    // All runners have joined, but the annotation contract (and the
+    // analysis) still wants the guarded field read under its mutex.
+    support::MutexLock lock(state.error_mutex);
+    first_error = state.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ss

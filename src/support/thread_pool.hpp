@@ -18,11 +18,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/ranked_mutex.hpp"
 
 namespace ss {
 
@@ -65,7 +65,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       SS_DCHECK(!shutdown_ && "ThreadPool::Submit after shutdown started");
       queue_.emplace_back([task]() { (*task)(); });
       const auto depth = static_cast<std::uint64_t>(queue_.size());
@@ -89,8 +89,10 @@ class ThreadPool {
   void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  support::RankedMutex mutex_{support::lock_rank::kThreadPool};
+  // condition_variable_any so the wait's unlock/relock goes through the
+  // annotated UniqueLock (and thus the lock-order analyzer's held stack).
+  std::condition_variable_any cv_;
   std::deque<std::function<void()>> queue_ SS_GUARDED_BY(mutex_);
   bool shutdown_ SS_GUARDED_BY(mutex_) = false;
   std::atomic<std::uint64_t> busy_nanos_{0};

@@ -1,0 +1,253 @@
+// Lock-order analyzer tests: ABBA inversion detection (with both
+// acquisition chains in the report), same-rank and recursive acquisition
+// handling, rank-violation warnings, clean-run acyclicity, and the
+// release-build passthrough contract.
+#include "support/ranked_mutex.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <memory>
+#include <thread>
+
+#include "support/thread_pool.hpp"
+
+namespace ss::support {
+namespace {
+
+using lock_order::GetStats;
+using lock_order::HeldByThisThread;
+using lock_order::ResetForTest;
+
+// Test-only rank classes, far above the project table so test edges can
+// never alias a real subsystem's rank.
+constexpr LockRank kTestLow{"test.low", 1000};
+constexpr LockRank kTestHigh{"test.high", 1010};
+constexpr LockRank kTestPeerA{"test.peer_a", 1020};
+constexpr LockRank kTestPeerB{"test.peer_b", 1020};  // same rank as peer_a
+
+TEST(RankedMutexTest, PassthroughWhenAnalyzerOff) {
+  if (lock_order::CompiledIn() && lock_order::RuntimeEnabled()) {
+    GTEST_SKIP() << "analyzer active; passthrough covered by release builds";
+  }
+  RankedMutex mutex(kTestLow);
+  mutex.lock();
+  EXPECT_EQ(HeldByThisThread(), 0);  // nothing tracked
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+  const lock_order::Stats stats = GetStats();
+  EXPECT_EQ(stats.acquisitions, 0u);
+  EXPECT_EQ(stats.graph_edges, 0);
+  EXPECT_TRUE(stats.acyclic);
+}
+
+TEST(RankedMutexTest, TracksHeldStackAndGraph) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ResetForTest();
+  RankedMutex low(kTestLow);
+  RankedMutex high(kTestHigh);
+  low.lock();
+  EXPECT_EQ(HeldByThisThread(), 1);
+  high.lock();
+  EXPECT_EQ(HeldByThisThread(), 2);
+  high.unlock();
+  low.unlock();
+  EXPECT_EQ(HeldByThisThread(), 0);
+  const lock_order::Stats stats = GetStats();
+  EXPECT_EQ(stats.acquisitions, 2u);
+  EXPECT_EQ(stats.graph_nodes, 2);
+  EXPECT_EQ(stats.graph_edges, 1);  // low -> high
+  EXPECT_EQ(stats.rank_violations, 0u);
+  EXPECT_TRUE(stats.acyclic);
+}
+
+TEST(RankedMutexTest, TryLockTracksLikeLock) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ResetForTest();
+  RankedMutex low(kTestLow);
+  ASSERT_TRUE(low.try_lock());
+  EXPECT_EQ(HeldByThisThread(), 1);
+  low.unlock();
+  EXPECT_EQ(HeldByThisThread(), 0);
+  EXPECT_EQ(GetStats().acquisitions, 1u);
+}
+
+TEST(RankedMutexTest, RankViolationWithoutCycleWarnsButLives) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ResetForTest();
+  RankedMutex low(kTestLow);
+  RankedMutex high(kTestHigh);
+  // high -> low inverts the declared order, but the opposite order has
+  // never been recorded, so this is a warning, not an abort.
+  high.lock();
+  low.lock();
+  low.unlock();
+  high.unlock();
+  const lock_order::Stats stats = GetStats();
+  EXPECT_EQ(stats.rank_violations, 1u);
+  EXPECT_TRUE(stats.acyclic);  // a single edge cannot cycle
+}
+
+TEST(RankedMutexDeathTest, AbbaInversionAbortsWithCurrentChain) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The full ABBA runs inside the death-test child so the parent's graph
+  // stays clean. One thread suffices: the graph remembers the first
+  // order and the opposite order completes the cycle immediately.
+  EXPECT_DEATH(
+      {
+        ResetForTest();
+        RankedMutex low(kTestLow);
+        RankedMutex high(kTestHigh);
+        low.lock();
+        high.lock();  // records low -> high
+        high.unlock();
+        low.unlock();
+        high.lock();
+        low.lock();  // cycle: abort before this can deadlock anyone
+      },
+      "potential deadlock.*test\\.low");
+}
+
+TEST(RankedMutexDeathTest, AbbaReportPrintsRecordedOppositeChain) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Same scenario; this run pins the OTHER half of the report — the
+  // previously recorded chain that completes the cycle.
+  EXPECT_DEATH(
+      {
+        ResetForTest();
+        RankedMutex low(kTestLow);
+        RankedMutex high(kTestHigh);
+        low.lock();
+        high.lock();
+        high.unlock();
+        low.unlock();
+        high.lock();
+        low.lock();
+      },
+      "first observed as: \"test\\.low\"\\(1000\\) -> \"test\\.high\"\\(1010\\)");
+}
+
+TEST(RankedMutexDeathTest, SameRankSecondNestingAborts) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Same-rank instances may never nest. The first nesting records a
+  // self-edge (and a warning); the second finds that self-edge as a
+  // cycle — by-rank bookkeeping cannot tell instance orders apart, and
+  // the contract says this pattern is illegal either way.
+  EXPECT_DEATH(
+      {
+        ResetForTest();
+        RankedMutex a(kTestPeerA);
+        RankedMutex b(kTestPeerB);
+        a.lock();
+        b.lock();
+        b.unlock();
+        a.unlock();
+        a.lock();
+        b.lock();
+      },
+      "potential deadlock.*test\\.peer");
+}
+
+TEST(RankedMutexDeathTest, RecursiveAcquisitionAborts) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ResetForTest();
+        RankedMutex mutex(kTestLow);
+        mutex.lock();
+        mutex.lock();
+      },
+      "recursive acquisition");
+}
+
+TEST(RankedMutexTest, CleanMultithreadedRunStaysAcyclic) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ResetForTest();
+  RankedMutex low(kTestLow);
+  RankedMutex high(kTestHigh);
+  int shared = 0;
+  {
+    ThreadPool pool(4);
+    // Everyone nests in rank order; the pool's own mutex (and the
+    // ParallelFor error mutex) join the graph underneath.
+    pool.ParallelFor(0, 64, [&](std::size_t) {
+      MutexLock outer(low);
+      MutexLock inner(high);
+      ++shared;
+      EXPECT_GE(HeldByThisThread(), 2);
+    });
+    // Workers park with nothing held.
+    pool.ParallelFor(0, 4, [&](std::size_t) {
+      EXPECT_EQ(HeldByThisThread(), 0);
+    });
+  }
+  // Pool shut down: the driver's held stack must be empty too.
+  EXPECT_EQ(HeldByThisThread(), 0);
+  EXPECT_EQ(shared, 64);
+  const lock_order::Stats stats = GetStats();
+  EXPECT_TRUE(stats.acyclic);
+  EXPECT_EQ(stats.rank_violations, 0u);
+  EXPECT_GE(stats.graph_edges, 1);
+  EXPECT_GE(stats.acquisitions, 128u);
+}
+
+// Regression: ~ThreadPool used to destroy abandoned queued closures while
+// still holding the pool mutex. A closure owning a resource whose
+// destructor takes another lock would then nest pool-mutex -> that lock,
+// inverting the declared order (and risking real deadlock if the dtor
+// ever reached back into a pool API). The fix swaps the queue out under
+// the lock and destroys it after release, so destructors run with the
+// pool's held-stack contribution at zero.
+TEST(RankedMutexTest, PoolDestructorRunsAbandonedDtorsUnlocked) {
+  struct Sentinel {
+    std::atomic<int>* held_at_destruction;
+    ~Sentinel() {
+      held_at_destruction->fetch_add(
+          static_cast<int>(HeldByThisThread()), std::memory_order_relaxed);
+    }
+  };
+  std::atomic<int> held{0};
+  {
+    ThreadPool pool(1);
+    // Park the lone worker so the second submission stays queued and is
+    // abandoned (destroyed, never run) by the destructor.
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    });
+    auto sentinel = std::make_shared<Sentinel>();
+    sentinel->held_at_destruction = &held;
+    pool.Submit([sentinel] {});
+    sentinel.reset();
+  }
+  // 0 locks held when the abandoned closure's captures were destroyed.
+  EXPECT_EQ(held.load(std::memory_order_relaxed), 0);
+}
+
+TEST(RankedMutexTest, ScopedGuardsDriveTheHeldStack) {
+  if (!lock_order::RuntimeEnabled()) GTEST_SKIP() << "analyzer off";
+  ResetForTest();
+  RankedMutex low(kTestLow);
+  {
+    MutexLock lock(low);
+    EXPECT_EQ(HeldByThisThread(), 1);
+  }
+  EXPECT_EQ(HeldByThisThread(), 0);
+  {
+    UniqueLock lock(low);
+    EXPECT_EQ(HeldByThisThread(), 1);
+    // The BasicLockable surface a condition_variable_any wait exercises.
+    lock.unlock();
+    EXPECT_EQ(HeldByThisThread(), 0);
+    lock.lock();
+    EXPECT_EQ(HeldByThisThread(), 1);
+  }
+  EXPECT_EQ(HeldByThisThread(), 0);
+}
+
+}  // namespace
+}  // namespace ss::support

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Asserts the lock-order analyzer's clean-run contract from metrics JSON.
+
+Driven by tools/deadlock_smoke.cmake after two `sparkscore selftest` runs:
+one with the analyzer in its default mode, one with SS_LOCK_CHECK=0.
+
+Checks:
+  * lock.cycles == 0 and lock.rank_violations == 0 on the clean run — the
+    tier-1 pipeline's acquisition graph is acyclic and rank-ordered.
+  * when the analyzer is active, lock.acquisitions > 0 (it actually
+    observed the run) and lock.graph_nodes > 0.
+  * resampling.result_hash is identical between the two runs: the
+    analyzer observes scheduling, it must never perturb results.
+"""
+import argparse
+import json
+import sys
+
+
+def load_counters(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise SystemExit(f"{path}: no 'counters' object in metrics JSON")
+    return counters
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--analyzer-active", required=True, choices=["0", "1"])
+    parser.add_argument("--metrics", required=True,
+                        help="metrics JSON from the default-mode selftest")
+    parser.add_argument("--metrics-off", required=True,
+                        help="metrics JSON from the SS_LOCK_CHECK=0 selftest")
+    args = parser.parse_args()
+
+    on = load_counters(args.metrics)
+    off = load_counters(args.metrics_off)
+    failures = []
+
+    if on.get("lock.cycles", 0) != 0:
+        failures.append(
+            f"lock.cycles = {on['lock.cycles']} (clean run must be acyclic)")
+    if on.get("lock.rank_violations", 0) != 0:
+        failures.append(
+            f"lock.rank_violations = {on['lock.rank_violations']} "
+            "(clean run must respect the rank table)")
+
+    if args.analyzer_active == "1":
+        if on.get("lock.acquisitions", 0) == 0:
+            failures.append(
+                "analyzer active but lock.acquisitions == 0 "
+                "(it observed nothing)")
+        if on.get("lock.graph_nodes", 0) == 0:
+            failures.append("analyzer active but lock.graph_nodes == 0")
+    else:
+        if on.get("lock.acquisitions", 0) != 0:
+            failures.append(
+                "analyzer compiled out but lock.acquisitions != 0")
+
+    hash_on = on.get("resampling.result_hash")
+    hash_off = off.get("resampling.result_hash")
+    if hash_on is None or hash_off is None:
+        failures.append("resampling.result_hash missing from metrics")
+    elif hash_on != hash_off:
+        failures.append(
+            f"resampling.result_hash diverged: {hash_on} (analyzer on) vs "
+            f"{hash_off} (SS_LOCK_CHECK=0) — the analyzer perturbed results")
+
+    if failures:
+        for f in failures:
+            print(f"check_deadlock_metrics: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_deadlock_metrics: OK (result_hash={hash_on}, "
+          f"acquisitions={on.get('lock.acquisitions', 0)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+// Deliberate lock-order inversion, driven by the deadlock_smoke ctest.
+//
+//   deadlock_abba abba   take two RankedMutexes in both orders on one
+//                        thread. With the analyzer compiled in (Debug /
+//                        sanitizer builds) the second order completes a
+//                        cycle in the acquisition graph and the process
+//                        must abort printing both chains — even though
+//                        this schedule never actually deadlocks. With
+//                        the analyzer compiled out (release) the same
+//                        sequence is harmless and the run exits 0.
+//   deadlock_abba clean  rank-ordered nesting only; must exit 0 in every
+//                        configuration.
+//
+// Exit codes: 0 = sequence completed, 2 = usage error. The smoke script
+// asserts the abba mode dies by signal when (and only when) the binary
+// reports the analyzer is active.
+#include <cstdio>
+#include <cstring>
+
+#include "support/lock_ranks.hpp"
+#include "support/ranked_mutex.hpp"
+
+namespace {
+
+constexpr ss::support::LockRank kOuter{"abba.outer", 2000};
+constexpr ss::support::LockRank kInner{"abba.inner", 2010};
+
+int RunAbba() {
+  ss::support::RankedMutex outer(kOuter);
+  ss::support::RankedMutex inner(kInner);
+  {
+    ss::support::MutexLock first(outer);
+    ss::support::MutexLock second(inner);  // records outer -> inner
+  }
+  {
+    ss::support::MutexLock first(inner);
+    // Completes the cycle: the analyzer aborts HERE, before blocking.
+    ss::support::MutexLock second(outer);
+  }
+  std::puts("abba sequence completed without detection");
+  return 0;
+}
+
+int RunClean() {
+  ss::support::RankedMutex outer(kOuter);
+  ss::support::RankedMutex inner(kInner);
+  for (int i = 0; i < 3; ++i) {
+    ss::support::MutexLock first(outer);
+    ss::support::MutexLock second(inner);
+  }
+  std::puts("clean sequence completed");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "active") == 0) {
+    // "1" when the analyzer is compiled in AND runtime-enabled.
+    std::printf("%d\n", ss::support::lock_order::RuntimeEnabled() ? 1 : 0);
+    return 0;
+  }
+  if (argc == 2 && std::strcmp(argv[1], "abba") == 0) return RunAbba();
+  if (argc == 2 && std::strcmp(argv[1], "clean") == 0) return RunClean();
+  std::fprintf(stderr, "usage: %s {abba|clean|active}\n", argv[0]);
+  return 2;
+}

@@ -28,11 +28,31 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                    through the runtime dispatch table (kernels.hpp), so
                    a single SS_KERNEL switch really covers every SIMD
                    code path.
+  naked-mutex      raw `std::mutex` (and lock_guard/unique_lock/plain
+                   condition_variable) is confined to src/support/; the
+                   rest of src/ locks through support::RankedMutex and
+                   its MutexLock/UniqueLock guards so every acquisition
+                   carries a rank and thread-safety annotations.
+  guarded-by-coverage
+                   a RankedMutex declared in src/ must be referenced by at
+                   least one SS_GUARDED_BY / SS_PT_GUARDED_BY /
+                   SS_REQUIRES / SS_ASSERT_HELD annotation in the same
+                   file — a mutex protecting nothing annotated is either
+                   unannotated state (fix it) or needs a waiver comment.
+  lock-rank-registry
+                   every RankedMutex in src/ is constructed from a
+                   `lock_rank::k<Name>` entry in the single registry
+                   (src/support/lock_ranks.hpp); duplicate names or ranks
+                   in the registry are rejected.
+  counter-doc-sync every counter name used with CounterRegistry
+                   Get/Add (or a *Counter helper) in src/ must be
+                   documented in docs/OBSERVABILITY.md.
 
 A finding is suppressed by appending `// ss-lint: allow(<rule>) <why>` to
-the offending line. Exit code: 0 clean, 1 findings, 2 usage error.
+the offending line (or the line directly above it).
+Exit code: 0 clean, 1 findings, 2 usage error.
 
-Usage: ss_lint.py [--root DIR] [--list-rules]
+Usage: ss_lint.py [--root DIR] [--list-rules] [--github]
 """
 
 import argparse
@@ -51,7 +71,7 @@ def finding(path, line_no, rule, message, line=""):
     match = SUPPRESS_RE.search(line)
     if match and rule in [r.strip() for r in match.group(1).split(",")]:
         return
-    FINDINGS.append(f"{path}:{line_no}: [{rule}] {message}")
+    FINDINGS.append((path, line_no, rule, message))
 
 
 def strip_comments_and_strings(text):
@@ -316,6 +336,155 @@ def check_simd_dispatch(root):
                         "dispatch table (stats/kernels/kernels.hpp)", raw)
 
 
+# --- rule: naked-mutex -----------------------------------------------------
+
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable)\b(?!_any)")
+
+
+def check_naked_mutex(root):
+    support_dir = os.path.join("src", "support") + os.sep
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        if rpath.startswith(support_dir):
+            continue  # RankedMutex itself wraps std::mutex here
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            match = NAKED_MUTEX_RE.search(line)
+            if match:
+                context = (raw_lines[no - 2] + "\n" if no >= 2 else "") + raw
+                finding(rpath, no, "naked-mutex",
+                        f"raw `std::{match.group(1)}` outside src/support/ — "
+                        "use support::RankedMutex with MutexLock/UniqueLock "
+                        "(and condition_variable_any) so the acquisition is "
+                        "ranked and annotated", context)
+
+
+# --- rule: guarded-by-coverage ---------------------------------------------
+
+RANKED_MUTEX_DECL_RE = re.compile(
+    r"\bRankedMutex\s+(\w+)\s*[{(;=]")
+ANNOTATION_USE_TEMPLATE = (
+    r"\b(?:SS_GUARDED_BY|SS_PT_GUARDED_BY|SS_REQUIRES|SS_EXCLUDES|"
+    r"SS_ACQUIRED_BEFORE|SS_ACQUIRED_AFTER|SS_ASSERT_HELD)\s*\([^)]*\b{m}\b")
+
+
+def check_guarded_by_coverage(root):
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        if rpath == os.path.join("src", "support", "ranked_mutex.hpp"):
+            continue  # defines RankedMutex; nothing of its own to guard
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped_text = strip_comments_and_strings("\n".join(raw_lines))
+        stripped = stripped_text.splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            match = RANKED_MUTEX_DECL_RE.search(line)
+            if not match:
+                continue
+            name = match.group(1)
+            use_re = re.compile(ANNOTATION_USE_TEMPLATE.format(
+                m=re.escape(name)))
+            if use_re.search(stripped_text):
+                continue
+            context = (raw_lines[no - 2] + "\n" if no >= 2 else "") + raw
+            finding(rpath, no, "guarded-by-coverage",
+                    f"RankedMutex `{name}` has no SS_GUARDED_BY/SS_REQUIRES "
+                    "annotation referencing it in this file — annotate the "
+                    "state it protects or add a waiver comment "
+                    "(docs/STATIC_ANALYSIS.md)", context)
+
+
+# --- rule: lock-rank-registry ----------------------------------------------
+
+REGISTRY_ENTRY_RE = re.compile(
+    r'inline constexpr LockRank (k\w+)\{"([a-z0-9_.]+)", (\d+)\};')
+
+
+def check_lock_rank_registry(root):
+    registry_rel = os.path.join("src", "support", "lock_ranks.hpp")
+    registry_path = os.path.join(root, registry_rel)
+    if not os.path.isfile(registry_path):
+        finding(registry_rel, 1, "lock-rank-registry",
+                "lock-rank registry src/support/lock_ranks.hpp is missing")
+        return
+    with open(registry_path, encoding="utf-8") as handle:
+        registry_text = handle.read()
+    by_name, by_rank = {}, {}
+    for match in REGISTRY_ENTRY_RE.finditer(registry_text):
+        const, name, rank = match.group(1), match.group(2), int(match.group(3))
+        line_no = registry_text[: match.start()].count("\n") + 1
+        if name in by_name:
+            finding(registry_rel, line_no, "lock-rank-registry",
+                    f'duplicate lock name "{name}" (also {by_name[name]})')
+        if rank in by_rank:
+            finding(registry_rel, line_no, "lock-rank-registry",
+                    f"duplicate rank {rank} ({const} collides with "
+                    f"{by_rank[rank]})")
+        by_name.setdefault(name, const)
+        by_rank.setdefault(rank, const)
+    if not by_name:
+        finding(registry_rel, 1, "lock-rank-registry",
+                "no LockRank entries parsed from the registry (format "
+                'drifted? expected `inline constexpr LockRank kX{"name", N};`)')
+        return
+
+    # Every RankedMutex constructed in src/ must draw from the registry.
+    construct_re = re.compile(r"\bRankedMutex\s+\w+\s*[{(]")
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        if rpath.startswith(os.path.join("src", "support") + os.sep):
+            if os.path.basename(rpath).startswith("ranked_mutex"):
+                continue  # the wrapper's own declarations take any LockRank
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            if construct_re.search(line) and "lock_rank::k" not in line:
+                context = (raw_lines[no - 2] + "\n" if no >= 2 else "") + raw
+                finding(rpath, no, "lock-rank-registry",
+                        "RankedMutex constructed without a lock_rank::k* "
+                        "registry entry (src/support/lock_ranks.hpp)", context)
+
+
+# --- rule: counter-doc-sync ------------------------------------------------
+
+# Dotted-name string literals handed to the counter registry, covering
+# direct Get/Add calls and local helpers like CacheCounter("...").
+COUNTER_CALL_RE = re.compile(
+    r"\b(?:Get|Add|\w*Counter)\s*\(\s*\"([a-z0-9_]+(?:\.[a-z0-9_.]+)+)\"")
+
+
+def check_counter_doc_sync(root):
+    doc_rel = os.path.join("docs", "OBSERVABILITY.md")
+    doc_path = os.path.join(root, doc_rel)
+    if not os.path.isfile(doc_path):
+        finding(doc_rel, 1, "counter-doc-sync",
+                "docs/OBSERVABILITY.md is missing")
+        return
+    with open(doc_path, encoding="utf-8") as handle:
+        doc_text = handle.read()
+    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+        rpath = rel(root, path)
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        for no, raw in enumerate(raw_lines, 1):
+            if raw.lstrip().startswith("//"):
+                continue  # doc comments may show example names
+            for match in COUNTER_CALL_RE.finditer(raw):
+                name = match.group(1)
+                if name not in doc_text:
+                    context = ((raw_lines[no - 2] + "\n" if no >= 2 else "")
+                               + raw)
+                    finding(rpath, no, "counter-doc-sync",
+                            f'counter "{name}" is not documented in '
+                            "docs/OBSERVABILITY.md", context)
+
+
 RULES = {
     "naked-new": check_naked_new,
     "nodiscard": check_nodiscard,
@@ -323,6 +492,10 @@ RULES = {
     "pragma-once": check_pragma_once,
     "iwyu-project": check_iwyu,
     "simd-dispatch": check_simd_dispatch,
+    "naked-mutex": check_naked_mutex,
+    "guarded-by-coverage": check_guarded_by_coverage,
+    "lock-rank-registry": check_lock_rank_registry,
+    "counter-doc-sync": check_counter_doc_sync,
 }
 
 
@@ -333,6 +506,9 @@ def main():
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--rule", action="append", choices=sorted(RULES),
                         help="run only the named rule(s)")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub workflow ::error annotations so "
+                        "findings show inline on pull requests")
     args = parser.parse_args()
 
     if args.list_rules:
@@ -348,8 +524,16 @@ def main():
     for name in args.rule or sorted(RULES):
         RULES[name](root)
 
-    for entry in sorted(FINDINGS):
-        print(entry)
+    for path, line_no, rule, message in sorted(FINDINGS):
+        if args.github:
+            # GitHub strips %, \r and \n from workflow-command messages
+            # unless escaped; paths/rules are repo-controlled and safe.
+            escaped = (message.replace("%", "%25").replace("\r", "%0D")
+                       .replace("\n", "%0A"))
+            print(f"::error file={path},line={line_no},"
+                  f"title=ss-lint {rule}::{escaped}")
+        else:
+            print(f"{path}:{line_no}: [{rule}] {message}")
     if FINDINGS:
         print(f"ss_lint: {len(FINDINGS)} finding(s)", file=sys.stderr)
         return 1
