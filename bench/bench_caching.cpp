@@ -36,7 +36,7 @@ void RunSweep(const char* figure, const Workload& base,
     const auto cached_runs = TimeAnalysisRuns(
         cached, reps,
         [&](core::SkatPipeline& pipeline) {
-          core::RunMonteCarloMethod(pipeline, iters);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
         },
         args);
     cached_at_max = Mean(cached_runs);
@@ -51,7 +51,7 @@ void RunSweep(const char* figure, const Workload& base,
       uncached.pipeline.resampling_batch_size = 1;
       const auto uncached_runs =
           TimeAnalysisRuns(uncached, reps, [&](core::SkatPipeline& pipeline) {
-            core::RunMonteCarloMethod(pipeline, iters);
+            core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
           });
       uncached_cell = MeanStdevCell(uncached_runs);
       uncached_at_cutoff = Mean(uncached_runs);
@@ -98,7 +98,7 @@ void RunConstrainedBudget(const Workload& base, int reps, const Args& args) {
   no_spill.engine.cache_spill = false;
 
   const auto mc = [iters](core::SkatPipeline& pipeline) {
-    core::RunMonteCarloMethod(pipeline, iters);
+    core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
   };
   const double t_unlimited = Mean(TimeAnalysisRuns(unlimited, reps, mc));
   const double t_recompute = Mean(TimeAnalysisRuns(no_spill, reps, mc));

@@ -43,6 +43,9 @@ void ConfigureObservability(const Args& args) {
   // Registers the key for unknown-key diagnostics even in benches that
   // only write artifacts conditionally.
   args.GetStr("metrics", "");
+  // Seed the unknown-key suggestion vocabulary with every registry key a
+  // bench can honor, whether or not this bench's code paths read them.
+  args.DeclareKeys({"workload", "engine", "exec", "observability", "bench"});
 }
 
 void WriteRunArtifacts(const Args& args, engine::EngineContext& ctx) {
@@ -188,6 +191,13 @@ Workload DefaultWorkload(const Args& args, std::uint64_t snps_default,
   // pack=0 ablates 2-bit packed genotype storage (bitwise-identical
   // results; only cache/spill bytes change).
   workload.pipeline.pack_genotypes = args.GetU64("pack", 1) != 0;
+  // Async executor (registry group "exec"): prefetch=0 ablates the whole
+  // I/O lane; results are bitwise invariant to all three knobs.
+  workload.engine.exec.prefetch_depth =
+      static_cast<int>(args.GetU64("prefetch", 1));
+  workload.engine.exec.io_threads = static_cast<int>(
+      std::max<std::uint64_t>(1, args.GetU64("io_threads", 1)));
+  workload.engine.exec.spill_async = args.GetBool("spill_async", false);
   return workload;
 }
 

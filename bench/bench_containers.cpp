@@ -57,7 +57,7 @@ int Run(int argc, char** argv) {
   for (std::uint64_t iters : iteration_counts) {
     Workload::Instance instance = workload.Build();
     instance.ctx->metrics().Reset();
-    core::RunMonteCarloMethod(*instance.pipeline, iters);
+    core::RunResampling(*instance.pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
     if (iters == iteration_counts.back()) {
       WriteRunArtifacts(args, *instance.ctx);
     }

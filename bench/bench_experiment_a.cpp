@@ -56,11 +56,11 @@ int Run(int argc, char** argv) {
   for (std::uint64_t iters : both_methods) {
     const auto mc_runs =
         TimeAnalysisRuns(workload, reps, [&](core::SkatPipeline& pipeline) {
-          core::RunMonteCarloMethod(pipeline, iters);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
         });
     const auto perm_runs =
         TimeAnalysisRuns(workload, reps, [&](core::SkatPipeline& pipeline) {
-          core::RunPermutationMethod(pipeline, iters);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kPermutation, iters}).scores;
         });
     figure2.AddRow({std::to_string(iters), Table::Num(Mean(mc_runs), 3),
                     Table::Num(Mean(perm_runs), 3)});
@@ -76,7 +76,7 @@ int Run(int argc, char** argv) {
   for (std::uint64_t iters : mc_only) {
     const auto mc_runs = TimeAnalysisRuns(
         workload, std::min(reps, 2), [&](core::SkatPipeline& pipeline) {
-          core::RunMonteCarloMethod(pipeline, iters);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
         });
     figure2.AddRow({std::to_string(iters), Table::Num(Mean(mc_runs), 3),
                     "N/A (too slow in the paper as well)"});
@@ -104,7 +104,7 @@ int Run(int argc, char** argv) {
     const auto engine_runs = TimeAnalysisRuns(
         workload, 1,
         [&](core::SkatPipeline& pipeline) {
-          core::RunMonteCarloMethod(pipeline, 16);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 16}).scores;
         },
         &args);
     std::printf("\nSerial baseline (engine-free, fast scores), MC B=16: "

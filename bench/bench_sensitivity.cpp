@@ -55,12 +55,12 @@ int Run(int argc, char** argv) {
 
     const auto mc_runs =
         TimeAnalysisRuns(workload, reps, [&](core::SkatPipeline& pipeline) {
-          core::RunMonteCarloMethod(pipeline, config.iterations);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, config.iterations}).scores;
         });
     const auto perm_runs = TimeAnalysisRuns(
         workload, reps,
         [&](core::SkatPipeline& pipeline) {
-          core::RunPermutationMethod(pipeline, config.iterations);
+          core::RunResampling(pipeline, {core::ResamplingMethod::kPermutation, config.iterations}).scores;
         },
         &args);
     mc_means.push_back(Mean(mc_runs));

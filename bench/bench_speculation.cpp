@@ -32,7 +32,7 @@ int Run(int argc, char** argv) {
   // One real execution provides the task profile.
   Workload::Instance instance = workload.Build();
   instance.ctx->metrics().Reset();
-  core::RunMonteCarloMethod(*instance.pipeline, 10);
+  core::RunResampling(*instance.pipeline, {core::ResamplingMethod::kMonteCarlo, 10}).scores;
   const cluster::JobProfile profile = instance.ctx->metrics().ToJobProfile();
   WriteRunArtifacts(args, *instance.ctx);
 

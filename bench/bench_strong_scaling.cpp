@@ -92,7 +92,7 @@ int Run(int argc, char** argv) {
 
       Workload::Instance instance = workload.Build();
       instance.ctx->metrics().Reset();
-      core::RunMonteCarloMethod(*instance.pipeline, iters);
+      core::RunResampling(*instance.pipeline, {core::ResamplingMethod::kMonteCarlo, iters}).scores;
       if (iters == iteration_counts.back() && nodes == node_counts.back()) {
         WriteRunArtifacts(args, *instance.ctx);
       }

@@ -36,7 +36,7 @@ int main() {
     options.topology = cluster::EmrCluster(4);
     engine::EngineContext ctx(options, &dfs);
     auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
-    reference = core::RunMonteCarloMethod(pipeline.value(), replicates);
+    reference = core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, replicates}).scores;
   }
   std::printf("Reference run complete: %s\n",
               core::SummarizeResult(reference).c_str());
@@ -63,7 +63,7 @@ int main() {
 
   auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
   const core::ResamplingResult chaotic =
-      core::RunMonteCarloMethod(pipeline.value(), replicates);
+      core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, replicates}).scores;
   std::printf("Chaos run complete:     %s\n",
               core::SummarizeResult(chaotic).c_str());
   std::printf("Node 2 failure fired: %s; cached partitions dropped by "

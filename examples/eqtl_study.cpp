@@ -62,7 +62,7 @@ int main() {
       ctx, pipeline_config, engine::Parallelize(ctx, records, 8),
       stats::Phenotype::Gaussian(expression), dataset.weights, dataset.sets);
 
-  const core::ResamplingResult result = core::RunMonteCarloMethod(pipeline, 999);
+  const core::ResamplingResult result = core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 999}).scores;
   std::printf("\n%s\n", core::SummarizeResult(result).c_str());
   std::fputs(core::FormatTopHits(result, 5).c_str(), stdout);
 
@@ -90,7 +90,7 @@ int main() {
       stats::Phenotype::Binomial(high_expression), dataset.weights,
       dataset.sets);
   const core::ResamplingResult binary_result =
-      core::RunMonteCarloMethod(binary_pipeline, 499);
+      core::RunResampling(binary_pipeline, {core::ResamplingMethod::kMonteCarlo, 499}).scores;
   std::printf("\nBinomial (dichotomized) model: cis gene p=%.4f (power is "
               "lower after dichotomization, as expected)\n",
               binary_result.PValue(cis_gene));

@@ -84,11 +84,11 @@ int main() {
   core::SkatPipeline pipeline =
       core::SkatPipeline::FromMemory(ctx, dataset, config);
 
-  const core::ResamplingResult skat = core::RunMonteCarloMethod(pipeline, 499);
+  const core::ResamplingResult skat = core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 499}).scores;
   std::printf("\n-- SKAT (Monte Carlo, B=499) --\n%s",
               core::FormatTopHits(skat, 5).c_str());
 
-  const core::SkatOResult skato = core::RunSkatOMethod(pipeline, 199);
+  const core::SkatOResult skato = core::RunResampling(pipeline, {core::ResamplingMethod::kSkatO, 199}).skato;
   const auto skato_ranked = skato.RankedPValues();
   std::printf("\n-- SKAT-O (B=199) top hits --\n");
   for (std::size_t r = 0; r < 3 && r < skato_ranked.size(); ++r) {

@@ -76,7 +76,7 @@ int main() {
   // Algorithm 3 (Monte Carlo), B = 999.
   core::SkatPipeline mc_pipeline =
       core::SkatPipeline::FromMemory(ctx, dataset, config);
-  const core::ResamplingResult mc = core::RunMonteCarloMethod(mc_pipeline, 999);
+  const core::ResamplingResult mc = core::RunResampling(mc_pipeline, {core::ResamplingMethod::kMonteCarlo, 999}).scores;
   std::printf("\n-- Monte Carlo (Lin), B=999 --\n%s",
               core::FormatTopHits(mc, 5).c_str());
 
@@ -86,7 +86,7 @@ int main() {
   core::SkatPipeline perm_pipeline =
       core::SkatPipeline::FromMemory(ctx2, dataset, config);
   const core::ResamplingResult perm =
-      core::RunPermutationMethod(perm_pipeline, 99);
+      core::RunResampling(perm_pipeline, {core::ResamplingMethod::kPermutation, 99}).scores;
   std::printf("\n-- Permutation, B=99 --\n%s",
               core::FormatTopHits(perm, 5).c_str());
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <future>
 #include <string>
 
 #include "engine/trace.hpp"
@@ -37,6 +38,70 @@ std::uint64_t EffectiveBatchSize(const SkatPipeline& pipeline,
                                   : pipeline.config().resampling_batch_size;
   return std::max<std::uint64_t>(1, batch);
 }
+
+/// Double-buffers Z-block generation on the I/O lane: while batch k's
+/// score block computes and folds, batch k+1's n×R multiplier block is
+/// generated concurrently. stats::MonteCarloZBlock is a pure function of
+/// (seed, n, begin, count) — per-replicate splittable RNG streams — so
+/// WHERE it runs cannot change a single bit of it; the lane only moves
+/// the generation off the critical path. With the lane ablated
+/// (prefetch=0 → context.io() == nullptr) every block is generated
+/// inline, byte-for-byte the old schedule.
+class ZBlockPrefetcher {
+ public:
+  ZBlockPrefetcher(engine::AsyncExecutor* io, std::uint64_t seed,
+                   std::size_t n, std::uint64_t replicates,
+                   std::uint64_t batch_size)
+      : io_(io),
+        seed_(seed),
+        n_(n),
+        replicates_(replicates),
+        batch_size_(batch_size) {}
+
+  /// The Z-block for [begin, begin+count): the in-flight one when the
+  /// lane was generating exactly that range, else generated inline; then
+  /// the NEXT batch's generation is queued. The driver-side wait for an
+  /// in-flight block shows up as a `prefetch`-category trace span.
+  std::vector<double> Take(std::uint64_t begin, std::size_t count) {
+    static std::atomic<std::uint64_t>& zblock_prefetches =
+        engine::CounterRegistry::Global().Get("exec.zblock_prefetches");
+    std::vector<double> zblock;
+    if (next_.valid() && next_begin_ == begin && next_count_ == count) {
+      engine::TraceSpan span(engine::Tracer::Global(), "prefetch",
+                             "zblock wait",
+                             {engine::Arg("b_begin", begin),
+                              engine::Arg("count", count)});
+      zblock = next_.get();
+      zblock_prefetches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (next_.valid()) next_.get();  // stale; discard the bytes
+      zblock = stats::MonteCarloZBlock(seed_, n_, begin, count);
+    }
+    Schedule(begin + count);
+    return zblock;
+  }
+
+ private:
+  void Schedule(std::uint64_t begin) {
+    if (io_ == nullptr || begin >= replicates_) return;
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_size_, replicates_ - begin));
+    next_begin_ = begin;
+    next_count_ = count;
+    next_ = io_->Submit([seed = seed_, n = n_, begin, count]() {
+      return stats::MonteCarloZBlock(seed, n, begin, count);
+    });
+  }
+
+  engine::AsyncExecutor* const io_;
+  const std::uint64_t seed_;
+  const std::size_t n_;
+  const std::uint64_t replicates_;
+  const std::uint64_t batch_size_;
+  std::future<std::vector<double>> next_;
+  std::uint64_t next_begin_ = 0;
+  std::size_t next_count_ = 0;
+};
 
 /// The shared driver loop: splits 0..B into [begin, end) ranges of at
 /// most `batch_size` replicates and hands each to `body`, wrapped in the
@@ -212,14 +277,17 @@ ResamplingResult RunBatchedMonteCarlo(SkatPipeline& pipeline,
   InitCounters(result.observed, &result.exceed);
 
   const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
+  const std::uint64_t batch_size = EffectiveBatchSize(pipeline, request);
+  ZBlockPrefetcher zblocks(pipeline.context().io(), seed, pipeline.n(),
+                           request.replicates, batch_size);
   RunBatches(
-      "monte-carlo", request.replicates, EffectiveBatchSize(pipeline, request),
+      "monte-carlo", request.replicates, batch_size,
       request.sink, [&](std::uint64_t begin, std::uint64_t end) {
         const std::size_t count = end - begin;
         // Algorithm 3 step 3, per batch: (end-begin) × n multipliers from
-        // the per-replicate streams (bitwise invariant to batching).
-        const std::vector<double> zblock =
-            stats::MonteCarloZBlock(seed, pipeline.n(), begin, count);
+        // the per-replicate streams (bitwise invariant to batching);
+        // double-buffered on the I/O lane when prefetch is enabled.
+        const std::vector<double> zblock = zblocks.Take(begin, count);
         const auto block = pipeline.ComputeMonteCarloScoreBlock(zblock, count);
         const std::vector<SetScores> replicate_scores =
             FoldReplicateScores(pipeline.sets(), block, weights, count);
@@ -298,12 +366,14 @@ SkatOResult RunBatchedSkatO(SkatPipeline& pipeline,
   const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
   std::unordered_map<std::uint32_t, std::vector<std::vector<double>>>
       replicate_grids;
+  const std::uint64_t batch_size = EffectiveBatchSize(pipeline, request);
+  ZBlockPrefetcher zblocks(pipeline.context().io(), seed, pipeline.n(),
+                           request.replicates, batch_size);
   RunBatches(
-      "skat-o", request.replicates, EffectiveBatchSize(pipeline, request),
+      "skat-o", request.replicates, batch_size,
       request.sink, [&](std::uint64_t begin, std::uint64_t end) {
         const std::size_t count = end - begin;
-        const std::vector<double> zblock =
-            stats::MonteCarloZBlock(seed, pipeline.n(), begin, count);
+        const std::vector<double> zblock = zblocks.Take(begin, count);
         const auto block = pipeline.ComputeMonteCarloScoreBlock(zblock, count);
         const auto pairs =
             FoldSkatBurdenScores(pipeline.sets(), block, weights, count);
@@ -325,20 +395,6 @@ SkatOResult RunBatchedSkatO(SkatPipeline& pipeline,
   }
   return result;
 }
-
-/// Adapts the legacy per-replicate callback to the ProgressSink interface.
-class CallbackSink final : public ProgressSink {
- public:
-  explicit CallbackSink(const ReplicateCallback& callback)
-      : callback_(callback) {}
-
-  void OnReplicate(std::uint64_t b) override {
-    if (callback_) callback_(b);
-  }
-
- private:
-  const ReplicateCallback& callback_;
-};
 
 }  // namespace
 
@@ -378,6 +434,9 @@ std::vector<std::pair<std::uint32_t, double>> SkatOResult::RankedPValues()
 
 ResamplingRun RunResampling(SkatPipeline& pipeline,
                             const ResamplingRequest& request) {
+  if (request.exec.has_value()) {
+    pipeline.context().ApplyExecConfig(*request.exec);
+  }
   ResamplingRun run;
   run.method = request.method;
   switch (request.method) {
@@ -392,38 +451,6 @@ ResamplingRun RunResampling(SkatPipeline& pipeline,
       break;
   }
   return run;
-}
-
-ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
-                                      std::uint64_t replicates,
-                                      const ReplicateCallback& on_replicate) {
-  CallbackSink sink(on_replicate);
-  ResamplingRequest request;
-  request.method = ResamplingMethod::kPermutation;
-  request.replicates = replicates;
-  request.sink = &sink;
-  return RunResampling(pipeline, request).scores;
-}
-
-ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
-                                     std::uint64_t replicates,
-                                     const ReplicateCallback& on_replicate) {
-  CallbackSink sink(on_replicate);
-  ResamplingRequest request;
-  request.method = ResamplingMethod::kMonteCarlo;
-  request.replicates = replicates;
-  request.sink = &sink;
-  return RunResampling(pipeline, request).scores;
-}
-
-SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
-                           const ReplicateCallback& on_replicate) {
-  CallbackSink sink(on_replicate);
-  ResamplingRequest request;
-  request.method = ResamplingMethod::kSkatO;
-  request.replicates = replicates;
-  request.sink = &sink;
-  return RunResampling(pipeline, request).skato;
 }
 
 }  // namespace ss::core

@@ -26,12 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "engine/executor.hpp"
 
 namespace ss::core {
 
@@ -98,9 +98,16 @@ enum class ResamplingMethod {
   kSkatO,        ///< SKAT-O over the Monte Carlo replicate pool.
 };
 
-/// One resampling run, fully specified. The unified replacement for the
-/// former RunPermutationMethod/RunMonteCarloMethod/RunSkatOMethod trio.
+/// One resampling run, fully specified. This is the engine's ONLY public
+/// resampling driver API (the former per-method entry points
+/// RunPermutationMethod/RunMonteCarloMethod/RunSkatOMethod are gone).
 struct ResamplingRequest {
+  ResamplingRequest() = default;
+  /// The common case in one line:
+  /// `RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 1000})`.
+  ResamplingRequest(ResamplingMethod method_in, std::uint64_t replicates_in)
+      : method(method_in), replicates(replicates_in) {}
+
   ResamplingMethod method = ResamplingMethod::kMonteCarlo;
 
   /// B. 0 computes only the observed statistics.
@@ -116,6 +123,13 @@ struct ResamplingRequest {
 
   /// Optional progress observer; not owned, may be null.
   ProgressSink* sink = nullptr;
+
+  /// Async-executor knobs for this run (prefetch depth, I/O threads,
+  /// background spill). Applied to the pipeline's engine context before
+  /// the first batch and sticky thereafter; unset keeps the context's
+  /// current configuration. Bitwise-irrelevant to the results —
+  /// `exec.prefetch_depth = 0` ablates the async path entirely.
+  std::optional<engine::ExecConfig> exec;
 };
 
 /// Outcome of RunResampling: `scores` is populated for kPermutation and
@@ -131,25 +145,5 @@ struct ResamplingRun {
 /// is the practical range for kSkatO (as in the SKAT-O literature).
 ResamplingRun RunResampling(SkatPipeline& pipeline,
                             const ResamplingRequest& request);
-
-/// Deprecated per-replicate progress hook, superseded by ProgressSink.
-using ReplicateCallback = std::function<void(std::uint64_t b)>;
-
-/// Deprecated: thin wrapper over RunResampling(kPermutation).
-ResamplingResult RunPermutationMethod(SkatPipeline& pipeline,
-                                      std::uint64_t replicates,
-                                      const ReplicateCallback& on_replicate = {});
-
-/// Deprecated: thin wrapper over RunResampling(kMonteCarlo). Requires
-/// pipeline.config().cache_contributions for the cached-U fast path;
-/// without it the U lineage is recomputed per batch (the paper's "w/o
-/// caching" configuration in Experiment B).
-ResamplingResult RunMonteCarloMethod(SkatPipeline& pipeline,
-                                     std::uint64_t replicates,
-                                     const ReplicateCallback& on_replicate = {});
-
-/// Deprecated: thin wrapper over RunResampling(kSkatO).
-SkatOResult RunSkatOMethod(SkatPipeline& pipeline, std::uint64_t replicates,
-                           const ReplicateCallback& on_replicate = {});
 
 }  // namespace ss::core

@@ -7,8 +7,9 @@
 //                                 &dfs);
 //   auto paths = ss::simdata::GenerateToDfs(dfs, "/study", {...}).value();
 //   auto pipeline = ss::core::SkatPipeline::Open(ctx, paths, {}).value();
-//   auto result = ss::core::RunMonteCarloMethod(pipeline, /*B=*/1000);
-//   std::cout << ss::core::FormatTopHits(result, 10);
+//   auto run = ss::core::RunResampling(
+//       pipeline, {ss::core::ResamplingMethod::kMonteCarlo, /*B=*/1000});
+//   std::cout << ss::core::FormatTopHits(run.scores, 10);
 #pragma once
 
 #include "core/autotune.hpp"      // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "engine/executor.hpp"
 #include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "support/log.hpp"
@@ -19,95 +20,247 @@ std::atomic<std::uint64_t>& CacheCounter(const char* name) {
 }  // namespace
 
 std::shared_ptr<void> CacheManager::Lookup(const CacheKey& key) {
+  return LookupOrReload(key, /*prefetch=*/false);
+}
+
+void CacheManager::Prefetch(const CacheKey& key) {
+  LookupOrReload(key, /*prefetch=*/true);
+}
+
+std::shared_ptr<void> CacheManager::LookupOrReload(const CacheKey& key,
+                                                   bool prefetch) {
+  for (;;) {
+    Step step = Step::kReturn;
+    std::shared_ptr<void> result;
+    SpillCodec codec;
+    std::vector<SpillJob> jobs;
+    AsyncExecutor* io = nullptr;
+    {
+      support::UniqueLock lock(mutex_);
+      step = ResolveLocked(key, prefetch, lock, &result, &codec, &jobs);
+      io = io_;
+    }
+    FlushSpillJobs(std::move(jobs), io);
+    switch (step) {
+      case Step::kReturn:
+        return result;
+      case Step::kRetry:
+        continue;
+      case Step::kReload:
+        return FinishReload(key, prefetch, codec);
+    }
+  }
+}
+
+CacheManager::Step CacheManager::ResolveLocked(
+    const CacheKey& key, bool prefetch, support::UniqueLock& lock,
+    std::shared_ptr<void>* result, SpillCodec* codec,
+    std::vector<SpillJob>* jobs) {
   static std::atomic<std::uint64_t>& hits = CacheCounter("cache.hits");
   static std::atomic<std::uint64_t>& misses = CacheCounter("cache.misses");
-  support::MutexLock lock(mutex_);
+  static std::atomic<std::uint64_t>& reloads = CacheCounter("cache.reloads");
+  static std::atomic<std::uint64_t>& prefetch_reloads =
+      CacheCounter("exec.prefetch_reloads");
+  static std::atomic<std::uint64_t>& io_wait_nanos =
+      CacheCounter("exec.io_wait_nanos");
+
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    *result = it->second.value;
+    if (prefetch) return Step::kReturn;  // already warm; leave LRU alone
     ++stats_.hits;
     hits.fetch_add(1, std::memory_order_relaxed);
     Tracer::Global().Instant("cache", "hit",
                              {Arg("dataset", key.node_id),
                               Arg("partition", key.partition)});
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front
-    return it->second.value;
+    return Step::kReturn;
   }
-  if (std::shared_ptr<void> reloaded = ReloadFromSpillLocked(key)) {
-    // Reloads count as hits: the caller gets the partition without a
-    // lineage recompute, which is the property hit rates measure.
-    ++stats_.hits;
-    hits.fetch_add(1, std::memory_order_relaxed);
-    return reloaded;
+
+  if (InflightLocked(key)) {
+    // Another thread (usually the I/O lane) is already reloading this
+    // key. A prefetch has nothing to add; a lookup waits for the value —
+    // that wait IS the overlap win when the lane started early enough.
+    if (prefetch) return Step::kReturn;
+    PhaseTimer io_wait_phase(TaskPhase::kIoWait);
+    Stopwatch wait_watch;
+    inflight_cv_.wait(lock, [this, &key]() SS_REQUIRES(mutex_) {
+      return !InflightLocked(key);
+    });
+    io_wait_nanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, wait_watch.ElapsedNanos())),
+        std::memory_order_relaxed);
+    return Step::kRetry;
   }
-  ++stats_.misses;
-  misses.fetch_add(1, std::memory_order_relaxed);
-  Tracer::Global().Instant("cache", "miss",
-                           {Arg("dataset", key.node_id),
-                            Arg("partition", key.partition)});
-  return nullptr;
+
+  auto sit = spilled_.find(key);
+  if (sit == spilled_.end()) {
+    if (!prefetch) {
+      ++stats_.misses;
+      misses.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().Instant("cache", "miss",
+                               {Arg("dataset", key.node_id),
+                                Arg("partition", key.partition)});
+    }
+    *result = nullptr;
+    return Step::kReturn;
+  }
+
+  if (sit->second.pending_value != nullptr) {
+    // The background frame write hasn't landed yet, so the decoded value
+    // is still at hand: re-admit it with no frame I/O at all. spill_valid
+    // stays false — the in-flight job sees it was superseded and erases
+    // whatever frame it wrote.
+    std::shared_ptr<void> value = sit->second.pending_value;
+    SpilledEntry spilled = std::move(sit->second);
+    spilled_.erase(sit);
+    lru_.push_front(key);
+    entries_[key] = Entry{value,
+                          spilled.bytes,
+                          spilled.node,
+                          spilled.compute_seconds,
+                          std::move(spilled.codec),
+                          /*spill_valid=*/false,
+                          lru_.begin()};
+    stats_.bytes_cached += spilled.bytes;
+    ++stats_.reloads;
+    reloads.fetch_add(1, std::memory_order_relaxed);
+    if (prefetch) {
+      prefetch_reloads.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++stats_.hits;
+      hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    Tracer::Global().Instant("spill", "reload (pending write)",
+                             {Arg("dataset", key.node_id),
+                              Arg("partition", key.partition)});
+    EvictIfNeededLocked(jobs);
+    *result = value;
+    return Step::kReturn;
+  }
+
+  // Claim the reload; the frame read + decode happens with the lock
+  // released so hits on other keys (and other reloads) proceed.
+  inflight_.push_back(key);
+  *codec = sit->second.codec;
+  return Step::kReload;
 }
 
-std::shared_ptr<void> CacheManager::ReloadFromSpillLocked(const CacheKey& key) {
-  SS_ASSERT_HELD(mutex_);
+std::shared_ptr<void> CacheManager::FinishReload(const CacheKey& key,
+                                                 bool prefetch,
+                                                 const SpillCodec& codec) {
+  static std::atomic<std::uint64_t>& hits = CacheCounter("cache.hits");
+  static std::atomic<std::uint64_t>& misses = CacheCounter("cache.misses");
   static std::atomic<std::uint64_t>& reloads = CacheCounter("cache.reloads");
   static std::atomic<std::uint64_t>& reload_nanos =
       CacheCounter("cache.reload_nanos");
   static std::atomic<std::uint64_t>& corrupt =
       CacheCounter("cache.spill_corrupt");
-  auto it = spilled_.find(key);
-  if (it == spilled_.end()) return nullptr;
+  static std::atomic<std::uint64_t>& prefetch_reloads =
+      CacheCounter("exec.prefetch_reloads");
 
   // The reload (frame read + checksum + decode) is decode time on the
-  // task that triggered the miss.
-  PhaseTimer decode_phase(TaskPhase::kDecode);
-  Stopwatch stopwatch;
-  Result<std::vector<std::uint8_t>> payload = spill_.Get(key);
-  if (!payload.ok()) {
-    // Corrupt or missing frame: degrade to a plain miss so the caller
-    // recomputes from lineage. Results never depend on the spill tier.
-    ++stats_.spill_corrupt;
-    corrupt.fetch_add(1, std::memory_order_relaxed);
-    Tracer::Global().Instant("spill", "corrupt",
-                             {Arg("dataset", key.node_id),
-                              Arg("partition", key.partition),
-                              Arg("error", payload.status().ToString())});
-    SS_LOG(kWarn, "spill") << "spill reload failed, falling back to lineage: "
-                           << payload.status().ToString();
-    spilled_.erase(it);
-    return nullptr;
+  // task that triggered the miss; on the I/O lane the timer is inert and
+  // the surrounding `prefetch` trace span carries the cost instead.
+  std::shared_ptr<void> value;
+  Status failure = Status::Ok();
+  std::uint64_t nanos = 0;
+  {
+    PhaseTimer decode_phase(TaskPhase::kDecode);
+    Stopwatch stopwatch;
+    Result<std::vector<std::uint8_t>> payload = spill_.Get(key);
+    if (payload.ok()) {
+      value = codec.decode(payload.value());
+    } else {
+      failure = payload.status();
+    }
+    nanos = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, stopwatch.ElapsedNanos()));
   }
 
-  SpilledEntry spilled = std::move(it->second);
-  std::shared_ptr<void> value = spilled.codec.decode(payload.value());
-  const std::uint64_t nanos =
-      static_cast<std::uint64_t>(std::max<std::int64_t>(
-          0, stopwatch.ElapsedNanos()));
-  spilled_.erase(it);
-
-  // Re-admit to the memory tier as MRU; the frame stays valid so a
-  // re-eviction skips the encode + write.
-  lru_.push_front(key);
-  entries_[key] =
-      Entry{value,       spilled.bytes,           spilled.node,
-            spilled.compute_seconds, std::move(spilled.codec),
-            /*spill_valid=*/true,    lru_.begin()};
-  stats_.bytes_cached += spilled.bytes;
-  ++stats_.reloads;
-  stats_.reload_nanos += nanos;
-  reloads.fetch_add(1, std::memory_order_relaxed);
-  reload_nanos.fetch_add(nanos, std::memory_order_relaxed);
-  const double per_byte = (static_cast<double>(nanos) / 1e9) /
-                          static_cast<double>(std::max<std::uint64_t>(
-                              1, spilled.bytes));
-  reload_seconds_per_byte_ =
-      0.7 * reload_seconds_per_byte_ + 0.3 * per_byte;
-  Tracer::Global().Instant("spill", "reload",
-                           {Arg("dataset", key.node_id),
-                            Arg("partition", key.partition),
-                            Arg("bytes", stats_.bytes_cached),
-                            Arg("nanos", nanos)});
-  EvictIfNeededLocked();  // re-admission may push memory over budget
-  return value;
+  std::shared_ptr<void> result;
+  std::vector<SpillJob> jobs;
+  AsyncExecutor* io = nullptr;
+  {
+    support::MutexLock lock(mutex_);
+    io = io_;
+    inflight_.erase(std::find(inflight_.begin(), inflight_.end(), key));
+    auto entry_it = entries_.find(key);
+    auto sit = spilled_.find(key);
+    if (entry_it != entries_.end()) {
+      // A concurrent Insert refreshed the key while we were decoding; its
+      // value supersedes ours (and already dropped the stale frame).
+      result = entry_it->second.value;
+      if (!prefetch) {
+        ++stats_.hits;
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (value == nullptr) {
+      // Corrupt or missing frame: degrade to a plain miss so the caller
+      // recomputes from lineage. Results never depend on the spill tier.
+      ++stats_.spill_corrupt;
+      corrupt.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().Instant("spill", "corrupt",
+                               {Arg("dataset", key.node_id),
+                                Arg("partition", key.partition),
+                                Arg("error", failure.ToString())});
+      SS_LOG(kWarn, "spill")
+          << "spill reload failed, falling back to lineage: "
+          << failure.ToString();
+      if (sit != spilled_.end()) spilled_.erase(sit);
+      if (!prefetch) {
+        ++stats_.misses;
+        misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (sit == spilled_.end()) {
+      // Dropped (Unpersist/Clear) while the reload was in flight; the
+      // decoded bytes are orphaned and the caller recomputes.
+      if (!prefetch) {
+        ++stats_.misses;
+        misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Re-admit to the memory tier as MRU; the frame stays valid so a
+      // re-eviction skips the encode + write.
+      SpilledEntry spilled = std::move(sit->second);
+      spilled_.erase(sit);
+      lru_.push_front(key);
+      entries_[key] = Entry{value,
+                            spilled.bytes,
+                            spilled.node,
+                            spilled.compute_seconds,
+                            std::move(spilled.codec),
+                            /*spill_valid=*/true,
+                            lru_.begin()};
+      stats_.bytes_cached += spilled.bytes;
+      ++stats_.reloads;
+      stats_.reload_nanos += nanos;
+      reloads.fetch_add(1, std::memory_order_relaxed);
+      reload_nanos.fetch_add(nanos, std::memory_order_relaxed);
+      const double per_byte =
+          (static_cast<double>(nanos) / 1e9) /
+          static_cast<double>(std::max<std::uint64_t>(1, spilled.bytes));
+      reload_seconds_per_byte_ =
+          0.7 * reload_seconds_per_byte_ + 0.3 * per_byte;
+      if (prefetch) {
+        prefetch_reloads.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++stats_.hits;
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      Tracer::Global().Instant("spill", "reload",
+                               {Arg("dataset", key.node_id),
+                                Arg("partition", key.partition),
+                                Arg("bytes", stats_.bytes_cached),
+                                Arg("nanos", nanos)});
+      EvictIfNeededLocked(&jobs);  // re-admission may go over budget
+      result = value;
+    }
+  }
+  inflight_cv_.notify_all();
+  FlushSpillJobs(std::move(jobs), io);
+  return result;
 }
 
 void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
@@ -115,22 +268,28 @@ void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
                           double compute_seconds, SpillCodec codec) {
   static std::atomic<std::uint64_t>& insertions =
       CacheCounter("cache.insertions");
-  support::MutexLock lock(mutex_);
-  EraseLocked(key);         // refresh semantics...
-  DropSpilledLocked(key);   // ...including any stale spill copy
-  lru_.push_front(key);
-  entries_[key] = Entry{std::move(value),  bytes,
-                        node,              compute_seconds,
-                        std::move(codec),  /*spill_valid=*/false,
-                        lru_.begin()};
-  stats_.bytes_cached += bytes;
-  ++stats_.insertions;
-  insertions.fetch_add(1, std::memory_order_relaxed);
-  Tracer::Global().Instant("cache", "put",
-                           {Arg("dataset", key.node_id),
-                            Arg("partition", key.partition),
-                            Arg("bytes", bytes), Arg("node", node)});
-  EvictIfNeededLocked();
+  std::vector<SpillJob> jobs;
+  AsyncExecutor* io = nullptr;
+  {
+    support::MutexLock lock(mutex_);
+    io = io_;
+    EraseLocked(key);        // refresh semantics...
+    DropSpilledLocked(key);  // ...including any stale spill copy
+    lru_.push_front(key);
+    entries_[key] = Entry{std::move(value),  bytes,
+                          node,              compute_seconds,
+                          std::move(codec),  /*spill_valid=*/false,
+                          lru_.begin()};
+    stats_.bytes_cached += bytes;
+    ++stats_.insertions;
+    insertions.fetch_add(1, std::memory_order_relaxed);
+    Tracer::Global().Instant("cache", "put",
+                             {Arg("dataset", key.node_id),
+                              Arg("partition", key.partition),
+                              Arg("bytes", bytes), Arg("node", node)});
+    EvictIfNeededLocked(&jobs);
+  }
+  FlushSpillJobs(std::move(jobs), io);
 }
 
 double CacheManager::RestoreCostPerByteLocked(const Entry& entry) const {
@@ -145,15 +304,15 @@ double CacheManager::RestoreCostPerByteLocked(const Entry& entry) const {
          static_cast<double>(std::max<std::uint64_t>(1, entry.bytes));
 }
 
-void CacheManager::EvictIfNeededLocked() {
+void CacheManager::EvictIfNeededLocked(std::vector<SpillJob>* jobs) {
   SS_ASSERT_HELD(mutex_);
   if (capacity_bytes_ == 0) return;
   while (stats_.bytes_cached > capacity_bytes_ && lru_.size() > 1) {
-    EvictOneLocked();
+    EvictOneLocked(jobs);
   }
 }
 
-void CacheManager::EvictOneLocked() {
+void CacheManager::EvictOneLocked(std::vector<SpillJob>* jobs) {
   SS_ASSERT_HELD(mutex_);
   static std::atomic<std::uint64_t>& evictions =
       CacheCounter("cache.evictions");
@@ -178,35 +337,59 @@ void CacheManager::EvictOneLocked() {
   Entry& entry = entries_.at(victim);
 
   if (spill_enabled() && entry.codec.usable()) {
-    bool frame_ok = entry.spill_valid;
-    std::uint64_t payload_bytes = 0;
-    if (!frame_ok) {
+    if (entry.spill_valid) {
+      // The spill tier already holds a current frame: move tiers free.
+      Tracer::Global().Instant("spill", "spill",
+                               {Arg("dataset", victim.node_id),
+                                Arg("partition", victim.partition),
+                                Arg("bytes", 0)});
+      spilled_[victim] = SpilledEntry{entry.bytes, entry.node,
+                                      entry.compute_seconds,
+                                      std::move(entry.codec),
+                                      /*pending_value=*/nullptr};
+    } else if (spill_async_ && io_ != nullptr && jobs != nullptr) {
+      // Defer the encode + write to the I/O lane; the value rides along
+      // in pending_value so lookups before the write lands stay cheap.
+      // Counted (cache.spills / exec.spill_async_writes) on completion.
+      SpillCodec codec = entry.codec;
+      spilled_[victim] = SpilledEntry{entry.bytes, entry.node,
+                                      entry.compute_seconds,
+                                      std::move(entry.codec), entry.value};
+      jobs->push_back(SpillJob{victim, entry.value, std::move(codec)});
+      Tracer::Global().Instant("spill", "spill scheduled",
+                               {Arg("dataset", victim.node_id),
+                                Arg("partition", victim.partition)});
+    } else {
       // Encode + frame write is spill-write time on the task whose
       // insert/reload forced this eviction.
-      PhaseTimer spill_phase(TaskPhase::kSpillWrite);
-      const std::vector<std::uint8_t> payload = entry.codec.encode(entry.value);
-      payload_bytes = payload.size();
-      const Status put = spill_.Put(victim, payload);
-      frame_ok = put.ok();
-      if (!frame_ok) {
-        SS_LOG(kWarn, "spill") << "spill write failed, discarding instead: "
-                               << put.ToString();
+      bool frame_ok = false;
+      std::uint64_t payload_bytes = 0;
+      {
+        PhaseTimer spill_phase(TaskPhase::kSpillWrite);
+        const std::vector<std::uint8_t> payload =
+            entry.codec.encode(entry.value);
+        payload_bytes = payload.size();
+        const Status put = spill_.Put(victim, payload);
+        frame_ok = put.ok();
+        if (!frame_ok) {
+          SS_LOG(kWarn, "spill") << "spill write failed, discarding instead: "
+                                 << put.ToString();
+        }
       }
-    }
-    if (frame_ok) {
-      if (payload_bytes > 0) {
+      if (frame_ok) {
         ++stats_.spills;
         stats_.spill_bytes += payload_bytes;
         spills.fetch_add(1, std::memory_order_relaxed);
         spill_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+        Tracer::Global().Instant("spill", "spill",
+                                 {Arg("dataset", victim.node_id),
+                                  Arg("partition", victim.partition),
+                                  Arg("bytes", payload_bytes)});
+        spilled_[victim] = SpilledEntry{entry.bytes, entry.node,
+                                        entry.compute_seconds,
+                                        std::move(entry.codec),
+                                        /*pending_value=*/nullptr};
       }
-      Tracer::Global().Instant("spill", "spill",
-                               {Arg("dataset", victim.node_id),
-                                Arg("partition", victim.partition),
-                                Arg("bytes", payload_bytes)});
-      spilled_[victim] = SpilledEntry{entry.bytes, entry.node,
-                                      entry.compute_seconds,
-                                      std::move(entry.codec)};
     }
   }
   Tracer::Global().Instant("cache", "evict",
@@ -215,6 +398,107 @@ void CacheManager::EvictOneLocked() {
   EraseLocked(victim);
   ++stats_.evictions;
   evictions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CacheManager::FlushSpillJobs(std::vector<SpillJob> jobs,
+                                  AsyncExecutor* io) {
+  for (SpillJob& job : jobs) {
+    bool queued = false;
+    // On a lane worker (a prefetch evicted entries), Enqueue would block
+    // on the very queue this thread is supposed to drain — run inline.
+    if (io != nullptr && !AsyncExecutor::OnLaneThread()) {
+      SpillJob copy = job;
+      queued = io->Enqueue(
+          [this, moved = std::move(copy)]() { BackgroundSpillWrite(moved); });
+    }
+    // Lane gone (shutdown mid-flush) or running on the lane itself: the
+    // frame still must exist — the spilled_ entry promises it — so write
+    // it right here.
+    if (!queued) BackgroundSpillWrite(job);
+  }
+}
+
+void CacheManager::BackgroundSpillWrite(const SpillJob& job) {
+  static std::atomic<std::uint64_t>& spills = CacheCounter("cache.spills");
+  static std::atomic<std::uint64_t>& spill_bytes =
+      CacheCounter("cache.spill_bytes");
+  static std::atomic<std::uint64_t>& async_writes =
+      CacheCounter("exec.spill_async_writes");
+  static std::atomic<std::uint64_t>& async_failures =
+      CacheCounter("exec.spill_async_failures");
+
+  {
+    // A key can be evicted, re-admitted from its pending value, and
+    // evicted again before this job runs — each eviction queues a job for
+    // the SAME value, and an earlier duplicate may already have written
+    // the frame and cleared pending_value. Only the job the entry still
+    // names (pending_value == our value) may write; everyone else must
+    // leave the tier alone, or they would erase a frame the entry
+    // promises (the reload then NotFounds and miscounts spill_corrupt).
+    support::MutexLock lock(mutex_);
+    auto it = spilled_.find(job.key);
+    if (it == spilled_.end() ||
+        it->second.pending_value.get() != job.value.get()) {
+      return;
+    }
+  }
+
+  const std::vector<std::uint8_t> payload = job.codec.encode(job.value);
+  const Status put = spill_.Put(job.key, payload);
+
+  support::MutexLock lock(mutex_);
+  auto it = spilled_.find(job.key);
+  const bool current = it != spilled_.end() &&
+                       it->second.pending_value.get() == job.value.get();
+  if (put.ok()) {
+    if (current) {
+      it->second.pending_value.reset();  // the frame is authoritative now
+      ++stats_.spills;
+      stats_.spill_bytes += payload.size();
+      spills.fetch_add(1, std::memory_order_relaxed);
+      spill_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+      async_writes.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().Instant("spill", "spill",
+                               {Arg("dataset", job.key.node_id),
+                                Arg("partition", job.key.partition),
+                                Arg("bytes", payload.size())});
+    } else if (it != spilled_.end()) {
+      // Another write finalized (pending cleared: identical bytes — keys
+      // decode deterministically) or superseded it (that job overwrites
+      // next). Either way the entry still promises a frame: keep it.
+    } else {
+      // The spilled entry vanished while we wrote. If the key was
+      // re-admitted to memory off its frame (spill_valid), the frame is
+      // still promised; otherwise our write is an orphan — remove it.
+      auto mem = entries_.find(job.key);
+      const bool promised =
+          mem != entries_.end() && mem->second.spill_valid;
+      if (!promised) spill_.Erase(job.key);
+    }
+  } else {
+    // Counted exactly once per lost frame; the entry is erased so the
+    // next access degrades to a lineage recompute, never to wrong data.
+    async_failures.fetch_add(1, std::memory_order_relaxed);
+    Tracer::Global().Instant("spill", "async write failed",
+                             {Arg("dataset", job.key.node_id),
+                              Arg("partition", job.key.partition),
+                              Arg("error", put.ToString())});
+    SS_LOG(kWarn, "spill") << "async spill write failed, entry degrades to "
+                           << "lineage recompute: " << put.ToString();
+    if (current) spilled_.erase(it);
+  }
+}
+
+bool CacheManager::InflightLocked(const CacheKey& key) const {
+  SS_ASSERT_HELD(mutex_);
+  return std::find(inflight_.begin(), inflight_.end(), key) !=
+         inflight_.end();
+}
+
+void CacheManager::SetIoExecutor(AsyncExecutor* io, bool spill_async) {
+  support::MutexLock lock(mutex_);
+  io_ = io;
+  spill_async_ = spill_async && io != nullptr;
 }
 
 void CacheManager::EraseLocked(const CacheKey& key) {
@@ -264,7 +548,8 @@ int CacheManager::DropNode(int node) {
     if (spill_enabled() && entry.spill_valid && entry.codec.usable()) {
       spilled_[key] = SpilledEntry{entry.bytes, entry.node,
                                    entry.compute_seconds,
-                                   std::move(entry.codec)};
+                                   std::move(entry.codec),
+                                   /*pending_value=*/nullptr};
     }
     EraseLocked(key);
   }
@@ -287,12 +572,26 @@ void CacheManager::Clear() {
 }
 
 void CacheManager::SetCapacityBytes(std::uint64_t capacity_bytes) {
-  support::MutexLock lock(mutex_);
-  capacity_bytes_ = capacity_bytes;
-  EvictIfNeededLocked();
+  std::vector<SpillJob> jobs;
+  AsyncExecutor* io = nullptr;
+  {
+    support::MutexLock lock(mutex_);
+    io = io_;
+    capacity_bytes_ = capacity_bytes;
+    EvictIfNeededLocked(&jobs);
+  }
+  FlushSpillJobs(std::move(jobs), io);
 }
 
 int CacheManager::InjureSpill(bool drop) {
+  // Let in-flight background writes land first so the injury hits every
+  // frame the run believes it has (and no write resurrects one after).
+  AsyncExecutor* io = nullptr;
+  {
+    support::MutexLock lock(mutex_);
+    io = io_;
+  }
+  if (io != nullptr) io->Drain();
   support::MutexLock lock(mutex_);
   const int injured = drop ? spill_.DropAll() : spill_.CorruptAll();
   // Frames belonging to memory-resident entries are garbage now; force a

@@ -22,12 +22,14 @@
 // recomputation — the fault-tolerance property the RDD paper centres on.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/cache_key.hpp"
 #include "engine/spill_tier.hpp"
@@ -35,6 +37,8 @@
 #include "support/ranked_mutex.hpp"
 
 namespace ss::engine {
+
+class AsyncExecutor;
 
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -94,7 +98,29 @@ class CacheManager {
   /// re-admitted to memory, and returned (a "reload"); a corrupt or
   /// missing frame counts `spill_corrupt` and falls through to nullptr so
   /// the caller recomputes from lineage.
+  ///
+  /// The frame read + decode runs OUTSIDE the cache lock: concurrent
+  /// lookups of other keys proceed, and a second lookup of the same key
+  /// waits for the in-flight reload (task-side that wait is the `io_wait`
+  /// phase + `exec.io_wait_nanos`) instead of duplicating it.
   std::shared_ptr<void> Lookup(const CacheKey& key);
+
+  /// Advisory warm-up from the I/O lane: if `key`'s only copy is a spill
+  /// frame, reload + decode + re-admit it exactly as a Lookup miss would —
+  /// but without touching hit/miss accounting, so observable cache stats
+  /// stay comparable across prefetch depths. No-op when the key is memory-
+  /// resident, already being reloaded, or unknown. Counts
+  /// `exec.prefetch_reloads` when a frame was actually moved.
+  void Prefetch(const CacheKey& key);
+
+  /// Wires (or clears, io == nullptr) the I/O lane used for background
+  /// spill writes. With `spill_async` set, evictions move the frame
+  /// encode+write onto the lane: the evicted value stays readable from the
+  /// pending-write entry (a lookup re-admits it without any decode), and a
+  /// failed background write erases the spill copy and counts
+  /// `exec.spill_async_failures` once — the next access degrades to a
+  /// lineage recompute, never to wrong data.
+  void SetIoExecutor(AsyncExecutor* io, bool spill_async);
 
   /// Inserts (or refreshes) an entry, rebalancing against the budget.
   /// Oversized single entries (larger than the whole budget) are admitted
@@ -150,11 +176,26 @@ class CacheManager {
     std::list<CacheKey>::iterator lru_it;
   };
 
-  /// An entry whose only copy lives in the spill tier.
+  /// An entry whose only copy lives in the spill tier (or, while a
+  /// background write is in flight, in `pending_value`).
   struct SpilledEntry {
     std::uint64_t bytes = 0;  ///< Decoded (memory) size, for re-admission.
     int node = 0;
     double compute_seconds = 0.0;
+    SpillCodec codec;
+    /// Non-null while an async spill write is in flight: the decoded
+    /// value, kept so a lookup can re-admit without any frame I/O and so
+    /// the write job can tell whether it is still current.
+    std::shared_ptr<void> pending_value;
+  };
+
+  /// One deferred background frame write, collected under the lock by an
+  /// eviction and handed to the I/O lane only after the lock is released
+  /// (blocking on the bounded queue while holding kCache could deadlock
+  /// against a completion that needs it).
+  struct SpillJob {
+    CacheKey key;
+    std::shared_ptr<void> value;
     SpillCodec codec;
   };
 
@@ -162,12 +203,32 @@ class CacheManager {
   /// Restore-cost-per-byte the eviction policy minimizes.
   double RestoreCostPerByteLocked(const Entry& entry) const
       SS_REQUIRES(mutex_);
-  void EvictIfNeededLocked() SS_REQUIRES(mutex_);
-  void EvictOneLocked() SS_REQUIRES(mutex_);
+  void EvictIfNeededLocked(std::vector<SpillJob>* jobs) SS_REQUIRES(mutex_);
+  void EvictOneLocked(std::vector<SpillJob>* jobs) SS_REQUIRES(mutex_);
   void EraseLocked(const CacheKey& key) SS_REQUIRES(mutex_);
   void DropSpilledLocked(const CacheKey& key) SS_REQUIRES(mutex_);
-  std::shared_ptr<void> ReloadFromSpillLocked(const CacheKey& key)
+  /// What the locked phase of a lookup decided.
+  enum class Step {
+    kReturn,  ///< Resolved (hit, pending re-admit, or plain miss).
+    kRetry,   ///< Waited out an in-flight reload; re-evaluate from the top.
+    kReload,  ///< This thread claimed the reload; run it outside the lock.
+  };
+
+  /// Shared Lookup/Prefetch body; `prefetch` suppresses hit/miss counting.
+  std::shared_ptr<void> LookupOrReload(const CacheKey& key, bool prefetch);
+  Step ResolveLocked(const CacheKey& key, bool prefetch,
+                     support::UniqueLock& lock, std::shared_ptr<void>* result,
+                     SpillCodec* codec, std::vector<SpillJob>* jobs)
       SS_REQUIRES(mutex_);
+  /// The claimed reload: frame read + decode with the lock RELEASED, then
+  /// re-lock to publish (or to degrade: corrupt frame, superseding insert,
+  /// concurrent drop). Always un-claims and wakes waiters.
+  std::shared_ptr<void> FinishReload(const CacheKey& key, bool prefetch,
+                                     const SpillCodec& codec);
+  bool InflightLocked(const CacheKey& key) const SS_REQUIRES(mutex_);
+  /// Hands collected write jobs to `io` (inline fallback on shutdown).
+  void FlushSpillJobs(std::vector<SpillJob> jobs, AsyncExecutor* io);
+  void BackgroundSpillWrite(const SpillJob& job);
 
   const CacheOptions options_;
   SpillTier spill_;
@@ -184,6 +245,12 @@ class CacheManager {
       SS_GUARDED_BY(mutex_);
   std::list<CacheKey> lru_ SS_GUARDED_BY(mutex_);  ///< Front = MRU.
   CacheStats stats_ SS_GUARDED_BY(mutex_);
+  /// Keys whose reload (frame read + decode) is running outside the lock.
+  std::vector<CacheKey> inflight_ SS_GUARDED_BY(mutex_);
+  std::condition_variable_any inflight_cv_;
+  /// The I/O lane; null = no lane (prefetch ablated), background spill off.
+  AsyncExecutor* io_ SS_GUARDED_BY(mutex_) = nullptr;
+  bool spill_async_ SS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ss::engine

@@ -21,6 +21,7 @@
 #include "cluster/virtual_scheduler.hpp"
 #include "dfs/dfs.hpp"
 #include "engine/cache_manager.hpp"
+#include "engine/executor.hpp"
 #include "engine/metrics.hpp"
 #include "engine/task.hpp"
 #include "support/thread_pool.hpp"
@@ -63,6 +64,12 @@ class EngineContext {
 
     /// Overhead model used when replaying metrics onto the topology.
     cluster::CostModel cost_model;
+
+    /// Async-executor knobs (I/O lane, prefetch depth, background spill).
+    /// `prefetch_depth == 0` disables the lane entirely — stages run the
+    /// legacy synchronous loop. Overridable via the SS_PREFETCH /
+    /// SS_SPILL_ASYNC environment variables (the CI ablation matrix).
+    ExecConfig exec;
   };
 
   /// `dfs` and `faults` are optional collaborators owned by the caller and
@@ -78,8 +85,16 @@ class EngineContext {
   /// succeed; each failed attempt is retried up to max_task_attempts.
   /// Returns the stage id under which metrics were recorded. Must be called
   /// from the driver thread (never from inside a task).
+  ///
+  /// With the I/O lane active (exec.prefetch_depth > 0) tasks are
+  /// dispatched through a per-stage channel, and a non-zero
+  /// `prefetch_node_id` names the cached dataset whose partitions the lane
+  /// reloads/decodes ahead of the compute frontier (RunStage derives it
+  /// from the lineage). Scheduling changes; per-partition results and all
+  /// driver-side fold orders do not.
   std::uint64_t RunTasks(const std::string& label, std::uint32_t num_tasks,
-                         const std::function<void(TaskContext&)>& task_fn);
+                         const std::function<void(TaskContext&)>& task_fn,
+                         std::uint64_t prefetch_node_id = 0);
 
   /// Unique id for a new dataset node.
   std::uint64_t NewNodeId() { return next_node_id_.fetch_add(1); }
@@ -92,6 +107,16 @@ class EngineContext {
   /// will recompute them on next access). Also invoked automatically when
   /// an armed FaultInjector fires.
   void FailNode(int node);
+
+  /// Reconfigures the I/O lane (ResamplingRequest::exec lands here).
+  /// Sticky: the new config applies to every subsequent stage. Drains the
+  /// current lane first, so it must be called between stages, never from
+  /// inside a task.
+  void ApplyExecConfig(const ExecConfig& exec);
+
+  /// The I/O lane, or nullptr when ablated (prefetch_depth == 0).
+  AsyncExecutor* io() { return io_.get(); }
+  const ExecConfig& exec_config() const { return options_.exec; }
 
   CacheManager& cache() { return cache_; }
   MetricsRecorder& metrics() { return metrics_; }
@@ -111,9 +136,26 @@ class EngineContext {
   std::string RunMetricsJson() const;
 
  private:
+  /// `after_task` (may be empty) runs on the worker inside the successful
+  /// attempt's timeline, under the `prefetch` phase — the channel path's
+  /// hook for issuing the next prefetch as each task retires.
   void RunOneTask(std::uint64_t stage_id, std::uint32_t index,
                   std::int64_t enqueue_ns, const std::string& label,
-                  const std::function<void(TaskContext&)>& task_fn);
+                  const std::function<void(TaskContext&)>& task_fn,
+                  const std::function<void()>& after_task = nullptr);
+
+  /// Channel-based dispatch (exec.prefetch_depth > 0): partition indices
+  /// flow through a closed channel to min(pool, tasks) runners; the I/O
+  /// lane reloads `prefetch_node_id`'s partitions ahead of the frontier.
+  void RunTasksChannel(std::uint64_t stage_id, std::uint32_t num_tasks,
+                       std::int64_t enqueue_ns, const std::string& label,
+                       const std::function<void(TaskContext&)>& task_fn,
+                       std::uint64_t prefetch_node_id);
+
+  /// Queues an advisory reload of (node, partition) on the I/O lane.
+  void IssuePrefetch(std::uint64_t node_id, std::uint32_t partition);
+
+  void RebuildIoLane();
 
   Options options_;
   dfs::MiniDfs* dfs_;
@@ -123,6 +165,9 @@ class EngineContext {
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::uint64_t> next_node_id_{1};
   std::atomic<std::uint64_t> tasks_completed_{0};
+  /// Declared last: destroyed first, while the cache its jobs touch (and
+  /// the pool whose workers may be mid-Enqueue) are still alive.
+  std::unique_ptr<AsyncExecutor> io_;
 };
 
 }  // namespace ss::engine

@@ -167,6 +167,20 @@ class Node : public NodeBase {
   }
 };
 
+/// The dataset whose partitions the I/O lane warms ahead of a stage over
+/// `node`: the node itself when persistent, else the nearest persistent
+/// ancestor with the same partition count (narrow lineage — a task for
+/// partition k pulls exactly partition k of such an ancestor). 0 when the
+/// stage has nothing cached to prefetch.
+inline std::uint64_t PrefetchTargetId(const NodeBase& node) {
+  if (node.cache_enabled()) return node.id();
+  for (const auto& parent : node.parents()) {
+    if (parent->num_partitions() != node.num_partitions()) continue;
+    if (const std::uint64_t id = PrefetchTargetId(*parent)) return id;
+  }
+  return 0;
+}
+
 /// Runs one full pass over `node`'s partitions as a stage, returning all
 /// partitions in order. The building block for actions (collect/count/...)
 /// and shuffle map stages. Driver-side only.
@@ -180,7 +194,8 @@ std::vector<std::vector<T>> RunStage(Node<T>& node, const std::string& label) {
                              task.metrics().records_out = part->size();
                              PhaseTimer handoff_phase(TaskPhase::kHandoff);
                              partitions[task.partition()] = *part;
-                           });
+                           },
+                           PrefetchTargetId(node));
   return partitions;
 }
 

@@ -24,7 +24,8 @@ thread_local bool t_phase_open = false;
 std::atomic<bool> g_profiling_enabled{true};
 
 constexpr const char* kPhaseNames[kNumTaskPhases] = {
-    "queue_wait", "fetch", "decode", "compute", "spill_write", "handoff"};
+    "queue_wait", "fetch",    "decode",   "compute",
+    "spill_write", "handoff", "prefetch", "io_wait"};
 
 void AppendNum(std::string* out, double value) {
   char buffer[32];
@@ -287,7 +288,8 @@ std::string FormatProfileReport(const RunProfile& profile) {
 
   Table stages("Stage phase breakdown (seconds)",
                {"id", "label", "tasks", "queue", "fetch", "decode", "compute",
-                "spill", "handoff", "p50", "p95", "max", "stragglers"});
+                "spill", "handoff", "prefetch", "io_wait", "p50", "p95", "max",
+                "stragglers"});
   for (const StageTimingStats& s : profile.stages) {
     std::string stragglers = std::to_string(s.straggler_partitions.size());
     if (!s.straggler_partitions.empty()) {
@@ -303,6 +305,8 @@ std::string FormatProfileReport(const RunProfile& profile) {
                    Table::Num(s.phase_seconds[3], 4),
                    Table::Num(s.phase_seconds[4], 4),
                    Table::Num(s.phase_seconds[5], 4),
+                   Table::Num(s.phase_seconds[6], 4),
+                   Table::Num(s.phase_seconds[7], 4),
                    Table::Num(s.p50_seconds, 4), Table::Num(s.p95_seconds, 4),
                    Table::Num(s.max_seconds, 4), stragglers});
   }

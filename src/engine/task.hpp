@@ -27,9 +27,11 @@ enum class TaskPhase : std::uint8_t {
   kCompute = 3,     ///< Kernel/closure execution (the unattributed rest).
   kSpillWrite = 4,  ///< Spill-frame encode + write forced by this task.
   kHandoff = 5,     ///< Result copy-out to the driver's stage buffer.
+  kPrefetch = 6,    ///< Issuing prefetch jobs to the I/O lane.
+  kIoWait = 7,      ///< Blocked on an in-flight I/O-lane reload.
 };
 
-inline constexpr std::size_t kNumTaskPhases = 6;
+inline constexpr std::size_t kNumTaskPhases = 8;
 
 /// Lowercase stable identifier used in the metrics JSON and trace.
 const char* TaskPhaseName(TaskPhase phase);

@@ -25,7 +25,183 @@ std::size_t EditDistance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
+/// What a value of this type looks like, for the generated help.
+const char* TypeShape(const OptionKeyDef& def) {
+  switch (def.type) {
+    case OptionType::kU64:
+      return "<n>";
+    case OptionType::kDouble:
+      return "<x>";
+    case OptionType::kBool:
+      return "0|1";
+    case OptionType::kString:
+      return "<str>";
+    case OptionType::kChoice:
+      return "";  // the choices themselves are printed
+  }
+  return "";
+}
+
 }  // namespace
+
+const std::vector<OptionKeyDef>& OptionKeyRegistry() {
+  // THE single source of truth for every key=value knob. A key added here
+  // is accepted, suggested, help-documented, and (for kChoice) validated
+  // by the CLI and every bench at once.
+  static const std::vector<OptionKeyDef> kRegistry = {
+      // -- workload: what study is simulated --------------------------------
+      {"patients", OptionType::kU64, "", "cohort size n (tool default varies)",
+       "workload", {}},
+      {"snps", OptionType::kU64, "", "number of SNPs (tool default varies)",
+       "workload", {}},
+      {"sets", OptionType::kU64, "", "number of SNP sets (tool default varies)",
+       "workload", {}},
+      {"seed", OptionType::kU64, "2016", "master RNG seed", "workload", {}},
+      {"ld_block", OptionType::kU64, "1", "LD block size for the generator",
+       "workload", {}},
+      {"faithful", OptionType::kBool, "1",
+       "paper-faithful per-patient Cox scores (0 = O(n) risk-set path)",
+       "workload", {}},
+      // -- engine: cluster topology + storage -------------------------------
+      {"nodes", OptionType::kU64, "6", "simulated EMR cluster size", "engine",
+       {}},
+      {"partitions", OptionType::kU64, "8", "input partitions", "engine", {}},
+      {"reducers", OptionType::kU64, "8", "shuffle reducers", "engine", {}},
+      {"threads", OptionType::kU64, "4", "physical worker threads", "engine",
+       {}},
+      {"batch", OptionType::kU64, "64",
+       "Monte Carlo replicates per engine pass (bitwise-invariant)", "engine",
+       {}},
+      {"cache_budget", OptionType::kU64, "0",
+       "partition-cache budget in bytes (0 = unlimited)", "engine", {}},
+      {"spill_dir", OptionType::kString, "",
+       "directory for spill frames (empty = in-memory block store)", "engine",
+       {}},
+      {"pack", OptionType::kBool, "1",
+       "2-bit packed genotype storage (bitwise-identical results)", "engine",
+       {}},
+      {"kernel", OptionType::kChoice, "",
+       "force SIMD dispatch level (also SS_KERNEL)", "engine",
+       {"scalar", "sse2", "avx2"}},
+      // -- exec: the async executor / I/O lane ------------------------------
+      {"prefetch", OptionType::kU64, "1",
+       "partitions prefetched ahead of compute (0 ablates the async "
+       "executor; also SS_PREFETCH)",
+       "exec", {}},
+      {"io_threads", OptionType::kU64, "1", "threads on the I/O lane", "exec",
+       {}},
+      {"spill_async", OptionType::kBool, "0",
+       "move spill writes off the critical path onto the I/O lane (also "
+       "SS_SPILL_ASYNC)",
+       "exec", {}},
+      // -- analysis: what is computed and reported --------------------------
+      {"reps", OptionType::kU64, "", "resampling replicates B", "analysis",
+       {}},
+      {"method", OptionType::kChoice, "mc", "resampling method", "analysis",
+       {"mc", "perm"}},
+      {"top", OptionType::kU64, "10", "result rows to print", "analysis", {}},
+      {"stages", OptionType::kBool, "0", "print the per-stage run report",
+       "analysis", {}},
+      {"export", OptionType::kString, "",
+       "persist the result at this DFS path and echo it", "analysis", {}},
+      // -- observability: see docs/OBSERVABILITY.md -------------------------
+      {"trace", OptionType::kString, "",
+       "write Chrome trace_event JSON here ('-' streams to stderr)",
+       "observability", {}},
+      {"metrics", OptionType::kString, "",
+       "write run-metrics JSON here ('-' streams to stdout)", "observability",
+       {}},
+      {"profile", OptionType::kBool, "1",
+       "task-timeline collection (0 ablates; results identical)",
+       "observability", {}},
+      {"profile_report", OptionType::kBool, "0",
+       "print the critical-path/straggler/utilization report",
+       "observability", {}},
+      {"straggler_mad_k", OptionType::kDouble, "3",
+       "straggler threshold: median + k*MAD of the stage", "observability",
+       {}},
+      {"loglevel", OptionType::kChoice, "error", "stderr log verbosity",
+       "observability", {"debug", "info", "warn", "error"}},
+      // -- bench: knobs specific to individual benchmarks -------------------
+      {"iters", OptionType::kU64, "", "replicates per timed configuration",
+       "bench", {}},
+      {"mode", OptionType::kString, "",
+       "bench-specific mode selector (e.g. bench_caching mode=budget)",
+       "bench", {}},
+      {"budget", OptionType::kU64, "",
+       "constrained cache budget in bytes for budget-mode benches", "bench",
+       {}},
+      {"budget_iters", OptionType::kU64, "",
+       "replicates for the budget-mode comparison", "bench", {}},
+      {"datapoint", OptionType::kString, "",
+       "append a JSON datapoint for this run to the given file", "bench", {}},
+      {"out", OptionType::kString, "", "bench output artifact path", "bench",
+       {}},
+      {"work", OptionType::kU64, "", "per-task synthetic work units", "bench",
+       {}},
+      {"count", OptionType::kU64, "", "bench-specific element count", "bench",
+       {}},
+      {"snps_small", OptionType::kU64, "", "small-config SNP count", "bench",
+       {}},
+      {"snps_large", OptionType::kU64, "", "large-config SNP count", "bench",
+       {}},
+      {"mc_max_iters", OptionType::kU64, "",
+       "cap on Monte Carlo iterations in sweep benches", "bench", {}},
+      {"per_node_cache_bytes", OptionType::kU64, "",
+       "per-node cache bytes in container sweeps", "bench", {}},
+  };
+  return kRegistry;
+}
+
+const OptionKeyDef* FindOptionKey(const std::string& name) {
+  for (const OptionKeyDef& def : OptionKeyRegistry()) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+std::string FormatKeyHelp(const std::vector<std::string>& groups) {
+  const auto wanted = [&groups](const char* group) {
+    if (groups.empty()) return true;
+    return std::find(groups.begin(), groups.end(), group) != groups.end();
+  };
+  // key=<shape> column width for alignment.
+  std::size_t width = 0;
+  std::vector<const OptionKeyDef*> selected;
+  std::vector<std::string> heads;
+  for (const OptionKeyDef& def : OptionKeyRegistry()) {
+    if (!wanted(def.group)) continue;
+    std::string head = std::string(def.name) + "=";
+    if (def.type == OptionType::kChoice) {
+      for (std::size_t i = 0; i < def.choices.size(); ++i) {
+        if (i != 0) head += "|";
+        head += def.choices[i];
+      }
+    } else {
+      head += TypeShape(def);
+    }
+    width = std::max(width, head.size());
+    selected.push_back(&def);
+    heads.push_back(std::move(head));
+  }
+  std::string out;
+  std::string last_group;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const OptionKeyDef& def = *selected[i];
+    if (def.group != last_group) {
+      out += std::string(last_group.empty() ? "" : "\n") + def.group +
+             " keys:\n";
+      last_group = def.group;
+    }
+    out += "  " + heads[i] + std::string(width - heads[i].size() + 2, ' ') +
+           def.help;
+    if (def.default_value[0] != '\0') {
+      out += std::string(" (default: ") + def.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
 
 OptionMap::OptionMap(int argc, char** argv, int begin) {
   for (int i = begin; i < argc; ++i) {
@@ -84,6 +260,15 @@ void OptionMap::Set(const std::string& key, const std::string& value) {
   values_[key] = value;
 }
 
+void OptionMap::DeclareKeys(const std::vector<std::string>& groups) const {
+  for (const OptionKeyDef& def : OptionKeyRegistry()) {
+    if (groups.empty() ||
+        std::find(groups.begin(), groups.end(), def.group) != groups.end()) {
+      known_.insert(def.name);
+    }
+  }
+}
+
 std::vector<std::string> OptionMap::UnknownKeys() const {
   std::vector<std::string> unknown;
   for (const auto& [key, value] : values_) {
@@ -113,6 +298,24 @@ std::size_t OptionMap::WarnUnknownKeys(const std::string& program) const {
   for (const auto& [key, problem] : malformed_) {
     std::fprintf(stderr, "%s: malformed value for '%s': %s (fallback used)\n",
                  program.c_str(), key.c_str(), problem.c_str());
+    ++diagnostics;
+  }
+  // Registry validation for enumerated keys: a present choice-typed value
+  // outside its registered choices gets one diagnostic (the tool itself
+  // decides whether to also reject it).
+  for (const auto& [key, value] : values_) {
+    const OptionKeyDef* def = FindOptionKey(key);
+    if (def == nullptr || def->type != OptionType::kChoice) continue;
+    bool legal = false;
+    for (const char* choice : def->choices) legal = legal || value == choice;
+    if (legal) continue;
+    std::string choices;
+    for (const char* choice : def->choices) {
+      if (!choices.empty()) choices += "|";
+      choices += choice;
+    }
+    std::fprintf(stderr, "%s: '%s' is not a valid value for '%s' (one of %s)\n",
+                 program.c_str(), value.c_str(), key.c_str(), choices.c_str());
     ++diagnostics;
   }
   return diagnostics;

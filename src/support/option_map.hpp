@@ -1,5 +1,6 @@
 // Shared `key=value` command-line option parsing for the CLI and the
-// benches (previously each had its own copy).
+// benches (previously each had its own copy), plus the single registry
+// of every key those tools accept.
 //
 // Tokens containing '=' become options; everything else is collected as a
 // positional token for the caller. Typed getters return a fallback on a
@@ -8,6 +9,13 @@
 // key as known, so after a tool has read its configuration,
 // WarnUnknownKeys can diagnose unrecognized keys (usually typos like
 // `snsp=100`, which key=value interfaces otherwise ignore silently).
+//
+// The key REGISTRY (OptionKeyRegistry) defines each key exactly once —
+// name, type, default, one-line help, group, enumerated choices — so a
+// knob added there lands in every tool at once: `--help` output is
+// generated from it (FormatKeyHelp), DeclareKeys seeds the unknown-key
+// suggestion vocabulary from it, and choice-restricted values are
+// validated against it.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +26,32 @@
 #include <vector>
 
 namespace ss::support {
+
+/// Value shape of a registered option key (drives help text + validation).
+enum class OptionType { kU64, kDouble, kBool, kString, kChoice };
+
+/// One entry in the shared key registry.
+struct OptionKeyDef {
+  const char* name;
+  OptionType type;
+  const char* default_value;  ///< As shown in help; "" = no default.
+  const char* help;           ///< One-line description.
+  const char* group;  ///< "workload" | "engine" | "exec" | "analysis" |
+                      ///< "observability" | "bench".
+  std::vector<const char*> choices;  ///< For kChoice; empty otherwise.
+};
+
+/// The registry: every `key=value` knob the CLI and benches accept,
+/// defined exactly once. Append-only within a group; tools select the
+/// groups they honor.
+const std::vector<OptionKeyDef>& OptionKeyRegistry();
+
+/// Registry lookup by key name; nullptr when the key is not registered.
+const OptionKeyDef* FindOptionKey(const std::string& name);
+
+/// Generated help text: one aligned `key=<shape>  help (default: X)` line
+/// per registry key whose group is in `groups` (all groups when empty).
+std::string FormatKeyHelp(const std::vector<std::string>& groups = {});
 
 class OptionMap {
  public:
@@ -41,13 +75,20 @@ class OptionMap {
   /// Tokens without '=' in argv order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Registers every registry key belonging to `groups` (all groups when
+  /// empty) as part of this tool's vocabulary, so unknown-key suggestions
+  /// come from the full registry rather than only the keys a particular
+  /// code path happened to read.
+  void DeclareKeys(const std::vector<std::string>& groups = {}) const;
+
   /// Keys present on the command line that no getter (or Has) has looked
   /// up. Meaningful only after the caller finished reading its options.
   std::vector<std::string> UnknownKeys() const;
 
   /// Prints one stderr diagnostic per unknown key (with a nearest-known
-  /// suggestion when one is close) and per malformed value; returns the
-  /// number of diagnostics. Call after all getters ran.
+  /// suggestion when one is close), per malformed value, and per value
+  /// outside a registered key's enumerated choices; returns the number of
+  /// diagnostics. Call after all getters ran.
   std::size_t WarnUnknownKeys(const std::string& program) const;
 
  private:

@@ -49,8 +49,8 @@ TEST(PipelineCheckpointTest, ResultsIdenticalWithAndWithoutCheckpoint) {
   auto p2 = SkatPipeline::Open(ctx2, env.paths, checkpointed);
   ASSERT_TRUE(p1.ok());
   ASSERT_TRUE(p2.ok());
-  const ResamplingResult a = RunMonteCarloMethod(p1.value(), 10);
-  const ResamplingResult b = RunMonteCarloMethod(p2.value(), 10);
+  const ResamplingResult a = RunResampling(p1.value(), {ResamplingMethod::kMonteCarlo, 10}).scores;
+  const ResamplingResult b = RunResampling(p2.value(), {ResamplingMethod::kMonteCarlo, 10}).scores;
   for (const auto& [set_id, count] : a.exceed) {
     EXPECT_EQ(b.exceed.at(set_id), count);
     EXPECT_NEAR(b.observed.at(set_id), a.observed.at(set_id), 1e-9);
@@ -93,7 +93,7 @@ TEST(PipelineCheckpointTest, MissingDfsDegradesGracefully) {
   PipelineConfig config;
   config.checkpoint_contributions_path = "/nowhere";
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  const ResamplingResult result = RunMonteCarloMethod(pipeline, 5);
+  const ResamplingResult result = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 5}).scores;
   EXPECT_EQ(result.observed.size(), 4u);
 }
 

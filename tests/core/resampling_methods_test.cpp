@@ -32,7 +32,7 @@ TEST(ResamplingMethodsTest, ZeroReplicatesComputesOnlyObserved) {
   const simdata::SyntheticDataset dataset = SmallDataset();
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  const ResamplingResult result = RunMonteCarloMethod(pipeline, 0);
+  const ResamplingResult result = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 0}).scores;
   EXPECT_EQ(result.replicates, 0u);
   EXPECT_EQ(result.observed.size(), 4u);
   for (const auto& [set_id, count] : result.exceed) EXPECT_EQ(count, 0u);
@@ -50,7 +50,7 @@ TEST(ResamplingMethodsTest, MonteCarloMatchesSerialBaselineExactly) {
 
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  const ResamplingResult distributed = RunMonteCarloMethod(pipeline, 25);
+  const ResamplingResult distributed = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 25}).scores;
 
   for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
     const std::uint32_t id = dataset.sets[k].id;
@@ -72,7 +72,7 @@ TEST(ResamplingMethodsTest, PermutationMatchesSerialBaselineExactly) {
 
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  const ResamplingResult distributed = RunPermutationMethod(pipeline, 12);
+  const ResamplingResult distributed = RunResampling(pipeline, {ResamplingMethod::kPermutation, 12}).scores;
 
   for (std::size_t k = 0; k < dataset.sets.size(); ++k) {
     const std::uint32_t id = dataset.sets[k].id;
@@ -86,28 +86,34 @@ TEST(ResamplingMethodsTest, MethodsAgreeOnObservedScores) {
   engine::EngineContext ctx2(LocalOptions());
   SkatPipeline p1 = SkatPipeline::FromMemory(ctx1, dataset, {});
   SkatPipeline p2 = SkatPipeline::FromMemory(ctx2, dataset, {});
-  const ResamplingResult mc = RunMonteCarloMethod(p1, 3);
-  const ResamplingResult perm = RunPermutationMethod(p2, 3);
+  const ResamplingResult mc = RunResampling(p1, {ResamplingMethod::kMonteCarlo, 3}).scores;
+  const ResamplingResult perm = RunResampling(p2, {ResamplingMethod::kPermutation, 3}).scores;
   for (const auto& [set_id, score] : mc.observed) {
     EXPECT_NEAR(score, perm.observed.at(set_id), 1e-9);
   }
 }
 
-TEST(ResamplingMethodsTest, CallbackInvokedPerReplicate) {
+TEST(ResamplingMethodsTest, SinkInvokedPerReplicate) {
+  class RecordingSink final : public ProgressSink {
+   public:
+    void OnReplicate(std::uint64_t b) override { seen.push_back(b); }
+    std::vector<std::uint64_t> seen;
+  };
   const simdata::SyntheticDataset dataset = SmallDataset();
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  std::vector<std::uint64_t> seen;
-  RunMonteCarloMethod(pipeline, 5,
-                      [&seen](std::uint64_t b) { seen.push_back(b); });
-  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  RecordingSink sink;
+  ResamplingRequest request(ResamplingMethod::kMonteCarlo, 5);
+  request.sink = &sink;
+  RunResampling(pipeline, request);
+  EXPECT_EQ(sink.seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
 }
 
 TEST(ResamplingMethodsTest, PValuesInUnitInterval) {
   const simdata::SyntheticDataset dataset = SmallDataset();
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  const ResamplingResult result = RunMonteCarloMethod(pipeline, 19);
+  const ResamplingResult result = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 19}).scores;
   for (const auto& [set_id, score] : result.observed) {
     const double p = result.PValue(set_id);
     EXPECT_GT(p, 0.0);
@@ -119,7 +125,7 @@ TEST(ResamplingMethodsTest, RankedPValuesSortedAscending) {
   const simdata::SyntheticDataset dataset = SmallDataset();
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  const ResamplingResult result = RunMonteCarloMethod(pipeline, 9);
+  const ResamplingResult result = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 9}).scores;
   const auto ranked = result.RankedPValues();
   ASSERT_EQ(ranked.size(), 4u);
   for (std::size_t i = 1; i < ranked.size(); ++i) {
@@ -283,7 +289,7 @@ TEST(ResamplingMethodsTest, UnifiedPermutationMatchesLegacyWrapper) {
   PipelineConfig config;
   config.seed = 78;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  ExpectByteIdentical(unified, RunPermutationMethod(pipeline, 12));
+  ExpectByteIdentical(unified, RunResampling(pipeline, {ResamplingMethod::kPermutation, 12}).scores);
 }
 
 TEST(ResamplingMethodsTest, SkatOBitwiseInvariantToBatchSize) {
@@ -327,7 +333,7 @@ TEST(ResamplingMethodsTest, MoreReplicatesRefinePValueFloor) {
   engine::EngineContext ctx(LocalOptions());
   PipelineConfig config;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  const ResamplingResult result = RunMonteCarloMethod(pipeline, 49);
+  const ResamplingResult result = RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, 49}).scores;
   for (const auto& [set_id, score] : result.observed) {
     EXPECT_GE(result.PValue(set_id), 1.0 / 50.0);
   }

@@ -103,7 +103,7 @@ TEST(SkatOMethodTest, PValuesInRangeAndRanked) {
   const simdata::SyntheticDataset dataset = SmallDataset();
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  const SkatOResult result = RunSkatOMethod(pipeline, 49);
+  const SkatOResult result = RunResampling(pipeline, {ResamplingMethod::kSkatO, 49}).skato;
   EXPECT_EQ(result.replicates, 49u);
   ASSERT_EQ(result.by_set.size(), dataset.sets.size());
   for (const auto& [set_id, per_set] : result.by_set) {
@@ -126,8 +126,8 @@ TEST(SkatOMethodTest, DeterministicInSeed) {
   engine::EngineContext ctx2(LocalOptions());
   SkatPipeline p1 = SkatPipeline::FromMemory(ctx1, dataset, config);
   SkatPipeline p2 = SkatPipeline::FromMemory(ctx2, dataset, config);
-  const SkatOResult a = RunSkatOMethod(p1, 20);
-  const SkatOResult b = RunSkatOMethod(p2, 20);
+  const SkatOResult a = RunResampling(p1, {ResamplingMethod::kSkatO, 20}).skato;
+  const SkatOResult b = RunResampling(p2, {ResamplingMethod::kSkatO, 20}).skato;
   for (const auto& [set_id, per_set] : a.by_set) {
     EXPECT_DOUBLE_EQ(per_set.pvalue, b.by_set.at(set_id).pvalue);
   }
@@ -151,7 +151,7 @@ TEST(SkatOMethodTest, DetectsAlignedBurdenSignal) {
   }
   engine::EngineContext ctx(LocalOptions());
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, {});
-  const SkatOResult result = RunSkatOMethod(pipeline, 99);
+  const SkatOResult result = RunResampling(pipeline, {ResamplingMethod::kSkatO, 99}).skato;
   EXPECT_EQ(result.RankedPValues().front().first, target.id);
 }
 

@@ -54,7 +54,8 @@ ResamplingResult RunMonteCarlo(std::size_t threads, std::uint64_t replicates,
   PipelineConfig config;
   config.seed = kSeed;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  return RunMonteCarloMethod(pipeline, replicates);
+  return RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, replicates})
+      .scores;
 }
 
 ResamplingResult RunMonteCarloConfigured(std::size_t threads,
@@ -67,7 +68,8 @@ ResamplingResult RunMonteCarloConfigured(std::size_t threads,
   config.resampling_batch_size = batch;
   config.pack_genotypes = pack;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  return RunMonteCarloMethod(pipeline, replicates);
+  return RunResampling(pipeline, {ResamplingMethod::kMonteCarlo, replicates})
+      .scores;
 }
 
 ResamplingResult RunPermutation(std::size_t threads, std::uint64_t replicates,
@@ -76,7 +78,8 @@ ResamplingResult RunPermutation(std::size_t threads, std::uint64_t replicates,
   PipelineConfig config;
   config.seed = kSeed;
   SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
-  return RunPermutationMethod(pipeline, replicates);
+  return RunResampling(pipeline, {ResamplingMethod::kPermutation, replicates})
+      .scores;
 }
 
 void ExpectByteIdentical(const ResamplingResult& a, const ResamplingResult& b) {

@@ -88,7 +88,8 @@ TEST(RunMetricsSchemaTest, TimelineStageKeySetAndOrder) {
 TEST(RunMetricsSchemaTest, TimelinePhaseNamesArePinned) {
   const std::string json = SampleRunMetricsJson();
   EXPECT_NE(json.find("\"phases\":[\"queue_wait\",\"fetch\",\"decode\","
-                      "\"compute\",\"spill_write\",\"handoff\"]"),
+                      "\"compute\",\"spill_write\",\"handoff\","
+                      "\"prefetch\",\"io_wait\"]"),
             std::string::npos)
       << json;
 }

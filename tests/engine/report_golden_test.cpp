@@ -94,12 +94,12 @@ TEST(ReportGoldenTest, FormatProfileReport) {
   const char kExpected[] =
       "profile: wall 0.0160s, critical path 0.0150s (93.8%) across 2 stages\n"
       "== Stage phase breakdown (seconds) ==\n"
-      "+----+--------+-------+--------+--------+--------+---------+--------+---------+--------+--------+--------+------------+\n"
-      "| id | label  | tasks | queue  | fetch  | decode | compute | spill  | handoff | p50    | p95    | max    | stragglers |\n"
-      "+----+--------+-------+--------+--------+--------+---------+--------+---------+--------+--------+--------+------------+\n"
-      "| 1  | map    | 2     | 0.0020 | 0.0010 | 0.0000 | 0.0110  | 0.0000 | 0.0000  | 0.0040 | 0.0080 | 0.0080 | 0          |\n"
-      "| 2  | reduce | 2     | 0.0020 | 0.0000 | 0.0000 | 0.0080  | 0.0000 | 0.0000  | 0.0030 | 0.0050 | 0.0050 | 0          |\n"
-      "+----+--------+-------+--------+--------+--------+---------+--------+---------+--------+--------+--------+------------+\n"
+      "+----+--------+-------+--------+--------+--------+---------+--------+---------+----------+---------+--------+--------+--------+------------+\n"
+      "| id | label  | tasks | queue  | fetch  | decode | compute | spill  | handoff | prefetch | io_wait | p50    | p95    | max    | stragglers |\n"
+      "+----+--------+-------+--------+--------+--------+---------+--------+---------+----------+---------+--------+--------+--------+------------+\n"
+      "| 1  | map    | 2     | 0.0020 | 0.0010 | 0.0000 | 0.0110  | 0.0000 | 0.0000  | 0.0000   | 0.0000  | 0.0040 | 0.0080 | 0.0080 | 0          |\n"
+      "| 2  | reduce | 2     | 0.0020 | 0.0000 | 0.0000 | 0.0080  | 0.0000 | 0.0000  | 0.0000   | 0.0000  | 0.0030 | 0.0050 | 0.0050 | 0          |\n"
+      "+----+--------+-------+--------+--------+--------+---------+--------+---------+----------+---------+--------+--------+--------+------------+\n"
       "== Critical path (stage-binding tasks) ==\n"
       "+-------+-----------+---------+-------+\n"
       "| stage | partition | seconds | share |\n"

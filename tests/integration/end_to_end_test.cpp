@@ -36,7 +36,7 @@ TEST(EndToEndTest, DfsStudyThroughMonteCarloMatchesSerial) {
   auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
   ASSERT_TRUE(pipeline.ok());
   const core::ResamplingResult result =
-      core::RunMonteCarloMethod(pipeline.value(), 30);
+      core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, 30}).scores;
 
   // Serial reference over the same generated data.
   const simdata::SyntheticDataset dataset = simdata::Generate(StudyConfig());
@@ -72,7 +72,7 @@ TEST(EndToEndTest, SurvivesNodeFailureMidResampling) {
     engine::EngineContext ctx(LocalOptions(), &dfs);
     auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
     ASSERT_TRUE(pipeline.ok());
-    clean = core::RunMonteCarloMethod(pipeline.value(), 10);
+    clean = core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, 10}).scores;
   }
 
   // Run again with a node failure injected mid-flight: cached partitions
@@ -83,7 +83,7 @@ TEST(EndToEndTest, SurvivesNodeFailureMidResampling) {
   auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
   ASSERT_TRUE(pipeline.ok());
   const core::ResamplingResult failed =
-      core::RunMonteCarloMethod(pipeline.value(), 10);
+      core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, 10}).scores;
 
   ASSERT_TRUE(faults.HasFired(1));
   for (const auto& [set_id, count] : clean.exceed) {
@@ -99,7 +99,7 @@ TEST(EndToEndTest, ReplayProducesStrongScalingCurve) {
   config.num_reducers = 16;
   core::SkatPipeline pipeline =
       core::SkatPipeline::FromMemory(ctx, dataset, config);
-  core::RunMonteCarloMethod(pipeline, 5);
+  core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 5}).scores;
 
   const auto points =
       core::TuneAcross(ctx, core::StrongScalingCandidates({6, 12, 18}));
@@ -115,7 +115,7 @@ TEST(EndToEndTest, ReportFormatsTopHits) {
   const simdata::SyntheticDataset dataset = simdata::Generate(StudyConfig());
   engine::EngineContext ctx(LocalOptions());
   core::SkatPipeline pipeline = core::SkatPipeline::FromMemory(ctx, dataset, {});
-  const core::ResamplingResult result = core::RunMonteCarloMethod(pipeline, 9);
+  const core::ResamplingResult result = core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 9}).scores;
   const std::string table = core::FormatTopHits(result, 3);
   EXPECT_NE(table.find("Top SNP-sets"), std::string::npos);
   EXPECT_NE(table.find("p-value"), std::string::npos);
@@ -136,14 +136,14 @@ TEST(EndToEndTest, SkatOAndVariantScanSurviveNodeFailure) {
     engine::EngineContext ctx(LocalOptions(), &dfs);
     auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
     ASSERT_TRUE(pipeline.ok());
-    clean_skato = core::RunSkatOMethod(pipeline.value(), 15);
+    clean_skato = core::RunResampling(pipeline.value(), {core::ResamplingMethod::kSkatO, 15}).skato;
   }
   cluster::FaultInjector faults;
   engine::EngineContext ctx(LocalOptions(), &dfs, &faults);
   faults.FailNodeAfterTasks(2, 30);
   auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
   ASSERT_TRUE(pipeline.ok());
-  const core::SkatOResult chaotic = core::RunSkatOMethod(pipeline.value(), 15);
+  const core::SkatOResult chaotic = core::RunResampling(pipeline.value(), {core::ResamplingMethod::kSkatO, 15}).skato;
   ASSERT_TRUE(faults.HasFired(2));
   for (const auto& [set_id, per_set] : clean_skato.by_set) {
     EXPECT_DOUBLE_EQ(chaotic.by_set.at(set_id).pvalue, per_set.pvalue)
@@ -186,7 +186,7 @@ TEST(EndToEndTest, ResultExportRoundTripsThroughDfs) {
   auto pipeline = core::SkatPipeline::Open(ctx, paths.value(), config);
   ASSERT_TRUE(pipeline.ok());
   const core::ResamplingResult result =
-      core::RunMonteCarloMethod(pipeline.value(), 9);
+      core::RunResampling(pipeline.value(), {core::ResamplingMethod::kMonteCarlo, 9}).scores;
   ASSERT_TRUE(core::WriteResultToDfs(result, dfs, "/e2e/results.txt").ok());
   // Survives a node failure thanks to replication.
   dfs.KillNode(0);
@@ -210,7 +210,7 @@ TEST(EndToEndTest, MonteCarloReusesWorkAcrossReplicates) {
   config.resampling_batch_size = 4;
   core::SkatPipeline pipeline =
       core::SkatPipeline::FromMemory(ctx, dataset, config);
-  core::RunMonteCarloMethod(pipeline, 20);
+  core::RunResampling(pipeline, {core::ResamplingMethod::kMonteCarlo, 20}).scores;
   const auto stats = ctx.cache().stats();
   // One insertion per U partition plus one per packed-genotype partition
   // (both datasets are cached); >= 5 batches * partitions hits, and no

@@ -32,15 +32,17 @@ KNOWN_PHASES = {"B", "E", "i"}
 # Every event family the engine emits; see docs/OBSERVABILITY.md. `spill`
 # covers the cache's second tier (spill/reload/corrupt instants); `phase`
 # is the timeline profiler's nested per-task phase spans (fetch/decode/
-# spill_write/handoff).
+# spill_write/handoff); `prefetch` is the async executor's I/O-lane spans
+# (cache prefetches and Monte Carlo Z-block staging).
 KNOWN_CATEGORIES = {
     "stage", "task", "algo", "batch", "replicate",
-    "cache", "dfs", "broadcast", "fault", "spill", "phase",
+    "cache", "dfs", "broadcast", "fault", "spill", "phase", "prefetch",
 }
 
 # The timeline profiler's phase vocabulary, in TaskPhase enum order.
 TIMELINE_PHASES = (
     "queue_wait", "fetch", "decode", "compute", "spill_write", "handoff",
+    "prefetch", "io_wait",
 )
 
 # The cache section (unchanged since v1): memory-tier keys plus

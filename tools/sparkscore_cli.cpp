@@ -92,6 +92,12 @@ Study OpenStudy(const CliArgs& args) {
   options.cache_capacity_bytes = args.GetU64("cache_budget", 0);
   options.spill_dir = args.GetStr("spill_dir", "");
   options.straggler_mad_k = args.GetDouble("straggler_mad_k", 3.0);
+  // Async executor (registry group "exec"): prefetch=0 ablates the I/O
+  // lane; all three knobs are bitwise-irrelevant to the results.
+  options.exec.prefetch_depth = static_cast<int>(args.GetU64("prefetch", 1));
+  options.exec.io_threads = static_cast<int>(
+      std::max<std::uint64_t>(1, args.GetU64("io_threads", 1)));
+  options.exec.spill_async = args.GetBool("spill_async", false);
   study.ctx = std::make_unique<ss::engine::EngineContext>(options,
                                                           study.dfs.get());
 
@@ -292,21 +298,15 @@ int RunSelfTest(const CliArgs& outer) {
 }
 
 void PrintUsage() {
-  std::fputs(
-      "usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n"
-      "keys: patients snps sets reps seed nodes partitions reducers top\n"
-      "      method=mc|perm batch=<replicates per engine pass> ld_block\n"
-      "      cache_budget=<bytes, 0=unlimited> spill_dir=<dir>\n"
-      "      kernel=scalar|sse2|avx2 (force SIMD dispatch; also SS_KERNEL)\n"
-      "      pack=0|1 (2-bit packed genotype storage, default 1)\n"
-      "      profile=0|1 (task-timeline collection, default 1)\n"
-      "      profile_report=1 (print critical-path/straggler report)\n"
-      "      straggler_mad_k=<k> (straggler threshold, default 3)\n"
-      "      stages=1 export=<dfs path>\n"
-      "      trace=<file|-> metrics=<file|-> ('-' streams: metrics to\n"
-      "      stdout, trace to stderr)\n"
-      "      loglevel=debug|info|warn|error\n",
-      stderr);
+  // The key list is GENERATED from the shared registry (the same source
+  // the benches and unknown-key suggestions use), so a key added there
+  // appears here without touching this file.
+  std::fputs("usage: sparkscore <skat|skato|scan|selftest> [key=value ...]\n",
+             stderr);
+  std::fputs(ss::support::FormatKeyHelp({"workload", "engine", "exec",
+                                         "analysis", "observability"})
+                 .c_str(),
+             stderr);
 }
 
 }  // namespace
@@ -317,6 +317,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   CliArgs args(argc, argv, /*begin=*/2);
+  // The CLI accepts every registry key in these groups; unknown-key
+  // suggestions draw from the same vocabulary PrintUsage prints.
+  args.DeclareKeys({"workload", "engine", "exec", "analysis",
+                    "observability"});
   const std::string loglevel = args.GetStr("loglevel", "");
   if (!loglevel.empty()) {
     if (std::optional<ss::LogLevel> level = ss::ParseLogLevel(loglevel)) {

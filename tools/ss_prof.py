@@ -33,7 +33,10 @@ import json
 import sys
 
 # Keep in sync with TaskPhase in src/engine/task.hpp.
-PHASES = ("queue_wait", "fetch", "decode", "compute", "spill_write", "handoff")
+PHASES = (
+    "queue_wait", "fetch", "decode", "compute", "spill_write", "handoff",
+    "prefetch", "io_wait",
+)
 
 # Reconciliation tolerances between the in-process analyzer (steady
 # clock at nanosecond resolution) and the trace-derived recomputation
