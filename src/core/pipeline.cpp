@@ -432,6 +432,47 @@ const std::unordered_map<std::uint32_t, double>& SkatPipeline::DriverWeights() {
   return driver_weights_;
 }
 
+std::unordered_map<std::uint32_t, stats::Matrix>
+SkatPipeline::CollectSetGramMatrices() {
+  EnsureUBuilt();
+  engine::TraceSpan span(engine::Tracer::Global(), "algo",
+                         "collect set gram matrices");
+  // Driver-side copy of the per-SNP contribution vectors; set sizes are a
+  // few to a few dozen members, so d×d Grams are tiny — the n-vectors
+  // dominate and are the same bytes the score-block collect moves.
+  const auto u_by_snp = engine::CollectAsMap(u_observed_, "collect-u-vectors");
+  const std::unordered_map<std::uint32_t, double>& weights = DriverWeights();
+  std::unordered_map<std::uint32_t, stats::Matrix> grams;
+  grams.reserve(sets_.size());
+  for (const stats::SnpSet& set : sets_) {
+    // Members with live (unfiltered) U vectors, in declaration order.
+    std::vector<const std::vector<double>*> u;
+    std::vector<double> w;
+    for (std::uint32_t snp : set.snps) {
+      auto u_it = u_by_snp.find(snp);
+      if (u_it == u_by_snp.end()) continue;  // SNP filtered out
+      auto w_it = weights.find(snp);
+      u.push_back(&u_it->second);
+      w.push_back(w_it == weights.end() ? 1.0 : w_it->second);
+    }
+    const std::size_t d = u.size();
+    stats::Matrix gram(d, d);
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) {
+        double dot = 0.0;
+        const std::vector<double>& ua = *u[a];
+        const std::vector<double>& ub = *u[b];
+        for (std::size_t i = 0; i < ua.size(); ++i) dot += ua[i] * ub[i];
+        const double m = w[a] * w[b] * dot;
+        gram.at(a, b) = m;
+        gram.at(b, a) = m;
+      }
+    }
+    grams.emplace(set.id, std::move(gram));
+  }
+  return grams;
+}
+
 SetScores SkatPipeline::ComputeMonteCarloReplicate(
     const std::vector<double>& multipliers) {
   SS_CHECK(u_built_);  // ComputeObserved must run first (Algorithm 3 step 1)

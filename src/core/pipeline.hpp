@@ -30,6 +30,7 @@
 #include "simdata/generator.hpp"
 #include "simdata/text_format.hpp"
 #include "stats/kernels/packed_genotype.hpp"
+#include "stats/linalg.hpp"
 #include "stats/score_engine.hpp"
 #include "stats/skat.hpp"
 #include "support/status.hpp"
@@ -149,6 +150,15 @@ class SkatPipeline {
 
   /// Driver-resident unsquared weights ω_j, collected once and memoized.
   const std::unordered_map<std::uint32_t, double>& DriverWeights();
+
+  /// Per-set weighted Gram matrix M_ab = ω_a ω_b Σ_i U_ia U_ib over the
+  /// observed U RDD (set members in declaration order; filtered-out SNPs
+  /// contribute zero rows/columns and are skipped). Under the Monte Carlo
+  /// null the replicate statistic is exactly Σ_m λ_m χ²₁ with λ_m the
+  /// eigenvalues of this matrix — the input to the analytic tail methods
+  /// (stats/adaptive_pvalue.hpp). Materializes the U RDD like
+  /// ComputeObserved.
+  std::unordered_map<std::uint32_t, stats::Matrix> CollectSetGramMatrices();
 
   /// Steps 6-12 from scratch under a permuted phenotype (Algorithm 2).
   SetScores ComputePermutationReplicate(const std::vector<std::uint32_t>& perm);

@@ -7,10 +7,12 @@
 #include <string>
 
 #include "engine/trace.hpp"
+#include "stats/adaptive_pvalue.hpp"
 #include "stats/burden.hpp"
 #include "stats/kernels/kernels.hpp"
 #include "stats/pvalue.hpp"
 #include "stats/resampling.hpp"
+#include "support/log.hpp"
 
 namespace ss::core {
 namespace {
@@ -106,7 +108,11 @@ class ZBlockPrefetcher {
 /// The shared driver loop: splits 0..B into [begin, end) ranges of at
 /// most `batch_size` replicates and hands each to `body`, wrapped in the
 /// batch-level telemetry (trace span, counters, accumulated wall time)
-/// and the sink's batch boundaries.
+/// and the sink's batch boundaries. `body` returns whether scheduling
+/// should continue: false stops the loop at the batch boundary (the
+/// early-stopping drivers use this once every set's stopper has fired —
+/// per-set counters stay replicate-exact, only the SCHEDULED replicate
+/// count is batch-granular).
 template <typename Body>
 void RunBatches(const char* algorithm, std::uint64_t replicates,
                 std::uint64_t batch_size, ProgressSink* sink,
@@ -122,6 +128,7 @@ void RunBatches(const char* algorithm, std::uint64_t replicates,
        begin += batch_size, ++batch_index) {
     const std::uint64_t end = std::min(replicates, begin + batch_size);
     if (sink != nullptr) sink->OnBatchBegin(batch_index, begin, end);
+    bool keep_going = true;
     {
       engine::TraceSpan span(
           engine::Tracer::Global(), "batch",
@@ -129,11 +136,12 @@ void RunBatches(const char* algorithm, std::uint64_t replicates,
           {engine::Arg("algorithm", algorithm), engine::Arg("b_begin", begin),
            engine::Arg("b_end", end)});
       engine::ScopedCounterTimer timer(batch_nanos);
-      body(begin, end);
+      keep_going = body(begin, end);
     }
     batches.fetch_add(1, std::memory_order_relaxed);
     replicate_count.fetch_add(end - begin, std::memory_order_relaxed);
     if (sink != nullptr) sink->OnBatchEnd(batch_index, begin, end);
+    if (!keep_going) break;
   }
 }
 
@@ -249,12 +257,142 @@ std::uint64_t HashResamplingResult(const ResamplingResult& result) {
     auto it = result.exceed.find(set_id);
     mix(it == result.exceed.end() ? 0 : it->second);
   }
+  // Adaptive fields are mixed ONLY when present, so the hash of a legacy
+  // pure-resampling run is byte-identical to the pre-adaptive engine (the
+  // bench_smoke / kernel-matrix cross-process gates compare it).
+  if (!result.inference.empty()) {
+    mix(result.early_stop_h);
+    for (std::uint32_t set_id : ids) {
+      auto it = result.inference.find(set_id);
+      if (it == result.inference.end()) continue;
+      const SetInference& info = it->second;
+      std::uint64_t pbits = 0;
+      std::memcpy(&pbits, &info.analytic_p, sizeof(pbits));
+      mix(set_id);
+      mix(pbits);
+      mix(info.replicates_used);
+      mix(static_cast<std::uint64_t>(info.early_stopped ? 1 : 0) |
+          static_cast<std::uint64_t>(info.refined ? 2 : 0));
+    }
+  }
   return hash;
 }
 
 void RecordResultHash(const ResamplingResult& result) {
   engine::CounterRegistry::Global().Add("resampling.result_hash",
                                         HashResamplingResult(result));
+}
+
+/// An adaptive run takes the screen/stopper path; anything else keeps the
+/// legacy body bit-for-bit (including its result hash).
+bool IsAdaptive(const ResamplingRequest& request) {
+  return request.pvalue_method != PValueMethod::kResampling ||
+         request.early_stop != 0;
+}
+
+/// Analytic screen: per-set null spectrum from the weighted Gram, then
+/// the Liu (kAnalytic) or saddlepoint (kSaddlepoint/kHybrid — tail
+/// accuracy is what the hybrid screen is for) tail at the observed
+/// statistic. Populates result->inference with refined=false entries.
+void AnalyticScreen(SkatPipeline& pipeline, PValueMethod method,
+                    ResamplingResult* result) {
+  static std::atomic<std::uint64_t>& screens =
+      engine::CounterRegistry::Global().Get("pvalue.analytic_screens");
+  engine::TraceSpan span(engine::Tracer::Global(), "algo", "analytic screen");
+  const auto grams = pipeline.CollectSetGramMatrices();
+  for (const auto& [set_id, observed] : result->observed) {
+    std::vector<double> lambda;
+    auto it = grams.find(set_id);
+    if (it != grams.end()) lambda = stats::NullSpectrumFromGram(it->second);
+    SetInference info;
+    info.analytic_p = method == PValueMethod::kAnalytic
+                          ? stats::LiuPValue(lambda, observed)
+                          : stats::SaddlepointPValue(lambda, observed);
+    result->inference[set_id] = info;
+    screens.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// One Besag–Clifford stopper per set that will consume replicates:
+/// every set for pure resampling with early stopping, none for the pure
+/// analytic methods, and the screened-in (p < refine_threshold) sets for
+/// hybrid. Marks those sets refined in result->inference.
+std::unordered_map<std::uint32_t, stats::SequentialStopper> MakeStoppers(
+    const ResamplingRequest& request, ResamplingResult* result) {
+  static std::atomic<std::uint64_t>& refined_sets =
+      engine::CounterRegistry::Global().Get("pvalue.refined_sets");
+  std::unordered_map<std::uint32_t, stats::SequentialStopper> stoppers;
+  for (const auto& [set_id, observed] : result->observed) {
+    bool refine = false;
+    switch (request.pvalue_method) {
+      case PValueMethod::kResampling:
+        refine = true;
+        break;
+      case PValueMethod::kAnalytic:
+      case PValueMethod::kSaddlepoint:
+        refine = false;
+        break;
+      case PValueMethod::kHybrid:
+        refine = result->inference.at(set_id).analytic_p <
+                 request.refine_threshold;
+        break;
+    }
+    if (!refine) continue;
+    stoppers.emplace(set_id, stats::SequentialStopper(request.early_stop));
+    result->inference[set_id].refined = true;  // creates the entry for
+                                               // kResampling + early stop
+  }
+  refined_sets.fetch_add(stoppers.size(), std::memory_order_relaxed);
+  return stoppers;
+}
+
+/// Offers replicate r's scores to every live stopper. Returns true while
+/// at least one set is still consuming replicates.
+bool OfferReplicate(
+    const SetScores& observed, const SetScores& replicate,
+    std::unordered_map<std::uint32_t, stats::SequentialStopper>* stoppers) {
+  bool any_active = false;
+  for (auto& [set_id, stopper] : *stoppers) {
+    auto it = replicate.find(set_id);
+    const double replicate_score = it == replicate.end() ? 0.0 : it->second;
+    stopper.Offer(replicate_score >= observed.at(set_id));
+    if (!stopper.stopped()) any_active = true;
+  }
+  return any_active;
+}
+
+/// Moves the stopper tallies into the result and accounts the savings.
+/// pvalue.replicates_saved = Σ_sets (B − replicates_used) — a pure
+/// function of the per-set replicate-exact counts, so it is invariant to
+/// batch size / threads / prefetch even though the SCHEDULED replicate
+/// count is batch-granular.
+void FinalizeAdaptive(
+    const ResamplingRequest& request,
+    const std::unordered_map<std::uint32_t, stats::SequentialStopper>&
+        stoppers,
+    ResamplingResult* result) {
+  static std::atomic<std::uint64_t>& early_stops =
+      engine::CounterRegistry::Global().Get("pvalue.early_stops");
+  static std::atomic<std::uint64_t>& replicates_saved =
+      engine::CounterRegistry::Global().Get("pvalue.replicates_saved");
+  for (auto& [set_id, info] : result->inference) {
+    auto it = stoppers.find(set_id);
+    if (it == stoppers.end()) {
+      // Screened out: the analytic tail stands in for all B replicates.
+      replicates_saved.fetch_add(request.replicates,
+                                 std::memory_order_relaxed);
+      continue;
+    }
+    const stats::SequentialStopper& stopper = it->second;
+    result->exceed[set_id] = stopper.exceed();
+    info.replicates_used = stopper.used();
+    info.early_stopped = stopper.stopped();
+    if (stopper.stopped()) {
+      early_stops.fetch_add(1, std::memory_order_relaxed);
+    }
+    replicates_saved.fetch_add(request.replicates - stopper.used(),
+                               std::memory_order_relaxed);
+  }
 }
 
 /// Algorithm 3, batched: one engine pass per batch over the cached U RDD,
@@ -278,6 +416,42 @@ ResamplingResult RunBatchedMonteCarlo(SkatPipeline& pipeline,
 
   const std::uint64_t seed = request.seed.value_or(pipeline.config().seed);
   const std::uint64_t batch_size = EffectiveBatchSize(pipeline, request);
+
+  if (IsAdaptive(request)) {
+    result.early_stop_h = request.early_stop;
+    if (request.pvalue_method != PValueMethod::kResampling) {
+      AnalyticScreen(pipeline, request.pvalue_method, &result);
+    }
+    auto stoppers = MakeStoppers(request, &result);
+    if (!stoppers.empty() && request.replicates > 0) {
+      ZBlockPrefetcher zblocks(pipeline.context().io(), seed, pipeline.n(),
+                               request.replicates, batch_size);
+      RunBatches(
+          "monte-carlo", request.replicates, batch_size, request.sink,
+          [&](std::uint64_t begin, std::uint64_t end) {
+            const std::size_t count = end - begin;
+            const std::vector<double> zblock = zblocks.Take(begin, count);
+            const auto block =
+                pipeline.ComputeMonteCarloScoreBlock(zblock, count);
+            const std::vector<SetScores> replicate_scores =
+                FoldReplicateScores(pipeline.sets(), block, weights, count);
+            bool any_active = false;
+            for (std::size_t r = 0; r < count; ++r) {
+              any_active = OfferReplicate(result.observed, replicate_scores[r],
+                                          &stoppers);
+              if (request.sink != nullptr) {
+                request.sink->OnReplicateScores(begin + r, replicate_scores[r]);
+                request.sink->OnReplicate(begin + r);
+              }
+            }
+            return any_active;
+          });
+    }
+    FinalizeAdaptive(request, stoppers, &result);
+    RecordResultHash(result);
+    return result;
+  }
+
   ZBlockPrefetcher zblocks(pipeline.context().io(), seed, pipeline.n(),
                            request.replicates, batch_size);
   RunBatches(
@@ -299,6 +473,7 @@ ResamplingResult RunBatchedMonteCarlo(SkatPipeline& pipeline,
             request.sink->OnReplicate(begin + r);
           }
         }
+        return true;
       });
   RecordResultHash(result);
   return result;
@@ -319,6 +494,46 @@ ResamplingResult RunBatchedPermutation(SkatPipeline& pipeline,
   // Algorithm 2 step 2: all B shufflings are derived from the seed up
   // front, so replicate b is reproducible in isolation.
   const stats::PermutationPlan plan(seed, pipeline.n(), request.replicates);
+
+  if (IsAdaptive(request)) {
+    result.early_stop_h = request.early_stop;
+    if (request.pvalue_method != PValueMethod::kResampling) {
+      // For permutation the Σ λ χ²₁ tail is the standard asymptotic
+      // approximation, not exact as under the Monte Carlo null.
+      AnalyticScreen(pipeline, request.pvalue_method, &result);
+    }
+    auto stoppers = MakeStoppers(request, &result);
+    if (!stoppers.empty() && request.replicates > 0) {
+      RunBatches(
+          "permutation", request.replicates,
+          EffectiveBatchSize(pipeline, request), request.sink,
+          [&](std::uint64_t begin, std::uint64_t end) {
+            bool any_active = false;
+            for (std::uint64_t b = begin; b < end; ++b) {
+              engine::TraceSpan span(engine::Tracer::Global(), "replicate",
+                                     "permutation b=" + std::to_string(b),
+                                     {engine::Arg("algorithm", "permutation"),
+                                      engine::Arg("b", b)});
+              const SetScores replicate =
+                  pipeline.ComputePermutationReplicate(plan.Get(b));
+              any_active =
+                  OfferReplicate(result.observed, replicate, &stoppers);
+              if (request.sink != nullptr) {
+                request.sink->OnReplicateScores(b, replicate);
+                request.sink->OnReplicate(b);
+              }
+              // Full-pipeline replicates are expensive; unlike the batched
+              // Monte Carlo block (already computed), stop mid-batch.
+              if (!any_active) break;
+            }
+            return any_active;
+          });
+    }
+    FinalizeAdaptive(request, stoppers, &result);
+    RecordResultHash(result);
+    return result;
+  }
+
   RunBatches(
       "permutation", request.replicates, EffectiveBatchSize(pipeline, request),
       request.sink, [&](std::uint64_t begin, std::uint64_t end) {
@@ -335,6 +550,7 @@ ResamplingResult RunBatchedPermutation(SkatPipeline& pipeline,
             request.sink->OnReplicate(b);
           }
         }
+        return true;
       });
   RecordResultHash(result);
   return result;
@@ -384,6 +600,7 @@ SkatOResult RunBatchedSkatO(SkatPipeline& pipeline,
           }
           if (request.sink != nullptr) request.sink->OnReplicate(begin + r);
         }
+        return true;
       });
 
   // Min-p combination per set.
@@ -398,7 +615,27 @@ SkatOResult RunBatchedSkatO(SkatPipeline& pipeline,
 
 }  // namespace
 
+Result<PValueMethod> ParsePValueMethod(const std::string& token) {
+  if (token == "resampling") return PValueMethod::kResampling;
+  if (token == "analytic") return PValueMethod::kAnalytic;
+  if (token == "saddlepoint") return PValueMethod::kSaddlepoint;
+  if (token == "hybrid") return PValueMethod::kHybrid;
+  return Status::InvalidArgument(
+      "pmethod must be resampling|analytic|saddlepoint|hybrid, got '" + token +
+      "'");
+}
+
 double ResamplingResult::PValue(std::uint32_t set_id) const {
+  auto info_it = inference.find(set_id);
+  if (info_it != inference.end()) {
+    const SetInference& info = info_it->second;
+    if (!info.refined) return info.analytic_p;
+    auto it = exceed.find(set_id);
+    const std::uint64_t count =
+        it == exceed.end() ? info.replicates_used : it->second;
+    return stats::PValueFromCounts(count, info.replicates_used,
+                                   info.early_stopped);
+  }
   auto it = exceed.find(set_id);
   const std::uint64_t count = it == exceed.end() ? replicates : it->second;
   return stats::EmpiricalPValue(count, replicates);
@@ -447,6 +684,12 @@ ResamplingRun RunResampling(SkatPipeline& pipeline,
       run.scores = RunBatchedMonteCarlo(pipeline, request);
       break;
     case ResamplingMethod::kSkatO:
+      if (IsAdaptive(request)) {
+        SS_LOG(kWarn, "sparkscore")
+            << "adaptive p-value options (pmethod/early_stop) are ignored "
+               "for SKAT-O: its min-p combination needs the full replicate "
+               "pool";
+      }
       run.skato = RunBatchedSkatO(pipeline, request);
       break;
   }

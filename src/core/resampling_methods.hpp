@@ -27,13 +27,46 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "engine/executor.hpp"
+#include "support/status.hpp"
 
 namespace ss::core {
+
+/// How per-set p-values are computed (the adaptive p-value engine; the
+/// analytic machinery itself lives in stats/adaptive_pvalue.hpp).
+enum class PValueMethod {
+  kResampling,   ///< Pure resampling counts (legacy default).
+  kAnalytic,     ///< Liu moment-matched analytic tail; zero replicates.
+  kSaddlepoint,  ///< Kuonen saddlepoint analytic tail; zero replicates.
+  kHybrid,       ///< Saddlepoint screen; resampling only for small-p sets.
+};
+
+/// Parses a CLI `pmethod=` token: resampling|analytic|saddlepoint|hybrid.
+Result<PValueMethod> ParsePValueMethod(const std::string& token);
+
+/// Per-set adaptive-inference record. Present only for adaptive runs
+/// (pvalue_method != kResampling or early_stop != 0); legacy runs leave
+/// ResamplingResult::inference empty and are byte-identical to before.
+struct SetInference {
+  /// Analytic tail p-value (Liu or saddlepoint, per the method). 1.0 for
+  /// sets that were never screened (kResampling with early stopping).
+  double analytic_p = 1.0;
+
+  /// Replicates this set actually consumed (≤ B; 0 if screened out).
+  std::uint64_t replicates_used = 0;
+
+  /// The Besag–Clifford stopper fired before B replicates.
+  bool early_stopped = false;
+
+  /// Resampling refinement ran for this set (its p-value comes from
+  /// counts, not the analytic screen).
+  bool refined = false;
+};
 
 /// Result of a resampling run, keyed by SNP-set id.
 struct ResamplingResult {
@@ -41,7 +74,16 @@ struct ResamplingResult {
   std::unordered_map<std::uint32_t, std::uint64_t> exceed; ///< counter_k.
   std::uint64_t replicates = 0;                            ///< B.
 
-  /// Empirical p-value (c+1)/(B+1) for one set.
+  /// Adaptive per-set inference; EMPTY for legacy pure-resampling runs.
+  std::unordered_map<std::uint32_t, SetInference> inference;
+
+  /// Besag–Clifford exceedance target h of the run (0 = no early stop).
+  std::uint64_t early_stop_h = 0;
+
+  /// P-value for one set. Legacy runs: the empirical (c+1)/(B+1).
+  /// Adaptive runs route through the set's SetInference: analytic tail
+  /// for unrefined sets, counts over the consumed replicates for refined
+  /// ones (h/L when early-stopped — stats::PValueFromCounts).
   double PValue(std::uint32_t set_id) const;
 
   /// (set id, p-value) sorted ascending by p-value.
@@ -120,6 +162,27 @@ struct ResamplingRequest {
 
   /// Seed for the resampling plans; unset defers to PipelineConfig::seed.
   std::optional<std::uint64_t> seed;
+
+  /// P-value engine for kPermutation/kMonteCarlo (ignored with a warning
+  /// by kSkatO). kResampling is the legacy pure-counting path and leaves
+  /// results byte-identical to before this knob existed. The analytic
+  /// tails are EXACT for the Monte Carlo null (the replicate statistic is
+  /// exactly Σ λ_m χ²₁ there) and the standard asymptotic approximation
+  /// for the permutation null.
+  PValueMethod pvalue_method = PValueMethod::kResampling;
+
+  /// kHybrid only: sets whose analytic screen p-value is below this get
+  /// resampling refinement; the rest keep the analytic tail and consume
+  /// zero replicates.
+  double refine_threshold = 0.01;
+
+  /// Besag–Clifford sequential early stopping: a set stops consuming
+  /// replicates once `early_stop` exceedances have been observed, with
+  /// the estimate p̂ = h/L (conservatively biased up by ≈ p/h).
+  /// 0 disables (exhaustive counting).
+  /// Stopping decisions are made per-replicate in the canonical order, so
+  /// results are bitwise invariant to batch size / threads / prefetch.
+  std::uint64_t early_stop = 0;
 
   /// Optional progress observer; not owned, may be null.
   ProgressSink* sink = nullptr;

@@ -327,6 +327,20 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
                               .load(std::memory_order_relaxed)) +
            "}";
   }
+  // Adaptive p-value engine section (core/resampling_methods.*): all
+  // zeros for legacy pure-resampling runs, but the keys are always
+  // present (appended, never reordered — metrics_schema_test pins this).
+  {
+    auto& registry = CounterRegistry::Global();
+    const auto counter = [&registry](const char* name) {
+      return std::to_string(registry.Get(name).load(std::memory_order_relaxed));
+    };
+    out += ",\"pvalue\":{\"analytic_screens\":" +
+           counter("pvalue.analytic_screens");
+    out += ",\"refined_sets\":" + counter("pvalue.refined_sets");
+    out += ",\"early_stops\":" + counter("pvalue.early_stops");
+    out += ",\"replicates_saved\":" + counter("pvalue.replicates_saved") + "}";
+  }
   out += ",";
   AppendTimelineJson(&out, BuildRunProfile(stages, straggler_mad_k));
   out += ",\"counters\":{";

@@ -56,6 +56,23 @@ double GammaQContinuedFraction(double a, double x) {
 
 double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
+double NormalSf(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double NormalSfLog(double x) {
+  // erfc keeps full relative accuracy down to ~1e-300, so the direct log
+  // is exact until the double underflows (x ≈ 37.5); beyond that, the
+  // standard continued-fraction-derived asymptotic series for Mills'
+  // ratio: Φ̄(x) ≈ φ(x)/x · (1 - 1/x² + 3/x⁴ - 15/x⁶).
+  if (x < 37.0) {
+    const double sf = NormalSf(x);
+    if (sf > 0.0) return std::log(sf);
+  }
+  const double inv2 = 1.0 / (x * x);
+  const double series = 1.0 - inv2 * (1.0 - 3.0 * inv2 * (1.0 - 5.0 * inv2));
+  return -0.5 * x * x - 0.5 * std::log(2.0 * M_PI) - std::log(x) +
+         std::log(series);
+}
+
 double NormalTwoSidedP(double x) {
   return std::erfc(std::fabs(x) / std::sqrt(2.0));
 }
@@ -77,6 +94,35 @@ double RegularizedGammaQ(double a, double x) {
 double ChiSquareSf(double x, double df) {
   if (x <= 0.0) return 1.0;
   return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double ChiSquareSfNoncentral(double x, double df, double ncp) {
+  SS_CHECK(df > 0.0);
+  SS_CHECK(ncp >= 0.0);
+  if (x <= 0.0) return 1.0;
+  if (ncp <= 0.0) return ChiSquareSf(x, df);
+  // Poisson(ncp/2) mixture of central χ²(df + 2k) survival functions,
+  // summed outward from the modal Poisson term so the dominant weights
+  // come first and the truncation error is bounded by the unexplored
+  // Poisson mass (each SF factor is <= 1).
+  const double half = ncp / 2.0;
+  const auto log_pois = [half](double k) {
+    return -half + k * std::log(half) - LogGamma(k + 1.0);
+  };
+  const long mode = static_cast<long>(half);
+  double total = 0.0;
+  const double kTailEps = 1e-15;
+  for (long k = mode; k <= mode + 100000; ++k) {
+    const double w = std::exp(log_pois(static_cast<double>(k)));
+    total += w * ChiSquareSf(x, df + 2.0 * static_cast<double>(k));
+    if (w < kTailEps) break;
+  }
+  for (long k = mode - 1; k >= 0; --k) {
+    const double w = std::exp(log_pois(static_cast<double>(k)));
+    total += w * ChiSquareSf(x, df + 2.0 * static_cast<double>(k));
+    if (w < kTailEps) break;
+  }
+  return std::min(1.0, total);
 }
 
 double ScoreTestPValue(double score, double variance) {

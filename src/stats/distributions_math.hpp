@@ -9,6 +9,17 @@ namespace ss::stats {
 /// Φ(x): standard normal CDF.
 double NormalCdf(double x);
 
+/// Φ̄(x) = P(Z >= x): upper normal tail, computed directly from erfc so
+/// it stays accurate deep into the tail (no 1 - Φ(x) cancellation);
+/// exact to ~1e-300 before underflow.
+double NormalSf(double x);
+
+/// log Φ̄(x), finite for every x (where NormalSf itself would underflow
+/// past x ≈ 38, switches to the asymptotic expansion
+/// log φ(x) - log x + log(1 - 1/x² + 3/x⁴)) — the log-space form the
+/// saddlepoint tail relies on.
+double NormalSfLog(double x);
+
 /// P(|Z| >= |x|) for Z ~ N(0,1): two-sided normal tail.
 double NormalTwoSidedP(double x);
 
@@ -20,6 +31,12 @@ double RegularizedGammaQ(double a, double x);
 
 /// Chi-square survival function: P(X >= x) for X ~ χ²(df).
 double ChiSquareSf(double x, double df);
+
+/// Noncentral chi-square survival function: P(X >= x) for X ~ χ²(df, ncp)
+/// (ncp = noncentrality λ = Σ μ_i²), by the Poisson mixture of central
+/// chi-squares. ncp = 0 reduces exactly to ChiSquareSf. Used by the Liu
+/// moment-matched tail, which matches skewness via a noncentral target.
+double ChiSquareSfNoncentral(double x, double df, double ncp);
 
 /// Asymptotic two-sided p-value for a score statistic: z = U/sqrt(V),
 /// p = P(χ²(1) >= z²). Returns 1 when V <= 0 (degenerate SNP).

@@ -1,6 +1,8 @@
 #include "stats/linalg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace ss::stats {
 
@@ -150,6 +152,65 @@ Result<LogisticFit> LogisticRegression(const Matrix& x,
     fit.fitted[i] = 1.0 / (1.0 + std::exp(-eta[i]));
   }
   return fit;
+}
+
+std::vector<double> SymmetricEigenvalues(const Matrix& symmetric) {
+  SS_CHECK(symmetric.rows() == symmetric.cols());
+  const std::size_t d = symmetric.rows();
+  if (d == 0) return {};
+  Matrix a = symmetric;
+  // Symmetrize defensively so tiny accumulation asymmetries in the input
+  // cannot stall convergence.
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = r + 1; c < d; ++c) {
+      const double mean = 0.5 * (a.at(r, c) + a.at(c, r));
+      a.at(r, c) = mean;
+      a.at(c, r) = mean;
+    }
+  }
+  double norm = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) norm += a.at(r, c) * a.at(r, c);
+  }
+  norm = std::sqrt(norm);
+  const double kTol = 1e-14;
+  const int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = r + 1; c < d; ++c) off += a.at(r, c) * a.at(r, c);
+    }
+    if (std::sqrt(2.0 * off) <= kTol * std::max(norm, 1e-300)) break;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) <= kTol * 1e-2 * std::max(norm, 1e-300)) continue;
+        // Classic Jacobi rotation annihilating a[p][q].
+        const double theta = (a.at(q, q) - a.at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < d; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < d; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(d);
+  for (std::size_t r = 0; r < d; ++r) eigenvalues[r] = a.at(r, r);
+  std::sort(eigenvalues.begin(), eigenvalues.end(), std::greater<double>());
+  return eigenvalues;
 }
 
 Matrix DesignMatrix(std::size_t n,

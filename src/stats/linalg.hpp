@@ -82,4 +82,12 @@ Result<LogisticFit> LogisticRegression(const Matrix& x,
 /// Builds [1 | covariates] from column vectors of length n.
 Matrix DesignMatrix(std::size_t n, const std::vector<std::vector<double>>& covariates);
 
+/// Eigenvalues of a symmetric matrix by cyclic Jacobi rotations, sorted
+/// descending. Dimensions here are SNP-set sizes (a few to a few dozen),
+/// so the O(d³)-per-sweep classic is exactly right; converges to machine
+/// precision in a handful of sweeps for symmetric input. The off-diagonal
+/// asymmetry of a slightly non-symmetric input is ignored (the upper
+/// triangle wins).
+std::vector<double> SymmetricEigenvalues(const Matrix& symmetric);
+
 }  // namespace ss::stats

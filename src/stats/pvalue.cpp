@@ -7,15 +7,24 @@
 
 namespace ss::stats {
 
-double EmpiricalPValue(std::uint64_t exceed_count, std::uint64_t replicates,
-                       bool add_one) {
+double PValueFromCounts(std::uint64_t exceed_count, std::uint64_t replicates,
+                        bool early_stopped, bool add_one) {
   if (replicates == 0) return 1.0;
   SS_CHECK(exceed_count <= replicates);
+  if (early_stopped) {
+    return static_cast<double>(exceed_count) / static_cast<double>(replicates);
+  }
   if (add_one) {
     return static_cast<double>(exceed_count + 1) /
            static_cast<double>(replicates + 1);
   }
   return static_cast<double>(exceed_count) / static_cast<double>(replicates);
+}
+
+double EmpiricalPValue(std::uint64_t exceed_count, std::uint64_t replicates,
+                       bool add_one) {
+  return PValueFromCounts(exceed_count, replicates, /*early_stopped=*/false,
+                          add_one);
 }
 
 std::vector<double> BonferroniAdjust(const std::vector<double>& pvalues) {

@@ -9,11 +9,23 @@
 
 namespace ss::stats {
 
+/// The one place that turns resampling counts into a p-value. Three
+/// conventions live here so every caller (empirical, early-stopped,
+/// raw-proportion) agrees on the edge cases:
+///   * replicates == 0        → 1.0 (no evidence, never 0/0);
+///   * early_stopped          → h / L, the Besag–Clifford (1991) stopped
+///     estimator at a sequential stop after L replicates (add_one is
+///     ignored: the +1 correction is a fixed-B device and would bias the
+///     stopped estimator);
+///   * otherwise, add_one     → (c+1)/(B+1), the bias-protected estimator
+///     that can never return 0 (Westfall & Young);
+///   * otherwise              → c/B, the paper's raw proportion.
+double PValueFromCounts(std::uint64_t exceed_count, std::uint64_t replicates,
+                        bool early_stopped = false, bool add_one = true);
+
 /// Empirical p-value from `exceed_count` of `replicates` resampled
-/// statistics >= the observed one. With `add_one` (default), uses the
-/// bias-protected estimator (c+1)/(B+1), which can never return 0 — the
-/// recommended form (Westfall & Young); without it, the paper's raw
-/// proportion c/B.
+/// statistics >= the observed one. Thin alias for the fixed-B case of
+/// PValueFromCounts, kept for the existing call sites.
 double EmpiricalPValue(std::uint64_t exceed_count, std::uint64_t replicates,
                        bool add_one = true);
 

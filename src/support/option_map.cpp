@@ -104,6 +104,18 @@ const std::vector<OptionKeyDef>& OptionKeyRegistry() {
        "analysis", {}},
       {"export", OptionType::kString, "",
        "persist the result at this DFS path and echo it", "analysis", {}},
+      {"pmethod", OptionType::kChoice, "resampling",
+       "p-value engine: pure resampling counts, analytic tail (Liu "
+       "moment-match), saddlepoint tail, or hybrid screen+refine",
+       "analysis",
+       {"resampling", "analytic", "saddlepoint", "hybrid"}},
+      {"refine_threshold", OptionType::kDouble, "0.01",
+       "hybrid only: refine sets whose analytic screen p is below this",
+       "analysis", {}},
+      {"early_stop", OptionType::kU64, "0",
+       "Besag-Clifford sequential stop after this many exceedances "
+       "(0 = exhaustive)",
+       "analysis", {}},
       // -- observability: see docs/OBSERVABILITY.md -------------------------
       {"trace", OptionType::kString, "",
        "write Chrome trace_event JSON here ('-' streams to stderr)",

@@ -166,6 +166,95 @@ TEST(DeterminismTest, DispatchLevelsProduceIdenticalResults) {
   stats::kernels::SetDispatchLevel(saved);
 }
 
+// ---------------------------------------------------------------------
+// Adaptive p-value engine: early stopping decides per-replicate in the
+// canonical fold order, so a stopped run must be byte-identical across
+// every scheduling knob — threads, batch size, and prefetch depth.
+// ---------------------------------------------------------------------
+
+ResamplingResult RunAdaptive(std::size_t threads, std::uint64_t batch,
+                             int prefetch, PValueMethod pmethod,
+                             std::uint64_t early_stop,
+                             const simdata::SyntheticDataset& dataset) {
+  engine::EngineContext ctx(OptionsWithThreads(threads));
+  PipelineConfig config;
+  config.seed = kSeed;
+  config.resampling_batch_size = batch;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  ResamplingRequest request(ResamplingMethod::kMonteCarlo, 200);
+  request.pvalue_method = pmethod;
+  request.refine_threshold = 0.5;  // refine several sets, not just one
+  request.early_stop = early_stop;
+  engine::ExecConfig exec;
+  exec.prefetch_depth = prefetch;
+  request.exec = exec;
+  return RunResampling(pipeline, request).scores;
+}
+
+/// ExpectByteIdentical plus the adaptive per-set inference records and
+/// the final routed p-values (bit patterns, not just values).
+void ExpectAdaptiveIdentical(const ResamplingResult& a,
+                             const ResamplingResult& b) {
+  ExpectByteIdentical(a, b);
+  ASSERT_EQ(a.early_stop_h, b.early_stop_h);
+  ASSERT_EQ(a.inference.size(), b.inference.size());
+  for (const auto& [set_id, info] : a.inference) {
+    ASSERT_TRUE(b.inference.count(set_id)) << "set " << set_id;
+    const SetInference& other = b.inference.at(set_id);
+    EXPECT_TRUE(BitEqual(info.analytic_p, other.analytic_p))
+        << "analytic p for set " << set_id;
+    EXPECT_EQ(info.replicates_used, other.replicates_used)
+        << "replicates used for set " << set_id;
+    EXPECT_EQ(info.early_stopped, other.early_stopped) << "set " << set_id;
+    EXPECT_EQ(info.refined, other.refined) << "set " << set_id;
+    EXPECT_TRUE(BitEqual(a.PValue(set_id), b.PValue(set_id)))
+        << "routed p-value for set " << set_id;
+  }
+}
+
+TEST(DeterminismTest, EarlyStoppedRunsIdenticalAcrossSchedulingKnobs) {
+  // Early stopping interacts with batching (a stop mid-batch must not
+  // depend on where the batch boundary fell) — sweep the full grid
+  // threads {1,4} x batch {1,64} x prefetch {0,2} against a serial
+  // per-replicate reference.
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  const ResamplingResult reference = RunAdaptive(
+      1, 1, 0, PValueMethod::kResampling, /*early_stop=*/5, dataset);
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::uint64_t batch : {1u, 64u}) {
+      for (int prefetch : {0, 2}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " batch=" +
+                     std::to_string(batch) + " prefetch=" +
+                     std::to_string(prefetch));
+        ExpectAdaptiveIdentical(
+            reference, RunAdaptive(threads, batch, prefetch,
+                                   PValueMethod::kResampling, 5, dataset));
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, HybridRunsIdenticalAcrossSchedulingKnobs) {
+  // Same grid for the full hybrid mode: analytic screen + refinement
+  // with early stopping. The screen itself is replicate-independent, so
+  // any divergence here isolates to the refinement driver.
+  const simdata::SyntheticDataset dataset = FixedDataset();
+  const ResamplingResult reference =
+      RunAdaptive(1, 1, 0, PValueMethod::kHybrid, /*early_stop=*/5, dataset);
+  for (std::size_t threads : {1u, 4u}) {
+    for (std::uint64_t batch : {1u, 64u}) {
+      for (int prefetch : {0, 2}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) + " batch=" +
+                     std::to_string(batch) + " prefetch=" +
+                     std::to_string(prefetch));
+        ExpectAdaptiveIdentical(
+            reference, RunAdaptive(threads, batch, prefetch,
+                                   PValueMethod::kHybrid, 5, dataset));
+      }
+    }
+  }
+}
+
 TEST(DeterminismTest, TaskRngIndependentOfAttemptNumber) {
   // A retried task must reproduce the same randomness as its first
   // attempt, or fault injection would silently change the statistics.

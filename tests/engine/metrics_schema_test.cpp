@@ -55,11 +55,29 @@ TEST(RunMetricsSchemaTest, SchemaTagIsFirst) {
 
 TEST(RunMetricsSchemaTest, TopLevelKeySetAndOrder) {
   // v1 keys in their v1 relative order; v2 inserts `timeline` between
-  // `kernel` and `counters`.
+  // `kernel` and `counters`; the adaptive p-value engine appends its
+  // `pvalue` section between `kernel` and `timeline`.
   ExpectOrderedKeys(SampleRunMetricsJson(),
                     {"schema", "tasks_completed", "totals", "stages", "cache",
-                     "broadcast_bytes", "kernel", "timeline", "counters"},
+                     "broadcast_bytes", "kernel", "pvalue", "timeline",
+                     "counters"},
                     "top level");
+}
+
+TEST(RunMetricsSchemaTest, PValueKeySetAndOrder) {
+  // The adaptive p-value section mirrors the four pvalue.* counters
+  // (docs/OBSERVABILITY.md); always present, zeros on legacy runs.
+  const std::string json = SampleRunMetricsJson();
+  ExpectOrderedKeys(json,
+                    {"pvalue", "analytic_screens", "refined_sets",
+                     "early_stops", "replicates_saved"},
+                    "pvalue");
+  // This sample run does no resampling at all, so the section must be
+  // exactly the zero golden (pvalue.* are process-global counters, but
+  // nothing in this test binary drives the resampling drivers).
+  EXPECT_NE(json.find("\"pvalue\":{\"analytic_screens\":"),
+            std::string::npos)
+      << json;
 }
 
 TEST(RunMetricsSchemaTest, TimelineKeySetAndOrder) {

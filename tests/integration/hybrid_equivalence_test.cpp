@@ -1,0 +1,236 @@
+// The adaptive p-value engine's statistical-equivalence battery, system
+// layer: for every simdata scenario, the adaptive modes (analytic,
+// saddlepoint, hybrid, and sequential early stopping) must reproduce the
+// exhaustive resampling p-values within the documented tolerances — the
+// gate that lets the engine claim its replicate savings are free.
+//
+// Why tight tolerances are even possible: under Lin's Monte Carlo null
+// the replicate statistic is EXACTLY Σ_m λ_m χ²₁ with λ_m the eigenvalues
+// of the weighted score Gram, so the analytic tails differ from the
+// exhaustive empirical p only by Monte Carlo noise (sd ≈ √(p(1−p)/B))
+// plus a small tail-approximation error. The tolerance contract:
+//   * unrefined (analytic) sets:   |p_a − p_exh| ≤ 5·sd_MC + 3% of p_exh;
+//   * early-stopped sets (h/L):    additionally ± 5·p/√(h−1), the stopped
+//     estimator's own sampling noise;
+//   * classification at α = 0.05 must agree outside the exemption band
+//     p_exh ∈ [0.5α, 2α] (inside the band either call is defensible).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resampling_methods.hpp"
+#include "engine/context.hpp"
+
+namespace ss::core {
+namespace {
+
+constexpr std::uint64_t kSeed = 20160808;
+constexpr std::uint64_t kReplicates = 2000;
+constexpr std::uint64_t kEarlyStopH = 9;
+constexpr double kRefineThreshold = 0.05;
+
+struct Scenario {
+  const char* name;
+  simdata::GeneratorConfig config;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{"madsen-browning-ld", {}};
+    s.config.num_patients = 70;
+    s.config.num_snps = 64;
+    s.config.num_sets = 8;
+    s.config.seed = kSeed;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"unit-weights-no-ld", {}};
+    s.config.num_patients = 60;
+    s.config.num_snps = 48;
+    s.config.num_sets = 6;
+    s.config.seed = kSeed + 1;
+    s.config.weights = simdata::WeightScheme::kUnit;
+    s.config.ld_block_size = 1;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"random-weights-rare", {}};
+    s.config.num_patients = 80;
+    s.config.num_snps = 56;
+    s.config.num_sets = 7;
+    s.config.seed = kSeed + 2;
+    s.config.weights = simdata::WeightScheme::kRandom;
+    s.config.maf_min = 0.01;
+    s.config.maf_max = 0.10;
+    scenarios.push_back(s);
+  }
+  return scenarios;
+}
+
+ResamplingResult RunStudy(const simdata::SyntheticDataset& dataset,
+                     const ResamplingRequest& request) {
+  engine::EngineContext::Options options;
+  options.topology = cluster::EmrCluster(3);
+  options.physical_threads = 4;
+  options.seed = kSeed;
+  engine::EngineContext ctx(options);
+  PipelineConfig config;
+  config.seed = kSeed;
+  SkatPipeline pipeline = SkatPipeline::FromMemory(ctx, dataset, config);
+  return RunResampling(pipeline, request).scores;
+}
+
+ResamplingRequest Request(PValueMethod method, std::uint64_t early_stop) {
+  ResamplingRequest request(ResamplingMethod::kMonteCarlo, kReplicates);
+  request.pvalue_method = method;
+  request.refine_threshold = kRefineThreshold;
+  request.early_stop = early_stop;
+  return request;
+}
+
+double McSd(double p) {
+  return std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                   static_cast<double>(kReplicates));
+}
+
+/// The per-set tolerance from the file-header contract.
+double Tolerance(double p_exhaustive, const SetInference* info) {
+  double tol = 5.0 * McSd(p_exhaustive) + 0.03 * p_exhaustive;
+  if (info != nullptr && info->early_stopped) {
+    tol += 5.0 * p_exhaustive /
+           std::sqrt(static_cast<double>(kEarlyStopH - 1));
+  }
+  return tol;
+}
+
+void ExpectClassificationAgrees(double p_exhaustive, double p_adaptive,
+                                const std::string& where) {
+  constexpr double kAlpha = 0.05;
+  if (p_exhaustive >= 0.5 * kAlpha && p_exhaustive <= 2.0 * kAlpha) {
+    return;  // exemption band: either call is defensible
+  }
+  EXPECT_EQ(p_exhaustive < kAlpha, p_adaptive < kAlpha)
+      << where << ": exhaustive p=" << p_exhaustive << " vs adaptive p="
+      << p_adaptive << " disagree at alpha=" << kAlpha;
+}
+
+TEST(HybridEquivalenceTest, AnalyticTailsMatchExhaustiveOnAllScenarios) {
+  for (const Scenario& scenario : Scenarios()) {
+    const simdata::SyntheticDataset dataset = simdata::Generate(scenario.config);
+    const ResamplingResult exhaustive =
+        RunStudy(dataset, Request(PValueMethod::kResampling, 0));
+    for (PValueMethod method :
+         {PValueMethod::kAnalytic, PValueMethod::kSaddlepoint}) {
+      const ResamplingResult analytic = RunStudy(dataset, Request(method, 0));
+      ASSERT_EQ(analytic.inference.size(), exhaustive.observed.size());
+      for (const auto& [set_id, info] : analytic.inference) {
+        const std::string where =
+            std::string(scenario.name) + " set " + std::to_string(set_id) +
+            (method == PValueMethod::kAnalytic ? " (analytic)"
+                                               : " (saddlepoint)");
+        // Pure analytic modes never consume replicates.
+        EXPECT_FALSE(info.refined) << where;
+        EXPECT_EQ(info.replicates_used, 0u) << where;
+        const double p_exh = exhaustive.PValue(set_id);
+        const double p_ana = analytic.PValue(set_id);
+        EXPECT_NEAR(p_ana, p_exh, Tolerance(p_exh, nullptr)) << where;
+        ExpectClassificationAgrees(p_exh, p_ana, where);
+      }
+    }
+  }
+}
+
+TEST(HybridEquivalenceTest, HybridMatchesExhaustiveAndSavesReplicates) {
+  for (const Scenario& scenario : Scenarios()) {
+    const simdata::SyntheticDataset dataset = simdata::Generate(scenario.config);
+    const ResamplingResult exhaustive =
+        RunStudy(dataset, Request(PValueMethod::kResampling, 0));
+    const ResamplingResult hybrid =
+        RunStudy(dataset, Request(PValueMethod::kHybrid, kEarlyStopH));
+
+    ASSERT_EQ(hybrid.inference.size(), exhaustive.observed.size());
+    std::uint64_t consumed = 0;
+    for (const auto& [set_id, info] : hybrid.inference) {
+      const std::string where = std::string(scenario.name) + " set " +
+                                std::to_string(set_id) + " (hybrid)";
+      consumed += info.replicates_used;
+      const double p_exh = exhaustive.PValue(set_id);
+      const double p_hyb = hybrid.PValue(set_id);
+      EXPECT_NEAR(p_hyb, p_exh, Tolerance(p_exh, &info)) << where;
+      ExpectClassificationAgrees(p_exh, p_hyb, where);
+      // A refined set really did screen in; an unrefined one screened out.
+      EXPECT_EQ(info.refined, info.analytic_p < kRefineThreshold) << where;
+      if (!info.refined) {
+        EXPECT_EQ(info.replicates_used, 0u) << where;
+      }
+    }
+    // The point of the hybrid mode: most sets screen out analytically and
+    // the refined ones early-stop, so the run consumes a small fraction
+    // of the exhaustive K×B budget (the bench gates the full ≥10×; this
+    // cross-scenario floor is deliberately looser).
+    const std::uint64_t budget =
+        kReplicates * static_cast<std::uint64_t>(hybrid.inference.size());
+    EXPECT_LE(consumed * 4, budget)
+        << scenario.name << ": hybrid consumed " << consumed << " of "
+        << budget;
+  }
+}
+
+TEST(HybridEquivalenceTest, EarlyStoppingAloneMatchesExhaustive) {
+  // pmethod=resampling + early_stop: every set is refined, clearly-null
+  // sets stop at the h-th exceedance with the stopped h/L estimate.
+  const Scenario scenario = Scenarios().front();
+  const simdata::SyntheticDataset dataset = simdata::Generate(scenario.config);
+  const ResamplingResult exhaustive =
+      RunStudy(dataset, Request(PValueMethod::kResampling, 0));
+  const ResamplingResult stopped =
+      RunStudy(dataset, Request(PValueMethod::kResampling, kEarlyStopH));
+
+  ASSERT_EQ(stopped.inference.size(), exhaustive.observed.size());
+  ASSERT_EQ(stopped.early_stop_h, kEarlyStopH);
+  std::uint64_t consumed = 0;
+  std::size_t early_stops = 0;
+  for (const auto& [set_id, info] : stopped.inference) {
+    const std::string where =
+        "set " + std::to_string(set_id) + " (early-stop)";
+    EXPECT_TRUE(info.refined) << where;
+    EXPECT_GT(info.replicates_used, 0u) << where;
+    EXPECT_LE(info.replicates_used, kReplicates) << where;
+    consumed += info.replicates_used;
+    if (info.early_stopped) ++early_stops;
+    const double p_exh = exhaustive.PValue(set_id);
+    EXPECT_NEAR(stopped.PValue(set_id), p_exh, Tolerance(p_exh, &info))
+        << where;
+    // A set that refused to stop consumed the full budget and its counts
+    // must agree with the exhaustive run exactly (same replicate stream).
+    if (!info.early_stopped) {
+      EXPECT_EQ(info.replicates_used, kReplicates) << where;
+      EXPECT_EQ(stopped.exceed.at(set_id), exhaustive.exceed.at(set_id))
+          << where;
+    }
+  }
+  // Null-dominated data: most sets hit h exceedances within a few hundred
+  // replicates, so early stopping alone already saves the bulk of K×B.
+  EXPECT_GT(early_stops, 0u);
+  EXPECT_LT(consumed,
+            kReplicates * static_cast<std::uint64_t>(
+                              stopped.inference.size()));
+}
+
+TEST(HybridEquivalenceTest, LegacyRunsCarryNoInferenceBaggage) {
+  // A pure-resampling request must leave the adaptive fields untouched —
+  // the representation-level guarantee behind hash compatibility.
+  const Scenario scenario = Scenarios().front();
+  const simdata::SyntheticDataset dataset = simdata::Generate(scenario.config);
+  const ResamplingResult legacy =
+      RunStudy(dataset, Request(PValueMethod::kResampling, 0));
+  EXPECT_TRUE(legacy.inference.empty());
+  EXPECT_EQ(legacy.early_stop_h, 0u);
+}
+
+}  // namespace
+}  // namespace ss::core

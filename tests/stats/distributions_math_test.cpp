@@ -90,5 +90,136 @@ TEST(ScoreTestPValueTest, ZeroScoreIsOne) {
   EXPECT_DOUBLE_EQ(ScoreTestPValue(0.0, 10.0), 1.0);
 }
 
+// -----------------------------------------------------------------------
+// Upper-tail machinery for the adaptive p-value engine: NormalSf,
+// NormalSfLog, ChiSquareSfNoncentral (property + golden tests).
+// -----------------------------------------------------------------------
+
+TEST(NormalSfTest, ComplementsCdf) {
+  for (double x : {-3.0, -0.5, 0.0, 0.7, 2.4, 5.0}) {
+    EXPECT_NEAR(NormalSf(x) + NormalCdf(x), 1.0, 1e-14) << "x=" << x;
+    // Symmetry: Φ̄(-x) = Φ(x).
+    EXPECT_NEAR(NormalSf(-x), NormalCdf(x), 1e-15) << "x=" << x;
+  }
+}
+
+TEST(NormalSfTest, DeepTailGolden) {
+  // Φ̄(6) = 9.865876450377e-10 — full relative accuracy via erfc, far
+  // past where 1 - NormalCdf(x) would have cancelled to garbage.
+  EXPECT_NEAR(NormalSf(6.0) / 9.865876450377e-10, 1.0, 1e-10);
+  // Φ̄(10) = 7.619853024160527e-24.
+  EXPECT_NEAR(NormalSf(10.0) / 7.619853024160527e-24, 1.0, 1e-10);
+}
+
+TEST(NormalSfTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = -8.0; x <= 8.0; x += 0.25) {
+    const double p = NormalSf(x);
+    EXPECT_LT(p, prev) << "x=" << x;
+    prev = p;
+  }
+}
+
+TEST(NormalSfLogTest, AgreesWithDirectLogWhereSfIsRepresentable) {
+  for (double x : {-5.0, 0.0, 1.0, 10.0, 20.0, 35.0}) {
+    EXPECT_NEAR(NormalSfLog(x), std::log(NormalSf(x)),
+                1e-12 * std::fabs(std::log(NormalSf(x))) + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(NormalSfLogTest, FiniteAndOrderedPastUnderflow) {
+  // NormalSf underflows to 0 near x = 38.5; the log-space tail must stay
+  // finite and strictly decreasing straight through and far beyond.
+  double prev = NormalSfLog(30.0);
+  for (double x = 31.0; x <= 200.0; x += 1.0) {
+    const double log_p = NormalSfLog(x);
+    EXPECT_TRUE(std::isfinite(log_p)) << "x=" << x;
+    EXPECT_LT(log_p, prev) << "x=" << x;
+    prev = log_p;
+  }
+}
+
+TEST(NormalSfLogTest, DeepTailWithinMillsRatioBounds) {
+  // φ(x)(1/x − 1/x³) < Φ̄(x) < φ(x)/x for x > 0 — sandwich the
+  // asymptotic branch between the classic log-space Mills bounds.
+  for (double x : {40.0, 80.0, 150.0, 300.0}) {
+    const double log_phi =
+        -0.5 * x * x - 0.5 * std::log(2.0 * M_PI);
+    const double upper = log_phi - std::log(x);
+    const double lower = log_phi + std::log(1.0 / x - 1.0 / (x * x * x));
+    const double log_p = NormalSfLog(x);
+    EXPECT_GT(log_p, lower) << "x=" << x;
+    EXPECT_LT(log_p, upper) << "x=" << x;
+  }
+}
+
+TEST(ChiSquareSfTest, Df2IsExactExponential) {
+  // SF(x; 2) = e^{-x/2} exactly — including a 1e-10 deep-tail golden.
+  for (double x : {0.5, 2.0, 10.0, 46.0517018598809}) {
+    EXPECT_NEAR(ChiSquareSf(x, 2.0) / std::exp(-0.5 * x), 1.0, 1e-10)
+        << "x=" << x;
+  }
+  EXPECT_NEAR(ChiSquareSf(46.0517018598809, 2.0) / 1e-10, 1.0, 1e-8);
+}
+
+TEST(ChiSquareSfTest, Df1MatchesNormalTailDeep) {
+  // SF(x; 1) = 2 Φ̄(√x), into the ~1e-10 tail.
+  for (double x : {1.0, 9.0, 25.0, 36.0}) {
+    const double exact = 2.0 * NormalSf(std::sqrt(x));
+    EXPECT_NEAR(ChiSquareSf(x, 1.0) / exact, 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(NoncentralChiSquareTest, ZeroNcpReducesToCentral) {
+  for (double df : {1.0, 4.0, 9.5}) {
+    for (double x : {0.5, 3.0, 12.0}) {
+      EXPECT_DOUBLE_EQ(ChiSquareSfNoncentral(x, df, 0.0),
+                       ChiSquareSf(x, df));
+    }
+  }
+}
+
+TEST(NoncentralChiSquareTest, Df1MatchesShiftedNormalIdentity) {
+  // χ²₁(δ) = (Z + √δ)², so SF(x) = Φ̄(√x − √δ) + Φ̄(√x + √δ).
+  for (double ncp : {0.5, 2.0, 8.0}) {
+    for (double x : {0.2, 1.0, 5.0, 20.0, 40.0}) {
+      const double root_x = std::sqrt(x);
+      const double root_d = std::sqrt(ncp);
+      const double exact =
+          NormalSf(root_x - root_d) + NormalSf(root_x + root_d);
+      EXPECT_NEAR(ChiSquareSfNoncentral(x, 1.0, ncp), exact,
+                  1e-12 + 1e-10 * exact)
+          << "x=" << x << " ncp=" << ncp;
+    }
+  }
+}
+
+TEST(NoncentralChiSquareTest, MonotoneInXAndNcp) {
+  // SF decreases in x and increases in the noncentrality.
+  double prev = 1.0;
+  for (double x = 0.5; x < 40.0; x += 0.5) {
+    const double p = ChiSquareSfNoncentral(x, 3.0, 4.0);
+    EXPECT_LE(p, prev + 1e-14) << "x=" << x;
+    prev = p;
+  }
+  prev = 0.0;
+  for (double ncp = 0.0; ncp < 30.0; ncp += 1.0) {
+    const double p = ChiSquareSfNoncentral(10.0, 3.0, ncp);
+    EXPECT_GE(p, prev - 1e-14) << "ncp=" << ncp;
+    prev = p;
+  }
+}
+
+TEST(NoncentralChiSquareTest, BoundsAndEdges) {
+  EXPECT_DOUBLE_EQ(ChiSquareSfNoncentral(0.0, 2.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSfNoncentral(-3.0, 2.0, 5.0), 1.0);
+  for (double x : {0.1, 10.0, 100.0}) {
+    const double p = ChiSquareSfNoncentral(x, 2.5, 60.0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
 }  // namespace
 }  // namespace ss::stats

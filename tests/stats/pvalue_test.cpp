@@ -42,6 +42,51 @@ TEST(EmpiricalPValueTest, PrecisionImprovesWithB) {
   EXPECT_GT(EmpiricalPValue(0, 100), EmpiricalPValue(0, 10000));
 }
 
+// PValueFromCounts is THE count→p-value convention point (empirical,
+// raw, early-stopped); EmpiricalPValue is its fixed-B alias.
+
+TEST(PValueFromCountsTest, ZeroReplicatesIsOneInEveryMode) {
+  EXPECT_DOUBLE_EQ(PValueFromCounts(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PValueFromCounts(0, 0, /*early_stopped=*/true), 1.0);
+  EXPECT_DOUBLE_EQ(
+      PValueFromCounts(0, 0, /*early_stopped=*/false, /*add_one=*/false),
+      1.0);
+}
+
+TEST(PValueFromCountsTest, EarlyStoppedUsesUnbiasedRatio) {
+  // Besag–Clifford: p̂ = h/L, no +1 correction (that device assumes a
+  // fixed B and would bias the stopped estimator).
+  EXPECT_DOUBLE_EQ(PValueFromCounts(10, 100, /*early_stopped=*/true), 0.1);
+  EXPECT_DOUBLE_EQ(PValueFromCounts(3, 3, /*early_stopped=*/true), 1.0);
+  EXPECT_DOUBLE_EQ(PValueFromCounts(1, 1000, /*early_stopped=*/true), 0.001);
+}
+
+TEST(PValueFromCountsTest, EarlyStoppedIgnoresAddOne) {
+  EXPECT_DOUBLE_EQ(
+      PValueFromCounts(10, 100, /*early_stopped=*/true, /*add_one=*/true),
+      PValueFromCounts(10, 100, /*early_stopped=*/true, /*add_one=*/false));
+}
+
+TEST(PValueFromCountsTest, FixedBMatchesEmpiricalAlias) {
+  for (std::uint64_t c : {0ULL, 7ULL, 99ULL}) {
+    EXPECT_DOUBLE_EQ(PValueFromCounts(c, 99), EmpiricalPValue(c, 99));
+    EXPECT_DOUBLE_EQ(PValueFromCounts(c, 99, false, false),
+                     EmpiricalPValue(c, 99, false));
+  }
+}
+
+TEST(PValueFromCountsTest, AlwaysInUnitInterval) {
+  for (std::uint64_t b : {1ULL, 10ULL, 500ULL}) {
+    for (std::uint64_t c = 0; c <= b; c += (b / 10) + 1) {
+      for (bool stopped : {false, true}) {
+        const double p = PValueFromCounts(c, b, stopped);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
 TEST(BonferroniTest, MultipliesAndClamps) {
   const auto adjusted = BonferroniAdjust({0.01, 0.2, 0.5});
   EXPECT_DOUBLE_EQ(adjusted[0], 0.03);

@@ -1,0 +1,30 @@
+# Driver for the bench_pvalue_smoke ctest: runs the adaptive p-value
+# bench at reduced scale, writing a BENCH_pvalue.json datapoint, then
+# gates on it with check_pvalue_savings.py (>= 10x replicate savings,
+# zero classification disagreements, equivalence tolerances hold). All
+# gated quantities are deterministic for the fixed seed, so this gate
+# has no host-speed exemptions.
+# Invoked as:
+#   cmake -DBENCH=<bench_pvalue bin> -DPYTHON=<python3>
+#         -DCHECK=<check_pvalue_savings.py> -DOUT_DIR=<dir>
+#         -P bench_pvalue_smoke.cmake
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(datapoint "${OUT_DIR}/BENCH_pvalue.json")
+
+execute_process(
+  COMMAND "${BENCH}" "patients=300" "snps=600" "sets=40" "reps=600"
+          "threshold=0.2" "out=${datapoint}"
+  RESULT_VARIABLE run_result
+  OUTPUT_QUIET
+)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "bench_pvalue failed (exit ${run_result})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECK}" "${datapoint}"
+  RESULT_VARIABLE check_result
+)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "p-value savings/equivalence gate failed (exit ${check_result})")
+endif()

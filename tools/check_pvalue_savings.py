@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate on the bench_pvalue datapoint (BENCH_pvalue.json).
+
+Always enforced (the numbers are deterministic for a fixed seed — no
+host-speed exemptions apply to replicate counts):
+  * the hybrid engine consumed >= 10x fewer set-replicates than the
+    exhaustive baseline (the headline claim of the adaptive engine);
+  * zero classification disagreements at alpha = 0.05 outside the
+    exemption band [alpha/2, 2*alpha];
+  * zero per-set tolerance violations (the bench re-checks the
+    statistical-equivalence contract on the measured run);
+  * the hybrid run actually exercised the machinery: at least one set
+    refined, at least one early stop.
+
+Usage: check_pvalue_savings.py <BENCH_pvalue.json>
+"""
+import json
+import sys
+
+MIN_SAVINGS = 10.0
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        data = json.load(f)
+
+    failures = []
+
+    savings = data.get("savings_ratio", 0.0)
+    if savings < MIN_SAVINGS:
+        failures.append(
+            f"replicate savings {savings:.1f}x < required {MIN_SAVINGS}x"
+        )
+    else:
+        print(f"[pvalue] savings {savings:.1f}x >= {MIN_SAVINGS}x")
+
+    disagreements = data.get("disagreements", -1)
+    if disagreements != 0:
+        failures.append(
+            f"{disagreements} classification disagreements at alpha=0.05"
+        )
+    else:
+        print("[pvalue] zero classification disagreements")
+
+    violations = data.get("tolerance_violations", -1)
+    if violations != 0:
+        failures.append(f"{violations} per-set tolerance violations")
+    else:
+        print("[pvalue] all sets within the equivalence tolerance")
+
+    hybrid = data.get("hybrid", {})
+    if hybrid.get("refined_sets", 0) < 1:
+        failures.append("no set was refined — the screen never fired")
+    if hybrid.get("early_stops", 0) < 1:
+        failures.append("no early stop occurred — the stopper never fired")
+
+    for failure in failures:
+        print(f"[pvalue] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,12 @@ CACHE_KEYS = (
 KERNEL_KEYS = ("dispatch", "dispatch_name", "packed_bytes", "unpacked_bytes")
 KERNEL_DISPATCH_NAMES = {"scalar", "sse2", "avx2", "unknown"}
 
+# The adaptive p-value engine section: mirrors the pvalue.* counters
+# (all zeros for legacy pure-resampling runs).
+PVALUE_KEYS = (
+    "analytic_screens", "refined_sets", "early_stops", "replicates_saved",
+)
+
 
 def fail(message):
     print(f"check_trace: FAIL: {message}", file=sys.stderr)
@@ -207,7 +213,7 @@ def check_metrics(path):
     if doc.get("schema") != "sparkscore-run-metrics-v2":
         fail(f"{path} schema is {doc.get('schema')!r}")
     for key in ("totals", "stages", "cache", "broadcast_bytes", "kernel",
-                "timeline", "counters"):
+                "pvalue", "timeline", "counters"):
         if key not in doc:
             fail(f"{path} is missing '{key}'")
     for key in CACHE_KEYS:
@@ -216,6 +222,9 @@ def check_metrics(path):
     for key in KERNEL_KEYS:
         if key not in doc["kernel"]:
             fail(f"{path} kernel section is missing '{key}'")
+    for key in PVALUE_KEYS:
+        if key not in doc["pvalue"]:
+            fail(f"{path} pvalue section is missing '{key}'")
     if doc["kernel"]["dispatch_name"] not in KERNEL_DISPATCH_NAMES:
         fail(
             f"{path} kernel.dispatch_name is "

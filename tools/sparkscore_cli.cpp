@@ -206,12 +206,39 @@ int RunSkat(const CliArgs& args, bool skato) {
     const std::string method = args.GetStr("method", "mc");
     request.method = method == "perm" ? ss::core::ResamplingMethod::kPermutation
                                       : ss::core::ResamplingMethod::kMonteCarlo;
+    const std::string pmethod = args.GetStr("pmethod", "resampling");
+    const ss::Result<ss::core::PValueMethod> parsed =
+        ss::core::ParsePValueMethod(pmethod);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    request.pvalue_method = parsed.value();
+    request.refine_threshold = args.GetDouble("refine_threshold", 0.01);
+    request.early_stop = args.GetU64("early_stop", 0);
     const ss::core::ResamplingResult result =
         ss::core::RunResampling(*study.pipeline, request).scores;
     std::printf("%s with B=%llu finished in %.2fs\n",
                 method == "perm" ? "Permutation" : "Monte Carlo",
                 static_cast<unsigned long long>(reps),
                 stopwatch.ElapsedSeconds());
+    if (!result.inference.empty()) {
+      std::uint64_t refined = 0;
+      std::uint64_t stopped = 0;
+      std::uint64_t used = 0;
+      for (const auto& [set_id, info] : result.inference) {
+        refined += info.refined ? 1 : 0;
+        stopped += info.early_stopped ? 1 : 0;
+        used += info.replicates_used;
+      }
+      std::printf(
+          "  pvalue engine: %s, %llu/%zu sets refined, %llu early-stopped, "
+          "%llu replicates consumed (of %llu scheduled ceiling)\n",
+          pmethod.c_str(), static_cast<unsigned long long>(refined),
+          result.inference.size(), static_cast<unsigned long long>(stopped),
+          static_cast<unsigned long long>(used),
+          static_cast<unsigned long long>(reps * result.inference.size()));
+    }
     std::fputs(ss::core::FormatTopHits(
                    result, static_cast<std::size_t>(args.GetU64("top", 10)))
                    .c_str(),

@@ -45,8 +45,10 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                    (src/support/lock_ranks.hpp); duplicate names or ranks
                    in the registry are rejected.
   counter-doc-sync every counter name used with CounterRegistry
-                   Get/Add (or a *Counter helper) in src/ must be
-                   documented in docs/OBSERVABILITY.md.
+                   Get/Add (or a *Counter helper) in src/, tests/,
+                   tools/, bench/, or examples/ must be documented in
+                   docs/OBSERVABILITY.md; the "test." namespace is
+                   exempt (scoped test-scratch counters).
 
 A finding is suppressed by appending `// ss-lint: allow(<rule>) <why>` to
 the offending line (or the line directly above it).
@@ -468,7 +470,12 @@ def check_counter_doc_sync(root):
         return
     with open(doc_path, encoding="utf-8") as handle:
         doc_text = handle.read()
-    for path in iter_files(root, SRC_DIRS, {".cpp", ".hpp"}):
+    # Scan every code dir, not just src/: a bench or tool that mints an
+    # undocumented counter pollutes the same process-global registry (and
+    # the metrics JSON "counters" section) just as much as src/ does.
+    # Counters under the "test." namespace are exempt — tests mint scoped
+    # scratch counters by design (e.g. "test.trace_test.a").
+    for path in iter_files(root, ALL_CODE_DIRS, {".cpp", ".hpp"}):
         rpath = rel(root, path)
         with open(path, encoding="utf-8") as handle:
             raw_lines = handle.read().splitlines()
@@ -477,6 +484,8 @@ def check_counter_doc_sync(root):
                 continue  # doc comments may show example names
             for match in COUNTER_CALL_RE.finditer(raw):
                 name = match.group(1)
+                if name.startswith("test."):
+                    continue
                 if name not in doc_text:
                     context = ((raw_lines[no - 2] + "\n" if no >= 2 else "")
                                + raw)
