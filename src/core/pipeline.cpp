@@ -4,7 +4,10 @@
 #include <atomic>
 
 #include "core/record_traits.hpp"  // IWYU pragma: keep (ApproxBytesImpl specializations)
+#include "core/store_source.hpp"
+#include "dfs/genotype_store.hpp"
 #include "engine/dataset_ops.hpp"
+#include "simdata/store_codec.hpp"
 #include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "stats/kernels/kernels.hpp"
@@ -190,6 +193,103 @@ Result<SkatPipeline> SkatPipeline::Open(engine::EngineContext& ctx,
   pipeline.weights_ = weights_unsquared;
   // The staged file's model is authoritative.
   pipeline.config_.model = pipeline.phenotype_.model;
+  return pipeline;
+}
+
+Result<SkatPipeline> SkatPipeline::OpenFromStore(
+    engine::EngineContext& ctx, const std::string& store_path,
+    const PipelineConfig& config,
+    std::optional<std::uint64_t> expected_fingerprint) {
+  auto store_or = dfs::GenotypeStore::Open(store_path);
+  if (!store_or.ok()) return store_or.status();
+  std::shared_ptr<dfs::GenotypeStore> store = std::move(store_or).value();
+
+  if (expected_fingerprint.has_value() &&
+      *expected_fingerprint != store->fingerprint()) {
+    // Never silently re-ingest over a mismatch: the caller asked for one
+    // specific cohort and this file holds another.
+    return Status(
+        StatusCode::kInvalidArgument,
+        "genotype store fingerprint mismatch at " + store_path +
+            ": expected " + std::to_string(*expected_fingerprint) +
+            " but the file has " + std::to_string(store->fingerprint()) +
+            " (staged as: " + store->description() +
+            "); restage the store or pass the parameters it was staged with");
+  }
+
+  // Aux frames -> driver-side phenotype / weights / SNP-sets, through the
+  // same strict parsers as the DFS text path.
+  auto phenotype_bytes = store->ReadAuxFrame(dfs::StoreFrameKind::kPhenotype);
+  if (!phenotype_bytes.ok()) return phenotype_bytes.status();
+  Result<stats::Phenotype> phenotype = simdata::ParsePhenotypeFile(
+      simdata::DecodeTextLines(phenotype_bytes.value()));
+  if (!phenotype.ok()) return phenotype.status();
+
+  auto set_bytes = store->ReadAuxFrame(dfs::StoreFrameKind::kSets);
+  if (!set_bytes.ok()) return set_bytes.status();
+  std::vector<stats::SnpSet> sets;
+  for (const std::string& line :
+       simdata::DecodeTextLines(set_bytes.value())) {
+    Result<stats::SnpSet> set = simdata::ParseSnpSet(line);
+    if (!set.ok()) return set.status();
+    sets.push_back(std::move(set).value());
+  }
+  if (sets.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "genotype store " + store_path + " has no SNP-sets");
+  }
+
+  auto weight_bytes = store->ReadAuxFrame(dfs::StoreFrameKind::kWeights);
+  if (!weight_bytes.ok()) return weight_bytes.status();
+  std::vector<std::pair<std::uint32_t, double>> weight_sq_pairs;
+  std::vector<std::pair<std::uint32_t, double>> weight_pairs;
+  for (const std::string& line :
+       simdata::DecodeTextLines(weight_bytes.value())) {
+    Result<simdata::WeightRecord> record = simdata::ParseWeight(line);
+    if (!record.ok()) return record.status();
+    weight_sq_pairs.push_back(
+        {record.value().snp, record.value().weight * record.value().weight});
+    weight_pairs.push_back({record.value().snp, record.value().weight});
+  }
+
+  SkatPipeline pipeline;
+  pipeline.ctx_ = &ctx;
+  pipeline.config_ = config;
+  pipeline.config_.pack_genotypes = true;  // store frames ARE packed
+  pipeline.config_.model = phenotype.value().model;  // staged file rules
+  pipeline.phenotype_ = std::move(phenotype).value();
+  pipeline.sets_ = std::move(sets);
+
+  if (pipeline.config_.cache_budget_bytes != 0) {
+    ctx.cache().SetCapacityBytes(pipeline.config_.cache_budget_bytes);
+  }
+  engine::CounterRegistry::Global()
+      .Get("kernel.dispatch")
+      .store(static_cast<std::uint64_t>(stats::kernels::ActiveDispatchLevel()),
+             std::memory_order_relaxed);
+
+  // Step 4's filter happens inside the store node (membership bitmap);
+  // steps 1 + 3 collapse into frame read + decode off the mmap.
+  auto membership = std::make_shared<const std::vector<std::uint8_t>>(
+      BuildMembership(pipeline.sets_));
+  auto node = std::make_shared<StoreGenotypeNode>(&ctx, std::move(store),
+                                                  std::move(membership));
+  if (pipeline.config_.cache_contributions) {
+    // Cache decoded partitions under the budget, but evict by dropping:
+    // the store is this dataset's durable tier, so a spill copy would
+    // just double the I/O (see StoreGenotypeNode).
+    node->EnableCache();
+    node->DisableCacheSpill();
+  }
+  pipeline.fgm_packed_ =
+      engine::Dataset<stats::PackedSnpRecord>(&ctx, std::move(node));
+
+  pipeline.weights_sq_ = engine::Parallelize(ctx, weight_sq_pairs,
+                                             pipeline.config_.num_partitions);
+  pipeline.weights_ =
+      engine::Parallelize(ctx, weight_pairs, pipeline.config_.num_partitions);
+  pipeline.snp_to_sets_ =
+      engine::MakeBroadcast(ctx, BuildSnpToSets(pipeline.sets_));
   return pipeline;
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,19 @@ class SkatPipeline {
                                    const simdata::StudyPaths& paths,
                                    const PipelineConfig& config);
 
+  /// Opens a cohort staged in a memory-mapped genotype store
+  /// (simdata::GenerateToStore) — no MiniDfs, no re-ingest: the phenotype,
+  /// weights and SNP-sets decode from the store's aux frames and the
+  /// genotype matrix becomes a StoreGenotypeNode streaming packed frames
+  /// off the mmap (pack_genotypes is implied). When `expected_fingerprint`
+  /// is set and does not match the file's, refuses with InvalidArgument
+  /// naming both fingerprints and the store's provenance description —
+  /// a stale store never silently stands in for different parameters.
+  static Result<SkatPipeline> OpenFromStore(
+      engine::EngineContext& ctx, const std::string& store_path,
+      const PipelineConfig& config,
+      std::optional<std::uint64_t> expected_fingerprint = std::nullopt);
+
   /// Builds the same pipeline from an in-memory dataset (tests, examples).
   static SkatPipeline FromMemory(engine::EngineContext& ctx,
                                  const simdata::SyntheticDataset& dataset,
@@ -175,6 +189,10 @@ class SkatPipeline {
   void UnpersistContributions();
 
  private:
+  /// Empty shell for OpenFromStore, which assembles the members itself
+  /// (there is no SnpRecord dataset to hand the public constructor).
+  SkatPipeline() = default;
+
   /// (SNP, per-patient contributions) under `engine` — steps 6-7.
   engine::Dataset<std::pair<std::uint32_t, std::vector<double>>> BuildU(
       const engine::Broadcast<stats::ScoreEngine>& engine) const;

@@ -23,21 +23,26 @@ std::shared_ptr<void> CacheManager::Lookup(const CacheKey& key) {
   return LookupOrReload(key, /*prefetch=*/false);
 }
 
-void CacheManager::Prefetch(const CacheKey& key) {
-  LookupOrReload(key, /*prefetch=*/true);
+bool CacheManager::Prefetch(const CacheKey& key) {
+  bool handled = false;
+  LookupOrReload(key, /*prefetch=*/true, &handled);
+  return handled;
 }
 
 std::shared_ptr<void> CacheManager::LookupOrReload(const CacheKey& key,
-                                                   bool prefetch) {
+                                                   bool prefetch,
+                                                   bool* handled) {
   for (;;) {
     Step step = Step::kReturn;
     std::shared_ptr<void> result;
     SpillCodec codec;
+    PartitionFetcher fetcher;
     std::vector<SpillJob> jobs;
     AsyncExecutor* io = nullptr;
     {
       support::UniqueLock lock(mutex_);
-      step = ResolveLocked(key, prefetch, lock, &result, &codec, &jobs);
+      step = ResolveLocked(key, prefetch, lock, &result, &codec, &fetcher,
+                           &jobs, handled);
       io = io_;
     }
     FlushSpillJobs(std::move(jobs), io);
@@ -48,6 +53,8 @@ std::shared_ptr<void> CacheManager::LookupOrReload(const CacheKey& key,
         continue;
       case Step::kReload:
         return FinishReload(key, prefetch, codec);
+      case Step::kFetch:
+        return FinishFetch(key, fetcher);
     }
   }
 }
@@ -55,12 +62,18 @@ std::shared_ptr<void> CacheManager::LookupOrReload(const CacheKey& key,
 CacheManager::Step CacheManager::ResolveLocked(
     const CacheKey& key, bool prefetch, support::UniqueLock& lock,
     std::shared_ptr<void>* result, SpillCodec* codec,
-    std::vector<SpillJob>* jobs) {
+    PartitionFetcher* fetcher, std::vector<SpillJob>* jobs, bool* handled) {
+  // Every resolution counts as "handled" for a prefetch except the
+  // explicit no-op fall-through below (nothing cached, spilled, or
+  // fetchable) — that one is the chain's cue to try a coarser target.
+  if (handled != nullptr) *handled = true;
   static std::atomic<std::uint64_t>& hits = CacheCounter("cache.hits");
   static std::atomic<std::uint64_t>& misses = CacheCounter("cache.misses");
   static std::atomic<std::uint64_t>& reloads = CacheCounter("cache.reloads");
   static std::atomic<std::uint64_t>& prefetch_reloads =
       CacheCounter("exec.prefetch_reloads");
+  static std::atomic<std::uint64_t>& prefetch_declined =
+      CacheCounter("exec.prefetch_declined");
   static std::atomic<std::uint64_t>& io_wait_nanos =
       CacheCounter("exec.io_wait_nanos");
 
@@ -96,13 +109,42 @@ CacheManager::Step CacheManager::ResolveLocked(
 
   auto sit = spilled_.find(key);
   if (sit == spilled_.end()) {
-    if (!prefetch) {
+    if (prefetch) {
+      // Not cached, not spilled — but a dataset with a registered
+      // fetcher can be materialized straight from its backing store, so
+      // the prefetch lane streams the frame in ahead of the compute
+      // wave. Demand lookups never take this path: their miss recomputes
+      // through the node, which reads the store itself.
+      auto fit = fetchers_.find(key.node_id);
+      if (fit != fetchers_.end()) {
+        // The frame's decoded size is unknown until fetched; size the
+        // admission by the mean resident partition instead.
+        const std::uint64_t hint =
+            entries_.empty() ? 0 : stats_.bytes_cached / entries_.size();
+        if (PrefetchWouldEvictLocked(hint)) {
+          prefetch_declined.fetch_add(1, std::memory_order_relaxed);
+          return Step::kReturn;
+        }
+        inflight_.push_back(key);
+        *fetcher = fit->second;
+        return Step::kFetch;
+      }
+      if (handled != nullptr) *handled = false;
+    } else {
       ++stats_.misses;
       misses.fetch_add(1, std::memory_order_relaxed);
       Tracer::Global().Instant("cache", "miss",
                                {Arg("dataset", key.node_id),
                                 Arg("partition", key.partition)});
     }
+    *result = nullptr;
+    return Step::kReturn;
+  }
+
+  if (prefetch && PrefetchWouldEvictLocked(sit->second.bytes)) {
+    // Spilled, but re-admitting would evict someone else — a prefetch
+    // never trades resident partitions for speculative ones.
+    prefetch_declined.fetch_add(1, std::memory_order_relaxed);
     *result = nullptr;
     return Step::kReturn;
   }
@@ -263,6 +305,79 @@ std::shared_ptr<void> CacheManager::FinishReload(const CacheKey& key,
   return result;
 }
 
+std::shared_ptr<void> CacheManager::FinishFetch(
+    const CacheKey& key, const PartitionFetcher& fetcher) {
+  static std::atomic<std::uint64_t>& prefetch_frames =
+      CacheCounter("store.prefetch_frames");
+
+  // The store read + decode runs with the lock released; concurrent
+  // lookups of other keys (and a demand lookup of THIS key, which waits
+  // on the in-flight claim) proceed.
+  FetchedPartition fetched;
+  {
+    PhaseTimer fetch_phase(TaskPhase::kFetch);
+    fetched = fetcher(key.partition);
+  }
+
+  std::shared_ptr<void> result;
+  std::vector<SpillJob> jobs;
+  AsyncExecutor* io = nullptr;
+  {
+    support::MutexLock lock(mutex_);
+    io = io_;
+    inflight_.erase(std::find(inflight_.begin(), inflight_.end(), key));
+    auto entry_it = entries_.find(key);
+    if (entry_it != entries_.end()) {
+      // A concurrent insert (the demand compute finished first) already
+      // holds the authoritative value.
+      result = entry_it->second.value;
+    } else if (fetched.value != nullptr && !spilled_.count(key)) {
+      // Admit as MRU with an EMPTY codec: evicting a store-backed
+      // partition is a plain drop — the store is its spill tier, and
+      // writing a second spill copy would double the I/O for nothing.
+      // `node` 0 = the fetch ran on no simulated node; a node-failure
+      // drop of node 0's partitions just re-fetches.
+      lru_.push_front(key);
+      entries_[key] = Entry{fetched.value,        fetched.bytes,
+                            /*node=*/0,           fetched.fetch_seconds,
+                            SpillCodec{},         /*spill_valid=*/false,
+                            lru_.begin()};
+      stats_.bytes_cached += fetched.bytes;
+      prefetch_frames.fetch_add(1, std::memory_order_relaxed);
+      Tracer::Global().Instant("store", "prefetch admit",
+                               {Arg("dataset", key.node_id),
+                                Arg("partition", key.partition),
+                                Arg("bytes", fetched.bytes)});
+      EvictIfNeededLocked(&jobs);
+      result = fetched.value;
+    }
+    // Fetch failed (null value): admit nothing. The demand lookup will
+    // miss, recompute through the node, and surface the store error.
+  }
+  inflight_cv_.notify_all();
+  FlushSpillJobs(std::move(jobs), io);
+  return result;
+}
+
+void CacheManager::RegisterFetcher(std::uint64_t node_id,
+                                   PartitionFetcher fetcher) {
+  SS_CHECK(fetcher != nullptr);
+  support::MutexLock lock(mutex_);
+  fetchers_[node_id] = std::move(fetcher);
+}
+
+void CacheManager::UnregisterFetcher(std::uint64_t node_id) {
+  support::UniqueLock lock(mutex_);
+  fetchers_.erase(node_id);
+  // Wait out in-flight fetches of this dataset so the fetcher's captures
+  // (the mmap'd store) are provably unused when the caller tears down.
+  inflight_cv_.wait(lock, [this, node_id]() SS_REQUIRES(mutex_) {
+    return std::none_of(
+        inflight_.begin(), inflight_.end(),
+        [node_id](const CacheKey& key) { return key.node_id == node_id; });
+  });
+}
+
 void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
                           std::uint64_t bytes, int node,
                           double compute_seconds, SpillCodec codec) {
@@ -290,6 +405,12 @@ void CacheManager::Insert(const CacheKey& key, std::shared_ptr<void> value,
     EvictIfNeededLocked(&jobs);
   }
   FlushSpillJobs(std::move(jobs), io);
+}
+
+bool CacheManager::PrefetchWouldEvictLocked(std::uint64_t bytes_hint) const {
+  SS_ASSERT_HELD(mutex_);
+  return capacity_bytes_ != 0 &&
+         stats_.bytes_cached + bytes_hint > capacity_bytes_;
 }
 
 double CacheManager::RestoreCostPerByteLocked(const Entry& entry) const {

@@ -70,6 +70,21 @@ struct SpillCodec {
   bool usable() const { return encode != nullptr && decode != nullptr; }
 };
 
+/// One partition materialized from an external backing store (the
+/// genotype store): the decoded value, its memory charge, and the fetch
+/// wall time. A null `value` means the fetch failed; the cache admits
+/// nothing and the eventual demand lookup surfaces the error.
+struct FetchedPartition {
+  std::shared_ptr<void> value;
+  std::uint64_t bytes = 0;
+  double fetch_seconds = 0.0;
+};
+
+/// Reads + decodes one partition from a backing store. Must be
+/// thread-safe (it runs on the I/O lane, outside the cache lock) and must
+/// not call back into the cache.
+using PartitionFetcher = std::function<FetchedPartition(std::uint32_t)>;
+
 /// Cache construction knobs (EngineContext::Options mirrors these).
 struct CacheOptions {
   /// Memory-tier budget in bytes; 0 means unlimited (nothing ever spills).
@@ -111,7 +126,37 @@ class CacheManager {
   /// stay comparable across prefetch depths. No-op when the key is memory-
   /// resident, already being reloaded, or unknown. Counts
   /// `exec.prefetch_reloads` when a frame was actually moved.
-  void Prefetch(const CacheKey& key);
+  ///
+  /// A prefetch only fills SPARE capacity: when admitting the partition
+  /// would push the memory tier over budget — forcing an eviction — the
+  /// lane declines (counting `exec.prefetch_declined`) instead. An
+  /// eviction forced from the prefetch lane displaces exactly the
+  /// partitions the compute frontier is about to consume, so at tight
+  /// budgets an eager lane turns each spilled partition into ~1.5
+  /// reloads; declining keeps the demand path's working set intact.
+  ///
+  /// Returns true when the key is now (or already was) memory-resident —
+  /// a hit, a completed reload, or a completed fetch — or when the
+  /// cache deliberately declined as above. False means the cache has
+  /// nothing to offer for this key (never computed, no spill copy, no
+  /// fetcher): the caller may fall through to a coarser target, e.g.
+  /// the store-backed ancestor of an uncomputed derived partition.
+  bool Prefetch(const CacheKey& key);
+
+  /// Declares that dataset `node_id`'s partitions can be materialized
+  /// from a backing store (the mmap'd genotype store). A Prefetch of a
+  /// key that is neither cached nor spilled then FETCHES it instead of
+  /// no-opping — the store IS the spill tier for such datasets, so the
+  /// prefetch lane streams frames ahead of the compute wave. Demand
+  /// lookups are unaffected (the miss recomputes, which reads the store
+  /// through the node's own ComputePartition). Admitted fetches count
+  /// `store.prefetch_frames`, not cache hits/misses/insertions.
+  void RegisterFetcher(std::uint64_t node_id, PartitionFetcher fetcher);
+
+  /// Removes the fetcher and BLOCKS until no fetch for `node_id` is in
+  /// flight, so a fetcher's captures (the store handle) outlive every
+  /// use. Must be called before the backing dataset dies.
+  void UnregisterFetcher(std::uint64_t node_id);
 
   /// Wires (or clears, io == nullptr) the I/O lane used for background
   /// spill writes. With `spill_async` set, evictions move the frame
@@ -200,6 +245,10 @@ class CacheManager {
   };
 
   bool spill_enabled() const { return options_.spill_enabled; }
+  /// True when admitting `bytes_hint` more bytes would force an eviction
+  /// (the prefetch lane declines in that case; see Prefetch).
+  bool PrefetchWouldEvictLocked(std::uint64_t bytes_hint) const
+      SS_REQUIRES(mutex_);
   /// Restore-cost-per-byte the eviction policy minimizes.
   double RestoreCostPerByteLocked(const Entry& entry) const
       SS_REQUIRES(mutex_);
@@ -212,19 +261,31 @@ class CacheManager {
     kReturn,  ///< Resolved (hit, pending re-admit, or plain miss).
     kRetry,   ///< Waited out an in-flight reload; re-evaluate from the top.
     kReload,  ///< This thread claimed the reload; run it outside the lock.
+    kFetch,   ///< Claimed a backing-store fetch (prefetch only).
   };
 
   /// Shared Lookup/Prefetch body; `prefetch` suppresses hit/miss counting.
-  std::shared_ptr<void> LookupOrReload(const CacheKey& key, bool prefetch);
+  /// `handled` (prefetch only, may be null) reports whether the cache did
+  /// or had anything for the key — false only on the no-op path (never
+  /// computed, no spill copy, no fetcher).
+  std::shared_ptr<void> LookupOrReload(const CacheKey& key, bool prefetch,
+                                       bool* handled = nullptr);
   Step ResolveLocked(const CacheKey& key, bool prefetch,
                      support::UniqueLock& lock, std::shared_ptr<void>* result,
-                     SpillCodec* codec, std::vector<SpillJob>* jobs)
+                     SpillCodec* codec, PartitionFetcher* fetcher,
+                     std::vector<SpillJob>* jobs, bool* handled)
       SS_REQUIRES(mutex_);
   /// The claimed reload: frame read + decode with the lock RELEASED, then
   /// re-lock to publish (or to degrade: corrupt frame, superseding insert,
   /// concurrent drop). Always un-claims and wakes waiters.
   std::shared_ptr<void> FinishReload(const CacheKey& key, bool prefetch,
                                      const SpillCodec& codec);
+  /// The claimed backing-store fetch: run `fetcher` with the lock
+  /// RELEASED, then re-lock to admit (unless a concurrent insert/reload
+  /// superseded it, or the fetch failed). Always un-claims and wakes
+  /// waiters, including an UnregisterFetcher blocked on this key.
+  std::shared_ptr<void> FinishFetch(const CacheKey& key,
+                                    const PartitionFetcher& fetcher);
   bool InflightLocked(const CacheKey& key) const SS_REQUIRES(mutex_);
   /// Hands collected write jobs to `io` (inline fallback on shutdown).
   void FlushSpillJobs(std::vector<SpillJob> jobs, AsyncExecutor* io);
@@ -245,8 +306,12 @@ class CacheManager {
       SS_GUARDED_BY(mutex_);
   std::list<CacheKey> lru_ SS_GUARDED_BY(mutex_);  ///< Front = MRU.
   CacheStats stats_ SS_GUARDED_BY(mutex_);
-  /// Keys whose reload (frame read + decode) is running outside the lock.
+  /// Keys whose reload (frame read + decode) or backing-store fetch is
+  /// running outside the lock.
   std::vector<CacheKey> inflight_ SS_GUARDED_BY(mutex_);
+  /// Backing-store fetchers by dataset id (RegisterFetcher).
+  std::unordered_map<std::uint64_t, PartitionFetcher> fetchers_
+      SS_GUARDED_BY(mutex_);
   std::condition_variable_any inflight_cv_;
   /// The I/O lane; null = no lane (prefetch ablated), background spill off.
   AsyncExecutor* io_ SS_GUARDED_BY(mutex_) = nullptr;

@@ -76,7 +76,7 @@ EngineContext::~EngineContext() {
 std::uint64_t EngineContext::RunTasks(
     const std::string& label, std::uint32_t num_tasks,
     const std::function<void(TaskContext&)>& task_fn,
-    std::uint64_t prefetch_node_id) {
+    std::vector<std::uint64_t> prefetch_chain) {
   SS_CHECK(!t_inside_task &&
            "actions must run on the driver, not inside a task closure");
   const std::uint64_t stage_id = metrics_.BeginStage(label, num_tasks);
@@ -90,7 +90,7 @@ std::uint64_t EngineContext::RunTasks(
   const std::int64_t enqueue_ns = ProfileNowNs();
   if (io_ != nullptr) {
     RunTasksChannel(stage_id, num_tasks, enqueue_ns, label, task_fn,
-                    prefetch_node_id);
+                    prefetch_chain);
   } else {
     // Ablation path (prefetch=0): the original synchronous loop, with no
     // channel, lane, or prefetch anywhere near the stage.
@@ -118,7 +118,7 @@ std::uint64_t EngineContext::RunTasks(
 void EngineContext::RunTasksChannel(
     std::uint64_t stage_id, std::uint32_t num_tasks, std::int64_t enqueue_ns,
     const std::string& label, const std::function<void(TaskContext&)>& task_fn,
-    std::uint64_t prefetch_node_id) {
+    const std::vector<std::uint64_t>& prefetch_chain) {
   static std::atomic<std::uint64_t>& channel_stages =
       CounterRegistry::Global().Get("exec.channel_stages");
   channel_stages.fetch_add(1, std::memory_order_relaxed);
@@ -135,7 +135,7 @@ void EngineContext::RunTasksChannel(
   const std::size_t runners =
       std::min<std::size_t>(pool_->size(), std::max<std::uint32_t>(1, num_tasks));
   const int depth = options_.exec.prefetch_depth;
-  const bool prefetching = prefetch_node_id != 0 && depth > 0;
+  const bool prefetching = !prefetch_chain.empty() && depth > 0;
 
   // The prefetch window: the first `runners` partitions are claimed
   // immediately, so seed the lane with the `depth` partitions after them,
@@ -146,7 +146,7 @@ void EngineContext::RunTasksChannel(
     for (std::uint32_t p = static_cast<std::uint32_t>(
              std::min<std::uint64_t>(num_tasks, runners));
          p < next_prefetch.load(std::memory_order_relaxed); ++p) {
-      IssuePrefetch(prefetch_node_id, p);
+      IssuePrefetch(prefetch_chain, p);
     }
   }
 
@@ -171,7 +171,7 @@ void EngineContext::RunTasksChannel(
           after_task = [&]() {
             const std::uint32_t p =
                 next_prefetch.fetch_add(1, std::memory_order_relaxed);
-            if (p < num_tasks) IssuePrefetch(prefetch_node_id, p);
+            if (p < num_tasks) IssuePrefetch(prefetch_chain, p);
           };
         }
         try {
@@ -191,20 +191,25 @@ void EngineContext::RunTasksChannel(
   if (error.first != nullptr) std::rethrow_exception(error.first);
 }
 
-void EngineContext::IssuePrefetch(std::uint64_t node_id,
+void EngineContext::IssuePrefetch(const std::vector<std::uint64_t>& chain,
                                   std::uint32_t partition) {
   static std::atomic<std::uint64_t>& prefetches =
       CounterRegistry::Global().Get("exec.prefetches");
-  if (io_ == nullptr) return;
+  if (io_ == nullptr || chain.empty()) return;
   // Advisory: a full lane drops the request — a prefetch that cannot
   // start before its consumer would only add lock traffic. The job is
-  // self-contained (key + cache only), so it may harmlessly outlive the
-  // stage that issued it.
-  const bool queued = io_->TryEnqueue([this, node_id, partition]() {
+  // self-contained (keys + cache only), so it may harmlessly outlive the
+  // stage that issued it. The chain walk stops at the first dataset the
+  // cache can serve: a warm or spilled derived partition short-circuits,
+  // and only never-computed data falls through to a store-backed
+  // ancestor's fetcher.
+  const bool queued = io_->TryEnqueue([this, chain, partition]() {
     TraceSpan span(Tracer::Global(), "prefetch",
                    "prefetch p" + std::to_string(partition),
-                   {Arg("dataset", node_id), Arg("partition", partition)});
-    cache_.Prefetch(CacheKey{node_id, partition});
+                   {Arg("dataset", chain.front()), Arg("partition", partition)});
+    for (std::uint64_t node_id : chain) {
+      if (cache_.Prefetch(CacheKey{node_id, partition})) break;
+    }
   });
   if (queued) prefetches.fetch_add(1, std::memory_order_relaxed);
 }

@@ -87,14 +87,16 @@ class EngineContext {
   /// from the driver thread (never from inside a task).
   ///
   /// With the I/O lane active (exec.prefetch_depth > 0) tasks are
-  /// dispatched through a per-stage channel, and a non-zero
-  /// `prefetch_node_id` names the cached dataset whose partitions the lane
-  /// reloads/decodes ahead of the compute frontier (RunStage derives it
-  /// from the lineage). Scheduling changes; per-partition results and all
-  /// driver-side fold orders do not.
+  /// dispatched through a per-stage channel, and a non-empty
+  /// `prefetch_chain` names the cached datasets (nearest first — RunStage
+  /// derives the chain from the lineage) whose partitions the lane
+  /// reloads/decodes/fetches ahead of the compute frontier; per partition
+  /// the lane stops at the first chain level the cache can serve.
+  /// Scheduling changes; per-partition results and all driver-side fold
+  /// orders do not.
   std::uint64_t RunTasks(const std::string& label, std::uint32_t num_tasks,
                          const std::function<void(TaskContext&)>& task_fn,
-                         std::uint64_t prefetch_node_id = 0);
+                         std::vector<std::uint64_t> prefetch_chain = {});
 
   /// Unique id for a new dataset node.
   std::uint64_t NewNodeId() { return next_node_id_.fetch_add(1); }
@@ -146,14 +148,17 @@ class EngineContext {
 
   /// Channel-based dispatch (exec.prefetch_depth > 0): partition indices
   /// flow through a closed channel to min(pool, tasks) runners; the I/O
-  /// lane reloads `prefetch_node_id`'s partitions ahead of the frontier.
+  /// lane warms `prefetch_chain`'s partitions ahead of the frontier.
   void RunTasksChannel(std::uint64_t stage_id, std::uint32_t num_tasks,
                        std::int64_t enqueue_ns, const std::string& label,
                        const std::function<void(TaskContext&)>& task_fn,
-                       std::uint64_t prefetch_node_id);
+                       const std::vector<std::uint64_t>& prefetch_chain);
 
-  /// Queues an advisory reload of (node, partition) on the I/O lane.
-  void IssuePrefetch(std::uint64_t node_id, std::uint32_t partition);
+  /// Queues an advisory warm-up of `partition` on the I/O lane: the job
+  /// walks `chain` and stops at the first dataset the cache can serve
+  /// (hit / spill reload / backing-store fetch).
+  void IssuePrefetch(const std::vector<std::uint64_t>& chain,
+                     std::uint32_t partition);
 
   void RebuildIoLane();
 

@@ -341,6 +341,21 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
     out += ",\"early_stops\":" + counter("pvalue.early_stops");
     out += ",\"replicates_saved\":" + counter("pvalue.replicates_saved") + "}";
   }
+  // Genotype-store section (dfs/genotype_store.*): all zeros when the run
+  // never touched a store; the keys are always present.
+  {
+    auto& registry = CounterRegistry::Global();
+    const auto counter = [&registry](const char* name) {
+      return std::to_string(registry.Get(name).load(std::memory_order_relaxed));
+    };
+    out += ",\"store\":{\"opens\":" + counter("store.opens");
+    out += ",\"frame_reads\":" + counter("store.frame_reads");
+    out += ",\"read_bytes\":" + counter("store.read_bytes");
+    out += ",\"frame_writes\":" + counter("store.frame_writes");
+    out += ",\"write_bytes\":" + counter("store.write_bytes");
+    out += ",\"prefetch_frames\":" + counter("store.prefetch_frames");
+    out += ",\"corrupt\":" + counter("store.corrupt") + "}";
+  }
   out += ",";
   AppendTimelineJson(&out, BuildRunProfile(stages, straggler_mad_k));
   out += ",\"counters\":{";
@@ -348,7 +363,10 @@ std::string RunMetricsJson(const std::vector<StageMetrics>& stages,
   for (const auto& [name, value] : CounterRegistry::Global().Snapshot()) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += std::to_string(value);
   }
   out += "}}\n";
   return out;

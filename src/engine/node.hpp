@@ -73,6 +73,13 @@ class NodeBase {
   void EnableCache() { cache_enabled_ = true; }
   bool cache_enabled() const { return cache_enabled_; }
 
+  /// Cached partitions of this node are admitted WITHOUT a spill codec:
+  /// eviction discards instead of writing a spill frame. For store-backed
+  /// datasets the on-disk store already is the durable copy — recompute
+  /// (= a store read) is cheaper than a redundant second spill copy.
+  void DisableCacheSpill() { cache_spill_disabled_ = true; }
+  bool cache_spill_disabled() const { return cache_spill_disabled_; }
+
   /// Drops this node's partitions from the cache.
   void Unpersist() { ctx_->cache().DropDataset(id_); }
 
@@ -91,8 +98,12 @@ class NodeBase {
   /// aid, mirrors RDD.toDebugString).
   std::string DebugString(int indent = 0) const {
     std::string out(static_cast<std::size_t>(indent) * 2, ' ');
-    out += "(" + std::to_string(num_partitions_) + ") " + label_ +
-           (cache_enabled_ ? " [cached]" : "") + "\n";
+    out += '(';
+    out += std::to_string(num_partitions_);
+    out += ") ";
+    out += label_;
+    if (cache_enabled_) out += " [cached]";
+    out += '\n';
     for (const auto& parent : parents_) out += parent->DebugString(indent + 1);
     return out;
   }
@@ -115,6 +126,7 @@ class NodeBase {
   const std::uint32_t num_partitions_;
   std::vector<std::shared_ptr<NodeBase>> parents_;
   bool cache_enabled_ = false;
+  bool cache_spill_disabled_ = false;
   // One instance per node, all sharing kNodeReady: EnsureReady readies
   // every parent BEFORE locking its own mutex, so two ready locks are
   // never held together (EnsureReadySelf never re-enters EnsureReady).
@@ -159,7 +171,9 @@ class Node : public NodeBase {
           static_cast<std::uint64_t>(compute_seconds * 1e9),
           std::memory_order_relaxed);
       ctx_->cache().Insert(key, computed, ApproxBytesOfPartition(*computed),
-                           task.node(), compute_seconds, MakeSpillCodec<T>());
+                           task.node(), compute_seconds,
+                           cache_spill_disabled() ? SpillCodec{}
+                                                  : MakeSpillCodec<T>());
       return computed;
     }
     return std::make_shared<const std::vector<T>>(
@@ -172,13 +186,25 @@ class Node : public NodeBase {
 /// ancestor with the same partition count (narrow lineage — a task for
 /// partition k pulls exactly partition k of such an ancestor). 0 when the
 /// stage has nothing cached to prefetch.
-inline std::uint64_t PrefetchTargetId(const NodeBase& node) {
-  if (node.cache_enabled()) return node.id();
+inline void AppendPrefetchTargets(const NodeBase& node,
+                                  std::vector<std::uint64_t>* out) {
+  if (node.cache_enabled()) out->push_back(node.id());
   for (const auto& parent : node.parents()) {
     if (parent->num_partitions() != node.num_partitions()) continue;
-    if (const std::uint64_t id = PrefetchTargetId(*parent)) return id;
+    AppendPrefetchTargets(*parent, out);
   }
-  return 0;
+}
+
+/// Every cache-enabled dataset along `node`'s same-partitioning lineage,
+/// nearest first. The I/O lane tries the chain in order and stops at the
+/// first level the cache can serve (CacheManager::Prefetch): a warm or
+/// spilled derived partition wins, and only when the derived data has
+/// never been computed does the lane fall through to a store-backed
+/// ancestor and stream its frame off the mmap ahead of the compute wave.
+inline std::vector<std::uint64_t> PrefetchTargetChain(const NodeBase& node) {
+  std::vector<std::uint64_t> chain;
+  AppendPrefetchTargets(node, &chain);
+  return chain;
 }
 
 /// Runs one full pass over `node`'s partitions as a stage, returning all
@@ -195,7 +221,7 @@ std::vector<std::vector<T>> RunStage(Node<T>& node, const std::string& label) {
                              PhaseTimer handoff_phase(TaskPhase::kHandoff);
                              partitions[task.partition()] = *part;
                            },
-                           PrefetchTargetId(node));
+                           PrefetchTargetChain(node));
   return partitions;
 }
 

@@ -1,6 +1,9 @@
 #include "simdata/dfs_writer.hpp"
 
+#include "dfs/genotype_store.hpp"
+#include "simdata/store_codec.hpp"
 #include "simdata/text_format.hpp"
+#include "stats/kernels/packed_genotype.hpp"
 
 namespace ss::simdata {
 
@@ -79,6 +82,68 @@ Result<StudyPaths> GenerateToDfs(dfs::MiniDfs& dfs, const std::string& prefix,
   Status status = WriteStudy(dfs, paths, dataset);
   if (!status.ok()) return status;
   return paths;
+}
+
+Result<StoreStageResult> GenerateToStore(const GeneratorConfig& config,
+                                         const std::string& path,
+                                         std::uint32_t requested_partitions) {
+  const std::uint32_t rows =
+      StorePartitionRows(config.num_snps, requested_partitions);
+  const std::uint32_t partitions = (config.num_snps + rows - 1) / rows;
+
+  dfs::GenotypeStoreMeta meta;
+  meta.num_partitions = partitions;
+  meta.num_snps = config.num_snps;
+  meta.num_patients = config.num_patients;
+  meta.fingerprint = StoreFingerprint(config);
+  auto writer_or = dfs::GenotypeStoreWriter::Create(path, meta);
+  if (!writer_or.ok()) return writer_or.status();
+  auto writer = std::move(writer_or).value();
+
+  SS_RETURN_IF_ERROR(writer->Append(
+      dfs::StoreFrameKind::kPhenotype, 0,
+      EncodeTextLines(FormatPhenotypeFile(stats::Phenotype::Cox(
+          GenerateSurvival(config.seed, config.num_patients,
+                           config.mean_survival_months, config.event_rate))))));
+
+  // Genotype frames stream one partition at a time; weights ride along
+  // (the stream yields them with each SNP) and are staged after the loop.
+  GenotypeStream stream(config);
+  std::vector<std::string> weight_lines;
+  weight_lines.reserve(config.num_snps);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    std::vector<stats::PackedSnpRecord> records;
+    records.reserve(rows);
+    while (stream.remaining() > 0 &&
+           records.size() < static_cast<std::size_t>(rows)) {
+      StreamedSnp row = stream.Next();
+      weight_lines.push_back(FormatWeight({row.snp, row.weight}));
+      records.push_back(stats::PackedSnpRecord{
+          row.snp, stats::PackedGenotypeBlock::Pack(row.dosages)});
+    }
+    SS_RETURN_IF_ERROR(writer->Append(dfs::StoreFrameKind::kGenotypes, p,
+                                      EncodeGenotypePartition(records)));
+  }
+  SS_RETURN_IF_ERROR(writer->Append(dfs::StoreFrameKind::kWeights, 0,
+                                    EncodeTextLines(weight_lines)));
+
+  {
+    std::vector<std::string> lines;
+    for (const stats::SnpSet& set :
+         GenerateSnpSets(config.seed, config.num_snps, config.num_sets)) {
+      lines.push_back(FormatSnpSet(set));
+    }
+    SS_RETURN_IF_ERROR(
+        writer->Append(dfs::StoreFrameKind::kSets, 0, EncodeTextLines(lines)));
+  }
+
+  const std::string text = StoreFingerprintText(config);
+  SS_RETURN_IF_ERROR(
+      writer->Append(dfs::StoreFrameKind::kDescription, 0,
+                     std::vector<std::uint8_t>(text.begin(), text.end())));
+
+  SS_RETURN_IF_ERROR(writer->Finish());
+  return StoreStageResult{partitions, writer->payload_bytes()};
 }
 
 }  // namespace ss::simdata

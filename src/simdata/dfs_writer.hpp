@@ -36,4 +36,23 @@ Status WriteStudyWithPhenotype(dfs::MiniDfs& dfs, const StudyPaths& paths,
 Result<StudyPaths> GenerateToDfs(dfs::MiniDfs& dfs, const std::string& prefix,
                                  const GeneratorConfig& config);
 
+/// What GenerateToStore staged.
+struct StoreStageResult {
+  std::uint32_t num_partitions = 0;
+  std::uint64_t payload_bytes = 0;  ///< Frame payloads (packed + aux text).
+};
+
+/// Generates the cohort and stages it straight into a genotype store file
+/// at `path` (dfs/genotype_store.hpp), split into about
+/// `requested_partitions` genotype frames using the same truncating
+/// row-count formula as the MiniDfs text path. Genotypes are produced via
+/// GenotypeStream and packed one partition at a time, so peak memory is
+/// one partition — never the dense matrix — which is what makes 1M-SNP
+/// staging feasible. An existing file at `path` is overwritten; callers
+/// that want stage-once semantics open first and stage only on NotFound
+/// (as the CLI does).
+Result<StoreStageResult> GenerateToStore(const GeneratorConfig& config,
+                                         const std::string& path,
+                                         std::uint32_t requested_partitions);
+
 }  // namespace ss::simdata

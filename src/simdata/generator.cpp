@@ -30,6 +30,68 @@ double WeightFor(WeightScheme scheme, double rho, Rng& rng) {
   return 1.0;
 }
 
+/// One SNP row + weight — the loop body shared by the dense path
+/// (Generate) and the streaming path (GenotypeStream), so the two are
+/// bitwise identical by construction. `h1`/`h2` carry the current LD
+/// block's per-patient haplotype uniforms between consecutive calls.
+StreamedSnp GenerateSnp(const GeneratorConfig& config,
+                        const Rng& genotype_root, Rng& weight_rng,
+                        std::vector<double>* h1, std::vector<double>* h2,
+                        std::uint32_t j) {
+  const std::uint32_t block = std::max(1u, config.ld_block_size);
+  // Per-SNP child stream: SNP j's genotypes do not depend on how many
+  // SNPs precede it (for block size 1; larger blocks couple SNPs by
+  // design).
+  Rng rng = genotype_root.Split(j + 1);
+  StreamedSnp out;
+  out.snp = j;
+  const double rho =
+      config.maf_min + (config.maf_max - config.maf_min) * rng.NextDouble();
+  out.allele_freq = rho;
+  out.dosages.reserve(config.num_patients);
+
+  if (block == 1) {
+    // Independent regime (the paper's Section III).
+    for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+      out.dosages.push_back(
+          static_cast<std::uint8_t>(SampleBinomial(rng, 2, rho)));
+    }
+  } else {
+    if (j % block == 0) {
+      // New LD block: fresh shared haplotype uniforms per patient.
+      Rng block_rng = genotype_root.Split(0x10000000ULL + j / block);
+      h1->resize(config.num_patients);
+      h2->resize(config.num_patients);
+      for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+        (*h1)[i] = block_rng.NextDouble();
+        (*h2)[i] = block_rng.NextDouble();
+      }
+    }
+    for (std::uint32_t i = 0; i < config.num_patients; ++i) {
+      // With probability ld_correlation reuse the block haplotype
+      // uniform (copula coupling), else draw fresh; either way the
+      // marginal allele probability is exactly rho.
+      const double u1 = SampleBernoulli(rng, config.ld_correlation)
+                            ? (*h1)[i]
+                            : rng.NextDouble();
+      const double u2 = SampleBernoulli(rng, config.ld_correlation)
+                            ? (*h2)[i]
+                            : rng.NextDouble();
+      out.dosages.push_back(static_cast<std::uint8_t>((u1 < rho ? 1 : 0) +
+                                                      (u2 < rho ? 1 : 0)));
+    }
+  }
+  out.weight = WeightFor(config.weights, rho, weight_rng);
+  return out;
+}
+
+void CheckGeneratorConfig(const GeneratorConfig& config) {
+  SS_CHECK(config.num_patients >= 2);
+  SS_CHECK(config.num_snps >= config.num_sets);
+  SS_CHECK(config.maf_min > 0.0 && config.maf_max < 1.0 &&
+           config.maf_min <= config.maf_max);
+}
+
 }  // namespace
 
 stats::SurvivalData GenerateSurvival(std::uint64_t seed, std::uint32_t n,
@@ -85,10 +147,7 @@ std::vector<stats::SnpSet> GenerateSnpSets(std::uint64_t seed,
 }
 
 SyntheticDataset Generate(const GeneratorConfig& config) {
-  SS_CHECK(config.num_patients >= 2);
-  SS_CHECK(config.num_snps >= config.num_sets);
-  SS_CHECK(config.maf_min > 0.0 && config.maf_max < 1.0 &&
-           config.maf_min <= config.maf_max);
+  CheckGeneratorConfig(config);
 
   SyntheticDataset dataset;
   dataset.survival =
@@ -102,57 +161,33 @@ SyntheticDataset Generate(const GeneratorConfig& config) {
   dataset.genotypes.allele_freq.resize(config.num_snps);
   dataset.weights.resize(config.num_snps);
 
-  const std::uint32_t block = std::max(1u, config.ld_block_size);
   // Per-(block, patient) shared haplotype uniforms; resampled per block.
   std::vector<double> h1;
   std::vector<double> h2;
 
   for (std::uint32_t j = 0; j < config.num_snps; ++j) {
-    // Per-SNP child stream: SNP j's genotypes do not depend on how many
-    // SNPs precede it (for block size 1; larger blocks couple SNPs by
-    // design).
-    Rng rng = genotype_root.Split(j + 1);
-    const double rho =
-        config.maf_min + (config.maf_max - config.maf_min) * rng.NextDouble();
-    dataset.genotypes.allele_freq[j] = rho;
-    auto& row = dataset.genotypes.by_snp[j];
-    row.reserve(config.num_patients);
-
-    if (block == 1) {
-      // Independent regime (the paper's Section III).
-      for (std::uint32_t i = 0; i < config.num_patients; ++i) {
-        row.push_back(static_cast<std::uint8_t>(SampleBinomial(rng, 2, rho)));
-      }
-    } else {
-      if (j % block == 0) {
-        // New LD block: fresh shared haplotype uniforms per patient.
-        Rng block_rng = genotype_root.Split(0x10000000ULL + j / block);
-        h1.resize(config.num_patients);
-        h2.resize(config.num_patients);
-        for (std::uint32_t i = 0; i < config.num_patients; ++i) {
-          h1[i] = block_rng.NextDouble();
-          h2[i] = block_rng.NextDouble();
-        }
-      }
-      for (std::uint32_t i = 0; i < config.num_patients; ++i) {
-        // With probability ld_correlation reuse the block haplotype
-        // uniform (copula coupling), else draw fresh; either way the
-        // marginal allele probability is exactly rho.
-        const double u1 = SampleBernoulli(rng, config.ld_correlation)
-                              ? h1[i]
-                              : rng.NextDouble();
-        const double u2 = SampleBernoulli(rng, config.ld_correlation)
-                              ? h2[i]
-                              : rng.NextDouble();
-        row.push_back(static_cast<std::uint8_t>((u1 < rho ? 1 : 0) +
-                                                (u2 < rho ? 1 : 0)));
-      }
-    }
-    dataset.weights[j] = WeightFor(config.weights, rho, weight_rng);
+    StreamedSnp row =
+        GenerateSnp(config, genotype_root, weight_rng, &h1, &h2, j);
+    dataset.genotypes.allele_freq[j] = row.allele_freq;
+    dataset.genotypes.by_snp[j] = std::move(row.dosages);
+    dataset.weights[j] = row.weight;
   }
 
   dataset.sets = GenerateSnpSets(config.seed, config.num_snps, config.num_sets);
   return dataset;
+}
+
+GenotypeStream::GenotypeStream(const GeneratorConfig& config)
+    : config_(config),
+      genotype_root_(Rng(config.seed).Split(kStreamGenotypes)),
+      weight_rng_(Rng(config.seed).Split(kStreamWeights)) {
+  CheckGeneratorConfig(config);
+}
+
+StreamedSnp GenotypeStream::Next() {
+  SS_CHECK(next_ < config_.num_snps);
+  return GenerateSnp(config_, genotype_root_, weight_rng_, &h1_, &h2_,
+                     next_++);
 }
 
 }  // namespace ss::simdata

@@ -22,6 +22,7 @@
 
 #include "stats/skat.hpp"
 #include "stats/survival.hpp"
+#include "support/rng.hpp"
 
 namespace ss::simdata {
 
@@ -79,6 +80,44 @@ struct SyntheticDataset {
 /// Deterministically generates a dataset from the config (same seed, same
 /// data, regardless of thread count).
 SyntheticDataset Generate(const GeneratorConfig& config);
+
+/// One streamed SNP row: what `Generate` would have put at index `snp` of
+/// the full matrix, plus that SNP's weight.
+struct StreamedSnp {
+  std::uint32_t snp = 0;
+  std::vector<std::uint8_t> dosages;
+  double allele_freq = 0.0;
+  double weight = 1.0;
+};
+
+/// Streaming counterpart of `Generate` for the genotype/weight side:
+/// yields SNP rows one at a time, in order, bitwise identical to the
+/// dense path (pinned by tests/simdata), without ever materializing the
+/// full num_snps x num_patients matrix — the enabler for staging 1M-SNP
+/// cohorts into the genotype store under a flat memory footprint. The
+/// phenotype and SNP-sets come from the standalone GenerateSurvival /
+/// GenerateSnpSets, exactly as Generate composes them.
+///
+/// The carried state is tiny: the two RNG sub-streams plus (for LD
+/// blocks) the current block's per-patient haplotype uniforms.
+class GenotypeStream {
+ public:
+  explicit GenotypeStream(const GeneratorConfig& config);
+
+  /// SNPs not yet emitted.
+  std::uint32_t remaining() const { return config_.num_snps - next_; }
+
+  /// Emits the next SNP row. SS_CHECKs when exhausted.
+  StreamedSnp Next();
+
+ private:
+  const GeneratorConfig config_;
+  Rng genotype_root_;
+  Rng weight_rng_;
+  std::vector<double> h1_;  ///< Current LD block's haplotype uniforms.
+  std::vector<double> h2_;
+  std::uint32_t next_ = 0;
+};
 
 /// Generates only the phenotype table (used by tests and the eQTL example
 /// which substitutes its own phenotype).

@@ -83,6 +83,10 @@ const std::vector<OptionKeyDef>& OptionKeyRegistry() {
       {"kernel", OptionType::kChoice, "",
        "force SIMD dispatch level (also SS_KERNEL)", "engine",
        {"scalar", "sse2", "avx2"}},
+      {"store", OptionType::kString, "",
+       "memory-mapped genotype store file: open it (staging the cohort "
+       "there first if missing) instead of re-ingesting text",
+       "engine", {}},
       // -- exec: the async executor / I/O lane ------------------------------
       {"prefetch", OptionType::kU64, "1",
        "partitions prefetched ahead of compute (0 ablates the async "
@@ -161,6 +165,16 @@ const std::vector<OptionKeyDef>& OptionKeyRegistry() {
        "cap on Monte Carlo iterations in sweep benches", "bench", {}},
       {"per_node_cache_bytes", OptionType::kU64, "",
        "per-node cache bytes in container sweeps", "bench", {}},
+      {"budgets", OptionType::kString, "",
+       "comma-separated cache budgets in bytes for bench_scale "
+       "(0 = unlimited; empty picks fractions of the packed size)",
+       "bench", {}},
+      {"rss_slack_mb", OptionType::kU64, "",
+       "bench_scale: fixed RSS slack (MiB) allowed above cache_budget "
+       "for driver-side state", "bench", {}},
+      {"cache_u", OptionType::kBool, "1",
+       "bench_scale: cache the observed U RDD (Algorithm 3); 0 recomputes "
+       "it from streamed store frames every pass", "bench", {}},
   };
   return kRegistry;
 }

@@ -134,6 +134,49 @@ TEST(CacheSpillTest, EvictionSpillsAndMissReloads) {
   EXPECT_EQ(stats.spill_corrupt, 0u);
 }
 
+TEST(CacheSpillTest, PrefetchFillsSpareCapacityOnly) {
+  CacheManager cache(/*capacity=*/150);
+  cache.Insert({1, 0}, VecPayload({0, 1}), 100, 0, 0.0, MakeSpillCodec<int>());
+  cache.Insert({1, 1}, VecPayload({2, 3}), 100, 0, 0.0, MakeSpillCodec<int>());
+  ASSERT_EQ(cache.entry_count(), 1u);  // {1,0} evicted to the spill tier
+  ASSERT_EQ(cache.spilled_count(), 1u);
+
+  // Re-admitting {1,0} would evict the resident partition the compute
+  // path is about to use: the prefetch declines — still "handled", so a
+  // chained caller does not fall through — and both tiers stay put.
+  EXPECT_TRUE(cache.Prefetch({1, 0}));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.spilled_count(), 1u);
+  EXPECT_EQ(cache.stats().reloads, 0u);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);  // resident partition intact
+
+  // With spare capacity the same prefetch moves the frame back in.
+  cache.SetCapacityBytes(300);
+  EXPECT_TRUE(cache.Prefetch({1, 0}));
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.spilled_count(), 0u);
+  EXPECT_EQ(cache.stats().reloads, 1u);
+  EXPECT_EQ(VecOf(cache.Lookup({1, 0})), (std::vector<int>{0, 1}));
+}
+
+TEST(CacheSpillTest, PrefetchFetchDeclinedWhenBudgetFull) {
+  CacheManager cache(/*capacity=*/150);
+  cache.RegisterFetcher(7, [](std::uint32_t) {
+    return FetchedPartition{std::make_shared<std::vector<int>>(3, 9), 100,
+                            0.0};
+  });
+  cache.Insert({7, 0}, VecPayload({1}), 140, 0, 0.0, MakeSpillCodec<int>());
+  // The tier is effectively full; the fetch admission (sized by the mean
+  // resident partition, 140 bytes) would force an eviction — declined.
+  EXPECT_TRUE(cache.Prefetch({7, 1}));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  // Raising the budget lets the same prefetch stream the frame in.
+  cache.SetCapacityBytes(400);
+  EXPECT_TRUE(cache.Prefetch({7, 1}));
+  EXPECT_EQ(VecOf(cache.Lookup({7, 1})), (std::vector<int>{9, 9, 9}));
+  cache.UnregisterFetcher(7);
+}
+
 TEST(CacheSpillTest, CostBasedEvictionPrefersSpillableEntry) {
   CacheManager cache(/*capacity=*/250);
   // Both entries record an expensive lineage recompute, but only {1,1}

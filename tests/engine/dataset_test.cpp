@@ -162,7 +162,11 @@ TEST(DatasetTest, ChainedNarrowOps) {
 TEST(DatasetTest, TextFileOnePartitionPerBlock) {
   dfs::MiniDfs store({.num_nodes = 2, .replication = 1, .block_lines = 4});
   std::vector<std::string> lines;
-  for (int i = 0; i < 10; ++i) lines.push_back("l" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) {
+    std::string line = "l";
+    line += std::to_string(i);
+    lines.push_back(std::move(line));
+  }
   ASSERT_TRUE(store.WriteTextFile("/t", lines).ok());
   EngineContext ctx(LocalOptions(), &store);
   auto ds = TextFile(ctx, "/t");

@@ -59,7 +59,7 @@ TEST(RunMetricsSchemaTest, TopLevelKeySetAndOrder) {
   // `pvalue` section between `kernel` and `timeline`.
   ExpectOrderedKeys(SampleRunMetricsJson(),
                     {"schema", "tasks_completed", "totals", "stages", "cache",
-                     "broadcast_bytes", "kernel", "pvalue", "timeline",
+                     "broadcast_bytes", "kernel", "pvalue", "store", "timeline",
                      "counters"},
                     "top level");
 }
@@ -78,6 +78,21 @@ TEST(RunMetricsSchemaTest, PValueKeySetAndOrder) {
   EXPECT_NE(json.find("\"pvalue\":{\"analytic_screens\":"),
             std::string::npos)
       << json;
+}
+
+TEST(RunMetricsSchemaTest, StoreKeySetAndOrder) {
+  // The genotype-store section mirrors the seven store.* counters
+  // (docs/OBSERVABILITY.md); always present, zeros on storeless runs.
+  const std::string json = SampleRunMetricsJson();
+  ExpectOrderedKeys(json,
+                    {"store", "opens", "frame_reads", "read_bytes",
+                     "frame_writes", "write_bytes", "prefetch_frames",
+                     "corrupt"},
+                    "store");
+  // This sample run never touches a store file, so the section is the
+  // zero golden (store.* are process-global counters, but nothing in
+  // this test binary opens or stages a store).
+  EXPECT_NE(json.find("\"store\":{\"opens\":"), std::string::npos) << json;
 }
 
 TEST(RunMetricsSchemaTest, TimelineKeySetAndOrder) {

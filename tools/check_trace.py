@@ -13,7 +13,9 @@ Checks, stdlib only:
     its per-stage histogram counts sum to the stage's task count, its
     cache object carries the full two-tier key set (memory + spill), its
     kernel object names a known SIMD dispatch level and carries the
-    genotype packing byte counters, and its timeline section (v2) is
+    genotype packing byte counters, its store object carries the
+    genotype-store counter set (opens/frame I/O/prefetch/corrupt), and
+    its timeline section (v2) is
     internally consistent: known phase names, per-stage phase_seconds
     arrays of the right arity, stage task counts matching the v1 stage
     list, critical-path spans summing to the advertised total, and the
@@ -37,6 +39,7 @@ KNOWN_PHASES = {"B", "E", "i"}
 KNOWN_CATEGORIES = {
     "stage", "task", "algo", "batch", "replicate",
     "cache", "dfs", "broadcast", "fault", "spill", "phase", "prefetch",
+    "store",
 }
 
 # The timeline profiler's phase vocabulary, in TaskPhase enum order.
@@ -62,6 +65,13 @@ KERNEL_DISPATCH_NAMES = {"scalar", "sse2", "avx2", "unknown"}
 # (all zeros for legacy pure-resampling runs).
 PVALUE_KEYS = (
     "analytic_screens", "refined_sets", "early_stops", "replicates_saved",
+)
+
+# The memory-mapped genotype store section: mirrors the store.* counters
+# (all zeros for runs that never open or stage a store file).
+STORE_KEYS = (
+    "opens", "frame_reads", "read_bytes", "frame_writes", "write_bytes",
+    "prefetch_frames", "corrupt",
 )
 
 
@@ -213,7 +223,7 @@ def check_metrics(path):
     if doc.get("schema") != "sparkscore-run-metrics-v2":
         fail(f"{path} schema is {doc.get('schema')!r}")
     for key in ("totals", "stages", "cache", "broadcast_bytes", "kernel",
-                "pvalue", "timeline", "counters"):
+                "pvalue", "store", "timeline", "counters"):
         if key not in doc:
             fail(f"{path} is missing '{key}'")
     for key in CACHE_KEYS:
@@ -225,6 +235,9 @@ def check_metrics(path):
     for key in PVALUE_KEYS:
         if key not in doc["pvalue"]:
             fail(f"{path} pvalue section is missing '{key}'")
+    for key in STORE_KEYS:
+        if key not in doc["store"]:
+            fail(f"{path} store section is missing '{key}'")
     if doc["kernel"]["dispatch_name"] not in KERNEL_DISPATCH_NAMES:
         fail(
             f"{path} kernel.dispatch_name is "

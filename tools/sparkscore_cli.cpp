@@ -41,6 +41,7 @@
 
 #include "core/record_traits.hpp"
 #include "core/sparkscore.hpp"
+#include "simdata/store_codec.hpp"
 #include "engine/profile.hpp"
 #include "engine/trace.hpp"
 #include "stats/kernels/kernels.hpp"
@@ -64,7 +65,7 @@ struct Study {
   ss::simdata::SyntheticDataset dataset;
 };
 
-Study OpenStudy(const CliArgs& args) {
+Study OpenStudy(const CliArgs& args, bool allow_store = true) {
   Study study;
   ss::simdata::GeneratorConfig generator;
   generator.num_patients =
@@ -101,11 +102,6 @@ Study OpenStudy(const CliArgs& args) {
   study.ctx = std::make_unique<ss::engine::EngineContext>(options,
                                                           study.dfs.get());
 
-  study.dataset = ss::simdata::Generate(generator);
-  const auto paths = ss::simdata::StudyPaths::Under("/study");
-  ss::Status staged = ss::simdata::WriteStudy(*study.dfs, paths, study.dataset);
-  if (!staged.ok()) throw ss::StatusError(staged);
-
   ss::core::PipelineConfig config;
   config.seed = generator.seed;
   config.num_partitions =
@@ -119,6 +115,48 @@ Study OpenStudy(const CliArgs& args) {
   // pack=0 ablates the 2-bit packed genotype storage (results are
   // bitwise identical either way; only cache/spill bytes change).
   config.pack_genotypes = args.GetU64("pack", 1) != 0;
+
+  const std::string store_path = args.GetStr("store", "");
+  if (!store_path.empty()) {
+    // Out-of-core path: open (or stage once, then open) the mmap'd
+    // genotype store instead of generating the dense matrix + text files.
+    // The generator keys pin the expected fingerprint, so a store file
+    // holding a DIFFERENT cohort is refused rather than silently reused;
+    // corruption likewise refuses instead of re-ingesting.
+    if (!allow_store) {
+      throw ss::StatusError(
+          ss::Status(ss::StatusCode::kInvalidArgument,
+                     "store= is supported by skat/skato only"));
+    }
+    const std::uint64_t fingerprint = ss::simdata::StoreFingerprint(generator);
+    auto pipeline = ss::core::SkatPipeline::OpenFromStore(
+        *study.ctx, store_path, config, fingerprint);
+    if (!pipeline.ok() &&
+        pipeline.status().code() == ss::StatusCode::kNotFound) {
+      auto staged = ss::simdata::GenerateToStore(generator, store_path,
+                                                 config.num_partitions);
+      if (!staged.ok()) throw ss::StatusError(staged.status());
+      std::printf("store: staged %u partitions (%llu payload bytes) at %s\n",
+                  staged.value().num_partitions,
+                  static_cast<unsigned long long>(staged.value().payload_bytes),
+                  store_path.c_str());
+      pipeline = ss::core::SkatPipeline::OpenFromStore(*study.ctx, store_path,
+                                                       config, fingerprint);
+    }
+    if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
+    study.pipeline =
+        std::make_unique<ss::core::SkatPipeline>(std::move(pipeline).value());
+    std::printf("study: %u patients x %u SNPs x %u sets on %s (store %s)\n",
+                generator.num_patients, generator.num_snps, generator.num_sets,
+                options.topology.ToString().c_str(), store_path.c_str());
+    return study;
+  }
+
+  study.dataset = ss::simdata::Generate(generator);
+  const auto paths = ss::simdata::StudyPaths::Under("/study");
+  ss::Status staged = ss::simdata::WriteStudy(*study.dfs, paths, study.dataset);
+  if (!staged.ok()) throw ss::StatusError(staged);
+
   auto pipeline = ss::core::SkatPipeline::Open(*study.ctx, paths, config);
   if (!pipeline.ok()) throw ss::StatusError(pipeline.status());
   study.pipeline =
@@ -265,7 +303,7 @@ int RunSkat(const CliArgs& args, bool skato) {
 }
 
 int RunScan(const CliArgs& args) {
-  Study study = OpenStudy(args);
+  Study study = OpenStudy(args, /*allow_store=*/false);
   ss::core::VariantScanConfig config;
   config.replicates = args.GetU64("reps", 199);
   config.seed = args.GetU64("seed", 2016);

@@ -28,6 +28,12 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale and examples):
                    through the runtime dispatch table (kernels.hpp), so
                    a single SS_KERNEL switch really covers every SIMD
                    code path.
+  mmap-confine     raw memory-mapped I/O — `mmap`/`munmap`/`madvise`/
+                   `ftruncate` calls and the <sys/mman.h> header — is
+                   confined to src/dfs/genotype_store.cpp. Everywhere
+                   else reads store files through dfs::GenotypeStore so
+                   mapping lifetimes, page-cache advice, and corruption
+                   handling stay in one audited translation unit.
   naked-mutex      raw `std::mutex` (and lock_guard/unique_lock/plain
                    condition_variable) is confined to src/support/; the
                    rest of src/ locks through support::RankedMutex and
@@ -338,6 +344,35 @@ def check_simd_dispatch(root):
                         "dispatch table (stats/kernels/kernels.hpp)", raw)
 
 
+# --- rule: mmap-confine ----------------------------------------------------
+
+MMAP_CALL_RE = re.compile(r"\b(mmap|munmap|madvise|ftruncate)\s*\(")
+MMAP_INCLUDE_RE = re.compile(r"#\s*include\s*<sys/mman\.h>")
+
+
+def check_mmap_confine(root):
+    store_tu = os.path.join("src", "dfs", "genotype_store.cpp")
+    for path in iter_files(root, ALL_CODE_DIRS, {".cpp", ".hpp", ".cc", ".h"}):
+        rpath = rel(root, path)
+        if rpath == store_tu:
+            continue
+        with open(path, encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+        stripped = strip_comments_and_strings("\n".join(raw_lines)).splitlines()
+        for no, (line, raw) in enumerate(zip(stripped, raw_lines), 1):
+            match = MMAP_CALL_RE.search(line)
+            if match:
+                finding(rpath, no, "mmap-confine",
+                        f"raw `{match.group(1)}` call outside "
+                        "src/dfs/genotype_store.cpp — go through "
+                        "dfs::GenotypeStore so mapping lifetime and "
+                        "corruption handling stay centralized", raw)
+            if MMAP_INCLUDE_RE.search(line):
+                finding(rpath, no, "mmap-confine",
+                        "<sys/mman.h> outside src/dfs/genotype_store.cpp — "
+                        "go through dfs::GenotypeStore", raw)
+
+
 # --- rule: naked-mutex -----------------------------------------------------
 
 NAKED_MUTEX_RE = re.compile(
@@ -501,6 +536,7 @@ RULES = {
     "pragma-once": check_pragma_once,
     "iwyu-project": check_iwyu,
     "simd-dispatch": check_simd_dispatch,
+    "mmap-confine": check_mmap_confine,
     "naked-mutex": check_naked_mutex,
     "guarded-by-coverage": check_guarded_by_coverage,
     "lock-rank-registry": check_lock_rank_registry,
